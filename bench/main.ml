@@ -1,0 +1,205 @@
+(* Benchmark & figure-regeneration harness.
+
+   Usage: dune exec bench/main.exe [-- target ...]
+
+   Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
+   rftsa reliability micro all (default: all).
+   By default the figure sweeps use the reduced "quick" workload (8 graphs
+   per point) so the whole harness finishes in a couple of minutes; set
+   FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
+   the full Table-1 sizes), FTSCHED_CSV=<dir> to archive every table as
+   CSV, and FTSCHED_PLOTS=<dir> to emit gnuplot scripts per figure. *)
+
+module Table = Ftsched_util.Table
+module Workload = Ftsched_exp.Workload
+module Figures = Ftsched_exp.Figures
+
+let full = Sys.getenv_opt "FTSCHED_FULL" = Some "1"
+let spec = if full then Workload.paper else Workload.quick
+let csv_dir = Sys.getenv_opt "FTSCHED_CSV"
+let plots_dir = Sys.getenv_opt "FTSCHED_PLOTS"
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+(* Print a table and, when FTSCHED_CSV=<dir> is set, also archive it as
+   <dir>/<slug>.csv for external plotting. *)
+let show slug table =
+  Table.print table;
+  (match csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (slug ^ ".csv") in
+      Table.save_csv table ~path;
+      Printf.printf "[csv] %s\n" path);
+  match plots_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let basename = Filename.concat dir slug in
+      Ftsched_util.Gnuplot.save table ~basename;
+      Printf.printf "[gnuplot] %s.gp\n" basename
+
+let run_figure ~id ~eps ~crash_counts =
+  section
+    (Printf.sprintf "Figure %s (eps=%d, %d graphs/point%s)" id eps
+       spec.Workload.graphs_per_point
+       (if full then ", paper scale" else ", quick"));
+  let p = Figures.figure ~spec ~eps ~crash_counts () in
+  Printf.printf "-- Figure %s(a): normalized latency bounds --\n" id;
+  show (Printf.sprintf "fig%s_bounds" id) p.Figures.bounds;
+  Printf.printf "-- Figure %s(b): normalized latency under crashes --\n" id;
+  show (Printf.sprintf "fig%s_crash" id) p.Figures.crash;
+  Printf.printf "-- Figure %s(c): average overhead (%%) --\n" id;
+  show (Printf.sprintf "fig%s_overhead" id) p.Figures.overhead;
+  Printf.printf
+    "-- diagnostic (not in paper): MC-FTSA strict-policy defeat rate --\n";
+  show (Printf.sprintf "fig%s_mc_defeats" id) p.Figures.mc_defeats
+
+let run_figure4 () =
+  section "Figure 4 (5 processors, eps=2, FTSA only)";
+  let latency, overhead = Figures.figure4 ~spec () in
+  Printf.printf "-- Figure 4(a): normalized latency --\n";
+  show "fig4_latency" latency;
+  Printf.printf "-- Figure 4(b): average overhead (%%) --\n";
+  show "fig4_overhead" overhead
+
+let run_contention () =
+  section
+    "Ablation (paper §7 future work): latency under communication contention";
+  Printf.printf
+    "Failure-free replay through the event simulator; the paper conjectures \
+     MC-FTSA wins once links contend.\n";
+  show "contention" (Figures.contention_ablation ~spec ~eps:2 ~ports:[ 1; 4 ] ())
+
+let run_redundancy () =
+  section "Ablation: redundant MC-FTSA (senders per input, eps=2, g=1.0)";
+  Printf.printf
+    "Strict-policy defeat rate vs message budget; senders=1 is the paper's \
+     MC-FTSA, senders=eps+1 restores FTSA's fan-in.\n";
+  show "redundancy" (Figures.redundancy_ablation ~spec ~eps:2 ())
+
+let run_procs () =
+  section "Ablation: platform-size sweep (eps=2, g=1.0)";
+  Printf.printf
+    "The full curve behind the paper's Figure-4 observation: on small \
+     platforms the replication cost can no longer hide.\n";
+  show "procs_sweep"
+    (Figures.procs_sweep ~spec ~eps:2 ~procs:[ 5; 8; 12; 16; 20; 30 ] ())
+
+let run_rftsa () =
+  section "Ablation (paper §7 future work): reliability-aware R-FTSA (eps=2)";
+  Printf.printf
+    "Latency slack alpha vs mission reliability when every second processor \
+     is 20x more failure-prone.\n";
+  show "rftsa" (Figures.rftsa_ablation ~spec ~eps:2 ())
+
+let run_reliability () =
+  section "Ablation (paper §7 future work): schedule reliability, p_fail=0.1";
+  Printf.printf
+    "Probability the application completes when every processor fails \
+     independently (m=%d).\n" spec.Workload.n_procs;
+  show "reliability" (Figures.reliability_ablation ~spec ~p_fail:0.1 ())
+
+let run_claims () =
+  section "Self-check: the paper's qualitative claims as assertions";
+  let verdicts = Ftsched_exp.Claims.verify ~spec () in
+  show "claims" (Ftsched_exp.Claims.to_table verdicts);
+  Printf.printf "claims verified: %d/%d\n"
+    (List.length (List.filter (fun v -> v.Ftsched_exp.Claims.holds) verdicts))
+    (List.length verdicts)
+
+let run_table1 () =
+  let sizes = if full then Figures.paper_sizes else [ 100; 500; 1000 ] in
+  section
+    (Printf.sprintf "Table 1: running times (m=50, eps=5, sizes up to %d)"
+       (List.fold_left max 0 sizes));
+  show "table1" (Figures.table1 ~sizes ())
+
+(* Bechamel micro-benchmarks: per-call cost of each scheduler and of the
+   hot substrate operations. *)
+let run_micro () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let open Toolkit in
+  let rng = Ftsched_util.Rng.create ~seed:11 in
+  let dag = Ftsched_dag.Generators.layered rng ~n_tasks:100 () in
+  let platform =
+    Ftsched_platform.Platform.random rng ~m:20 ~delay_lo:0.5 ~delay_hi:1.0 ()
+  in
+  let inst = Ftsched_model.Instance.random_exec rng ~dag ~platform () in
+  let s_ftsa = Ftsched_core.Ftsa.schedule inst ~eps:2 in
+  let scenario = Ftsched_sim.Scenario.of_list [ 3; 7 ] in
+  let tests =
+    [
+      Test.make ~name:"ftsa-eps2-v100"
+        (Staged.stage (fun () -> Ftsched_core.Ftsa.schedule inst ~eps:2));
+      Test.make ~name:"mc-ftsa-greedy-eps2-v100"
+        (Staged.stage (fun () -> Ftsched_core.Mc_ftsa.schedule inst ~eps:2));
+      Test.make ~name:"mc-ftsa-bottleneck-eps2-v100"
+        (Staged.stage (fun () ->
+             Ftsched_core.Mc_ftsa.schedule
+               ~strategy:Ftsched_core.Mc_ftsa.Bottleneck inst ~eps:2));
+      Test.make ~name:"ftbar-npf2-v100"
+        (Staged.stage (fun () -> Ftsched_baseline.Ftbar.schedule inst ~npf:2));
+      Test.make ~name:"heft-v100"
+        (Staged.stage (fun () -> Ftsched_baseline.Heft.schedule inst));
+      Test.make ~name:"peft-v100"
+        (Staged.stage (fun () -> Ftsched_baseline.Peft.schedule inst));
+      Test.make ~name:"crash-exec-replay"
+        (Staged.stage (fun () ->
+             Ftsched_sim.Crash_exec.run ~policy:Ftsched_sim.Crash_exec.Reroute
+               s_ftsa scenario));
+      Test.make ~name:"event-sim-replay"
+        (Staged.stage (fun () ->
+             Ftsched_sim.Event_sim.run_crash s_ftsa scenario));
+      Test.make ~name:"bottom-levels-v100"
+        (Staged.stage (fun () -> Ftsched_model.Levels.bottom_levels inst));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table = Table.create ~columns:[ "benchmark"; "time/run (ms)"; "r2" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let res = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name o ->
+          let ns =
+            match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square o with Some r -> r | None -> nan
+          in
+          Table.add_row table
+            [ name; Printf.sprintf "%.3f" (ns /. 1e6); Printf.sprintf "%.4f" r2 ])
+        res)
+    tests;
+  show "micro" table
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "all" ]
+  in
+  let want t = List.mem t args || List.mem "all" args in
+  if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
+  if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
+  if want "fig3" then run_figure ~id:"3" ~eps:5 ~crash_counts:[ 0; 2; 5 ];
+  if want "fig4" then run_figure4 ();
+  if want "table1" then run_table1 ();
+  if want "claims" then run_claims ();
+  if want "contention" then run_contention ();
+  if want "redundancy" then run_redundancy ();
+  if want "procs" then run_procs ();
+  if want "rftsa" then run_rftsa ();
+  if want "reliability" then run_reliability ();
+  if want "micro" then run_micro ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,600 @@
+(* ftsched — command-line front end.
+
+   Subcommands:
+     gen         generate a task graph and print/write it (DOT, STG)
+     schedule    run a scheduler on a random or imported instance
+     simulate    replay a schedule under failures (timed, contended, worst-case)
+     bicriteria  explore the latency/failure trade-off of §4.3
+     reliability probability of surviving random failures
+     inspect     validate and summarize a saved schedule
+     experiment  regenerate the paper's figures, Table 1 and the ablations *)
+
+open Cmdliner
+
+module Rng = Ftsched_util.Rng
+module Table = Ftsched_util.Table
+module Dag = Ftsched_dag.Dag
+module Generators = Ftsched_dag.Generators
+module Classic = Ftsched_dag.Classic
+module Dot = Ftsched_dag.Dot
+module Properties = Ftsched_dag.Properties
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Granularity = Ftsched_model.Granularity
+module Schedule = Ftsched_schedule.Schedule
+module Validate = Ftsched_schedule.Validate
+module Gantt = Ftsched_schedule.Gantt
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Bicriteria = Ftsched_core.Bicriteria
+module Ftbar = Ftsched_baseline.Ftbar
+module Heft = Ftsched_baseline.Heft
+module Scenario = Ftsched_sim.Scenario
+module Crash_exec = Ftsched_sim.Crash_exec
+module Event_sim = Ftsched_sim.Event_sim
+module Workload = Ftsched_exp.Workload
+module Figures = Ftsched_exp.Figures
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let tasks_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
+
+let procs_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
+
+let eps_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "eps" ] ~docv:"E" ~doc:"Number of tolerated failures.")
+
+let gran_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "granularity" ] ~docv:"G"
+        ~doc:"Target granularity g(G,P) of the instance.")
+
+let kind_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("layered", `Layered); ("fft", `Fft); ("gauss", `Gauss);
+               ("wavefront", `Wavefront); ("forkjoin", `Forkjoin);
+               ("diamond", `Diamond) ])
+        `Layered
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Graph family: layered, fft, gauss, wavefront, forkjoin, diamond.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("ftsa", `Ftsa); ("mc-ftsa", `Mc); ("mc-bottleneck", `Mcb);
+               ("ftbar", `Ftbar); ("heft", `Heft); ("cpop", `Cpop);
+               ("ca-ftsa", `Ca); ("peft", `Peft) ])
+        `Ftsa
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Scheduler: ftsa, mc-ftsa, mc-bottleneck, ca-ftsa, ftbar, heft, cpop, peft.")
+
+let redundancy_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "redundancy" ] ~docv:"K"
+        ~doc:
+          "With mc-ftsa: keep $(docv) senders per input instead of one \
+           (the redundant extension; K = eps+1 restores full fan-in).")
+
+let make_dag kind rng n =
+  match kind with
+  | `Layered -> Generators.layered rng ~n_tasks:n ()
+  | `Fft ->
+      let rec pow2 p = if p * 2 > max 2 (n / 4) then p else pow2 (p * 2) in
+      Classic.fft ~points:(pow2 2) ()
+  | `Gauss ->
+      (* pick the matrix size whose task count is closest to n *)
+      let rec size s = if (s - 1) * (s + 2) / 2 >= n then s else size (s + 1) in
+      Classic.gaussian_elimination ~size:(size 3) ()
+  | `Wavefront ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Classic.wavefront ~rows:side ~cols:side ()
+  | `Forkjoin -> Generators.fork_join rng ~stages:(max 1 (n / 12)) ~width:10 ()
+  | `Diamond -> Classic.diamond ~layers:(max 2 (int_of_float (sqrt (float_of_int n)))) ()
+
+let make_instance ~kind ~seed ~n ~m ~granularity =
+  let rng = Rng.create ~seed in
+  let dag = make_dag kind rng n in
+  let platform = Platform.random rng ~m ~delay_lo:0.5 ~delay_hi:1.0 () in
+  let inst = Instance.random_exec rng ~dag ~platform () in
+  if Dag.n_edges dag = 0 then inst
+  else Granularity.scale_to inst ~target:granularity
+
+let run_algo ?redundancy algo ~seed inst ~eps =
+  match algo with
+  | `Ftsa -> Ftsa.schedule ~seed inst ~eps
+  | `Mc -> (
+      match redundancy with
+      | Some k -> Mc_ftsa.schedule ~seed ~strategy:(Mc_ftsa.Redundant k) inst ~eps
+      | None -> Mc_ftsa.schedule ~seed inst ~eps)
+  | `Mcb -> Mc_ftsa.schedule ~seed ~strategy:Mc_ftsa.Bottleneck inst ~eps
+  | `Ftbar -> Ftbar.schedule ~seed inst ~npf:eps
+  | `Heft ->
+      if eps > 0 then
+        prerr_endline "note: heft is fault-free; ignoring --eps";
+      Heft.schedule inst
+  | `Cpop ->
+      if eps > 0 then
+        prerr_endline "note: cpop is fault-free; ignoring --eps";
+      Ftsched_baseline.Cpop.schedule inst
+  | `Ca -> Ftsched_core.Ca_ftsa.schedule ~seed inst ~eps
+  | `Peft ->
+      if eps > 0 then
+        prerr_endline "note: peft is fault-free; ignoring --eps";
+      Ftsched_baseline.Peft.schedule inst
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+
+let gen_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write DOT to $(docv).")
+  in
+  let stg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stg" ] ~docv:"FILE"
+          ~doc:
+            "Also export in STG format to $(docv) (node costs: the tasks' \
+             average execution times on a reference platform).")
+  in
+  let run kind n seed out stg =
+    let rng = Rng.create ~seed in
+    let dag = make_dag kind rng n in
+    Format.printf "%a@." Dag.pp dag;
+    Format.printf "height=%d width<=%d transitive_edges=%d@."
+      (Properties.height dag)
+      (Properties.width_upper_bound dag)
+      (Properties.transitive_edge_count dag);
+    (match stg with
+    | Some path ->
+        let costs = Array.init (Dag.n_tasks dag) (fun _ -> Rng.float_in rng 50. 150.) in
+        Ftsched_dag.Stg.save dag ~costs ~path;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    match out with
+    | Some path ->
+        Dot.save dag ~path;
+        Format.printf "wrote %s@." path
+    | None -> print_string (Dot.to_dot dag)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a task graph")
+    Term.(const run $ kind_arg $ tasks_arg $ seed_arg $ out $ stg)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_cmd =
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart.")
+  in
+  let listing =
+    Arg.(value & flag & info [ "listing" ] ~doc:"Print the replica listing.")
+  in
+  let svg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart to $(docv).")
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:"Serialize the schedule (with its instance) to $(docv).")
+  in
+  let from_stg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "from-stg" ] ~docv:"FILE"
+          ~doc:
+            "Schedule the task graph imported from an STG file instead of a \
+             generated one (a random platform of --procs processors is \
+             drawn; node costs are lifted to an unrelated cost matrix).")
+  in
+  let run kind n m eps granularity seed algo redundancy gantt listing svg save
+      from_stg =
+    let inst =
+      match from_stg with
+      | Some path ->
+          let dag, costs = Ftsched_dag.Stg.load path in
+          let rng = Rng.create ~seed in
+          let platform =
+            Platform.random rng ~m ~delay_lo:0.5 ~delay_hi:1.0 ()
+          in
+          let inst = Instance.of_task_costs rng ~dag ~costs ~platform () in
+          if Dag.n_edges dag = 0 then inst
+          else Granularity.scale_to inst ~target:granularity
+      | None -> make_instance ~kind ~seed ~n ~m ~granularity
+    in
+    let s = run_algo ?redundancy algo ~seed inst ~eps in
+    Format.printf "%a@." Schedule.pp_summary s;
+    Format.printf "granularity=%.3f  comm-volume=%.4g@."
+      (Granularity.granularity inst)
+      (Schedule.total_comm_volume s);
+    Format.printf "%a@." Ftsched_schedule.Metrics.pp s;
+    (match Validate.check s with
+    | Ok () -> Format.printf "validation: ok@."
+    | Error errs ->
+        Format.printf "validation: %d error(s)@." (List.length errs);
+        List.iter (Format.printf "  %a@." Validate.pp_error) errs);
+    if gantt then print_string (Gantt.render s);
+    if listing then print_string (Gantt.render_listing s);
+    (match svg with
+    | Some path ->
+        Gantt.save_svg s ~path;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    match save with
+    | Some path ->
+        Ftsched_schedule.Serialize.save_schedule s ~path;
+        Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Schedule a random instance")
+    Term.(
+      const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
+      $ seed_arg $ algo_arg $ redundancy_arg $ gantt $ listing $ svg $ save
+      $ from_stg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let fail =
+    Arg.(
+      value & opt (list int) []
+      & info [ "fail" ] ~docv:"P1,P2" ~doc:"Processors to fail (from t=0).")
+  in
+  let crashes =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:"Fail $(docv) random processors instead of an explicit list.")
+  in
+  let timed =
+    Arg.(
+      value & flag
+      & info [ "timed" ]
+          ~doc:
+            "Use the event-driven simulator with random failure instants \
+             instead of crash-at-start.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Strict execution policy (no rerouting); MC-FTSA schedules may \
+             then be defeated, see DESIGN.md.")
+  in
+  let ports =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ports" ] ~docv:"K"
+          ~doc:
+            "Replay under the bounded multi-port contention model with \
+             $(docv) outgoing ports per processor (1 = one-port); implies \
+             the event-driven simulator.")
+  in
+  let worst =
+    Arg.(
+      value & flag
+      & info [ "worst-case" ]
+          ~doc:
+            "Exhaustively replay every subset of --eps failed processors and \
+             report the extremes and the tightness of the bound M.")
+  in
+  let run kind n m eps granularity seed algo fail crashes timed strict ports
+      worst =
+    let inst = make_instance ~kind ~seed ~n ~m ~granularity in
+    let s = run_algo algo ~seed inst ~eps in
+    Format.printf "%a@." Schedule.pp_summary s;
+    if worst then begin
+      let module Worst_case = Ftsched_sim.Worst_case in
+      let policy = if strict then Crash_exec.Strict else Crash_exec.Reroute in
+      let r = Worst_case.analyze ~policy s ~count:eps in
+      Format.printf
+        "worst case over %d scenarios: best=%.6g mean=%.6g worst=%.6g \
+         (defeated: %d)@."
+        r.Worst_case.scenarios r.Worst_case.best r.Worst_case.mean
+        r.Worst_case.worst r.Worst_case.defeated;
+      Format.printf "worst scenario: %a  bound tightness worst/M = %.4f@."
+        Scenario.pp r.Worst_case.worst_scenario
+        (r.Worst_case.worst /. Schedule.latency_upper_bound s)
+    end;
+    let rng = Rng.create ~seed:(seed + 1) in
+    let scenario =
+      match crashes with
+      | Some k -> Scenario.random rng ~m ~count:k
+      | None -> Scenario.of_list fail
+    in
+    let network =
+      match ports with
+      | Some k -> Event_sim.Sender_ports k
+      | None -> Event_sim.Contention_free
+    in
+    if timed || ports <> None then begin
+      let horizon = Schedule.latency_upper_bound s in
+      let t =
+        if timed then
+          Scenario.random_timed rng ~m
+            ~count:(Array.length scenario.Scenario.failed)
+            ~horizon
+        else
+          List.map
+            (fun p -> { Scenario.proc = p; at = 0. })
+            (Array.to_list scenario.Scenario.failed)
+      in
+      List.iter
+        (fun { Scenario.proc; at } ->
+          Format.printf "P%d fails at %.4g@." proc at)
+        t;
+      let r = Event_sim.run_timed ~network s t in
+      (match r.Event_sim.latency with
+      | Some l -> Format.printf "achieved latency: %.6g@." l
+      | None -> Format.printf "schedule DEFEATED by the scenario@.");
+      Format.printf "events processed: %d@." r.Event_sim.events_processed
+    end
+    else begin
+      Format.printf "scenario: %a@." Scenario.pp scenario;
+      let policy = if strict then Crash_exec.Strict else Crash_exec.Reroute in
+      let r = Crash_exec.run ~policy s scenario in
+      match r.Crash_exec.latency with
+      | Some l ->
+          Format.printf "achieved latency: %.6g  (bounds [%.6g, %.6g])@." l
+            (Schedule.latency_lower_bound s)
+            (Schedule.latency_upper_bound s)
+      | None -> Format.printf "schedule DEFEATED by the scenario@."
+    end
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Replay a schedule under failures")
+    Term.(
+      const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
+      $ seed_arg $ algo_arg $ fail $ crashes $ timed $ strict $ ports $ worst)
+
+(* ------------------------------------------------------------------ *)
+(* inspect                                                             *)
+
+let inspect_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Serialized schedule (see schedule --save).")
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart.")
+  in
+  let run file gantt =
+    let s = Ftsched_schedule.Serialize.load_schedule ~path:file in
+    let inst = Schedule.instance s in
+    Format.printf "%a@." Instance.pp inst;
+    Format.printf "%a@." Schedule.pp_summary s;
+    (match Validate.check s with
+    | Ok () -> Format.printf "validation: ok@."
+    | Error errs ->
+        Format.printf "validation: %d error(s)@." (List.length errs);
+        List.iter (Format.printf "  %a@." Validate.pp_error) errs);
+    Format.printf "survives all %d-failure subsets: %b@." (Schedule.eps s)
+      (Validate.survives_all_subsets s);
+    if gantt then print_string (Gantt.render s)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Validate and summarize a saved schedule")
+    Term.(const run $ file $ gantt)
+
+(* ------------------------------------------------------------------ *)
+(* reliability                                                         *)
+
+let reliability_cmd =
+  let module R = Ftsched_reliability.Reliability in
+  let p_fail =
+    Arg.(
+      value & opt float 0.1
+      & info [ "p-fail" ] ~docv:"P"
+          ~doc:"Per-processor failure probability (crash-at-start model).")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Exponential failure rate per unit time: switch to the timed \
+             mission model instead of crash-at-start.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 5000
+      & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Strict execution policy (no rerouting).")
+  in
+  let run kind n m eps granularity seed algo p_fail rate trials strict =
+    let inst = make_instance ~kind ~seed ~n ~m ~granularity in
+    let s = run_algo algo ~seed inst ~eps in
+    Format.printf "%a@." Schedule.pp_summary s;
+    let policy = if strict then R.Strict else R.Reroute in
+    match rate with
+    | Some rate ->
+        let rng = Rng.create ~seed:(seed + 2) in
+        let est, lat = R.mission rng s ~rate ~trials () in
+        Format.printf "mission reliability (rate %.4g): %.4f ± %.4f@." rate
+          est.R.mean est.R.stderr;
+        (match lat with
+        | Some l -> Format.printf "mean latency of successful runs: %.4g@." l
+        | None -> Format.printf "no successful run@.")
+    | None ->
+        Format.printf "Theorem-4.1 binomial bound: %.6f@."
+          (R.binomial_bound s ~p_fail);
+        if m <= 16 then
+          Format.printf "exact reliability: %.6f@." (R.exact s policy ~p_fail)
+        else begin
+          let rng = Rng.create ~seed:(seed + 2) in
+          let est = R.monte_carlo rng s policy ~p_fail ~trials in
+          Format.printf "Monte-Carlo reliability: %.4f ± %.4f (%d trials)@."
+            est.R.mean est.R.stderr est.R.trials
+        end
+  in
+  Cmd.v
+    (Cmd.info "reliability"
+       ~doc:"Probability that the schedule survives random failures")
+    Term.(
+      const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
+      $ seed_arg $ algo_arg $ p_fail $ rate $ trials $ strict)
+
+(* ------------------------------------------------------------------ *)
+(* bicriteria                                                          *)
+
+let bicriteria_cmd =
+  let latency =
+    Arg.(
+      required & opt (some float) None
+      & info [ "latency" ] ~docv:"L" ~doc:"Latency target.")
+  in
+  let dual =
+    Arg.(
+      value & flag
+      & info [ "dual" ]
+          ~doc:
+            "Check feasibility of (latency, eps) jointly with the deadline \
+             test of §4.3 instead of maximizing eps.")
+  in
+  let run kind n m eps granularity seed latency dual =
+    let inst = make_instance ~kind ~seed ~n ~m ~granularity in
+    if dual then begin
+      match Bicriteria.with_deadlines ~seed inst ~eps ~latency with
+      | Ok s ->
+          Format.printf "feasible: %a@." Schedule.pp_summary s
+      | Error { Bicriteria.task; deadline; finish } ->
+          Format.printf
+            "infeasible: task %d missed deadline %.6g (best finish %.6g)@."
+            task deadline finish
+    end
+    else begin
+      match Bicriteria.max_supported_failures ~seed inst ~latency with
+      | Some (eps, s) ->
+          Format.printf "max supported failures: %d@." eps;
+          Format.printf "%a@." Schedule.pp_summary s
+      | None ->
+          Format.printf
+            "no schedule meets latency %.6g even without replication@." latency
+    end
+  in
+  Cmd.v
+    (Cmd.info "bicriteria" ~doc:"Latency/failure trade-off exploration (§4.3)")
+    Term.(
+      const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
+      $ seed_arg $ latency $ dual)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let what =
+    Arg.(
+      value & pos 0 (enum
+                       [ ("fig1", `F1); ("fig2", `F2); ("fig3", `F3);
+                         ("fig4", `F4); ("table1", `T1);
+                         ("contention", `Contention);
+                         ("redundancy", `Redundancy);
+                         ("claims", `Claims);
+                         ("procs", `Procs);
+                         ("rftsa", `Rftsa);
+                         ("reliability", `Reliability) ])
+        `F1
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "fig1 | fig2 | fig3 | fig4 | table1 | contention | redundancy | \
+             claims | procs | rftsa | reliability")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale sweep (60 graphs per point).")
+  in
+  let graphs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "graphs" ] ~docv:"N" ~doc:"Override graphs per point.")
+  in
+  let run what full graphs seed =
+    let spec = if full then Workload.paper else Workload.quick in
+    let spec =
+      match graphs with
+      | Some n -> Workload.with_graphs_per_point spec n
+      | None -> spec
+    in
+    let show_panels ~eps ~crash_counts =
+      let p = Figures.figure ~spec ~master_seed:seed ~eps ~crash_counts () in
+      Table.print p.Figures.bounds;
+      Table.print p.Figures.crash;
+      Table.print p.Figures.overhead;
+      Table.print p.Figures.mc_defeats
+    in
+    match what with
+    | `F1 -> show_panels ~eps:1 ~crash_counts:[ 0; 1 ]
+    | `F2 -> show_panels ~eps:2 ~crash_counts:[ 0; 1; 2 ]
+    | `F3 -> show_panels ~eps:5 ~crash_counts:[ 0; 2; 5 ]
+    | `F4 ->
+        let latency, overhead = Figures.figure4 ~spec ~master_seed:seed () in
+        Table.print latency;
+        Table.print overhead
+    | `T1 ->
+        let sizes = if full then Figures.paper_sizes else [ 100; 500; 1000 ] in
+        Table.print (Figures.table1 ~sizes ~seed ())
+    | `Contention ->
+        Table.print
+          (Figures.contention_ablation ~spec ~master_seed:seed ~eps:2
+             ~ports:[ 1; 4 ] ())
+    | `Redundancy ->
+        Table.print (Figures.redundancy_ablation ~spec ~master_seed:seed ~eps:2 ())
+    | `Claims ->
+        let verdicts = Ftsched_exp.Claims.verify ~spec ~master_seed:seed () in
+        Table.print (Ftsched_exp.Claims.to_table verdicts);
+        if not (Ftsched_exp.Claims.all_hold verdicts) then exit 1
+    | `Procs ->
+        Table.print
+          (Figures.procs_sweep ~spec ~master_seed:seed ~eps:2
+             ~procs:[ 5; 8; 12; 16; 20; 30 ] ())
+    | `Rftsa ->
+        Table.print (Figures.rftsa_ablation ~spec ~master_seed:seed ~eps:2 ())
+    | `Reliability ->
+        Table.print
+          (Figures.reliability_ablation ~spec ~master_seed:seed ~p_fail:0.1 ())
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
+    Term.(const run $ what $ full $ graphs $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "ftsched" ~version:"1.0.0"
+      ~doc:
+        "Fault-tolerant scheduling of precedence task graphs on heterogeneous \
+         platforms (FTSA / MC-FTSA / FTBAR)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd; schedule_cmd; simulate_cmd; bicriteria_cmd;
+            reliability_cmd; inspect_cmd; experiment_cmd;
+          ]))

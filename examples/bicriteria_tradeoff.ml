@@ -1,0 +1,77 @@
+(* The bi-criteria view of §4.3: instead of fixing the number of failures
+   and minimizing latency, fix the latency and ask how many failures the
+   system can absorb — or fix both and test feasibility with the per-task
+   deadline mechanism.
+
+   Run with: dune exec examples/bicriteria_tradeoff.exe *)
+
+module Gen = Ftsched_dag.Generators
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Granularity = Ftsched_model.Granularity
+module Schedule = Ftsched_schedule.Schedule
+module Table = Ftsched_util.Table
+module Rng = Ftsched_util.Rng
+module Ftsa = Ftsched_core.Ftsa
+module Bicriteria = Ftsched_core.Bicriteria
+
+let () =
+  let rng = Rng.create ~seed:99 in
+  let dag = Gen.layered rng ~n_tasks:80 () in
+  let platform = Platform.random rng ~m:12 ~delay_lo:0.5 ~delay_hi:1.0 () in
+  let inst =
+    Granularity.scale_to (Instance.random_exec rng ~dag ~platform ()) ~target:1.0
+  in
+  let base = Ftsa.fault_free inst in
+  let l0 = Schedule.latency_lower_bound base in
+  Format.printf "fault-free latency: %.0f@.@." l0;
+
+  (* 1. Latency fixed: the more slack we grant over the fault-free
+        latency, the more failures the binary search can buy. *)
+  let table = Table.create ~columns:[ "latency budget"; "max eps"; "M"; "M*" ] in
+  List.iter
+    (fun slack ->
+      let latency = l0 *. slack in
+      match Bicriteria.max_supported_failures inst ~latency with
+      | Some (eps, s) ->
+          Table.add_row table
+            [
+              Printf.sprintf "%.0f (%.1fx)" latency slack;
+              string_of_int eps;
+              Printf.sprintf "%.0f" (Schedule.latency_upper_bound s);
+              Printf.sprintf "%.0f" (Schedule.latency_lower_bound s);
+            ]
+      | None ->
+          Table.add_row table
+            [ Printf.sprintf "%.0f (%.1fx)" latency slack; "-"; "-"; "-" ])
+    [ 1.0; 1.2; 1.5; 2.0; 3.0; 5.0 ];
+  Table.print table;
+  print_newline ();
+
+  (* 2. Both fixed: the deadline test detects infeasible (L, eps)
+        combinations during scheduling instead of at the end. *)
+  Format.printf "dual-fixed feasibility (rows: eps; cols: latency budget):@.";
+  let budgets = [ 1.2; 1.6; 2.0; 3.0 ] in
+  let feas =
+    Table.create
+      ~columns:
+        ("eps \\ L"
+        :: List.map (fun s -> Printf.sprintf "%.1fx" s) budgets)
+  in
+  List.iter
+    (fun eps ->
+      let row =
+        List.map
+          (fun slack ->
+            match
+              Bicriteria.with_deadlines inst ~eps ~latency:(l0 *. slack)
+            with
+            | Ok s ->
+                Printf.sprintf "ok (M=%.0f)" (Schedule.latency_upper_bound s)
+            | Error { Bicriteria.task; _ } ->
+                Printf.sprintf "fail@t%d" task)
+          budgets
+      in
+      Table.add_row feas (string_of_int eps :: row))
+    [ 0; 1; 2; 3; 4 ];
+  Table.print feas

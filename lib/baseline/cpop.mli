@@ -1,0 +1,13 @@
+(** CPOP (Critical-Path-on-a-Processor; Topcuoglu, Hariri & Wu) — the
+    second textbook fault-free heuristic, included alongside {!Heft} to
+    widen the fault-free reference corridor for the experiments.
+
+    Task priority is [rank_u + rank_d] (bottom level + downward rank).
+    Every task on the entry→exit critical path (maximal priority chain)
+    is pinned onto the single processor minimizing the path's total
+    execution time; remaining tasks go to their earliest-finish processor
+    with insertion. *)
+
+val schedule :
+  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
+(** Fault-free (single-copy) schedule, represented with [eps = 0]. *)

@@ -1,0 +1,14 @@
+(** HEFT (Heterogeneous Earliest Finish Time; Topcuoglu et al.) — the
+    textbook fault-free list scheduler, included as an independent
+    cross-check for the fault-free FTSA curve: both are upward-rank-driven
+    earliest-finish heuristics, so their latencies should track each other
+    closely on the paper's workloads.
+
+    HEFT uses an {e insertion-based} policy: a task may slide into an idle
+    gap between two already-placed tasks on a processor, which plain FTSA
+    (end-of-ready-queue placement) never does. *)
+
+val schedule :
+  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
+(** Fault-free (single-copy) schedule; represented as an [eps = 0]
+    schedule with all-to-all (i.e. single-message) communication. *)

@@ -1,0 +1,130 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Comm_plan = Ftsched_schedule.Comm_plan
+
+type slot = { s : float; f : float }
+
+let earliest_gap slots ~ready ~duration =
+  let rec scan cursor = function
+    | [] -> cursor
+    | { s; f } :: rest ->
+        if cursor +. duration <= s then cursor else scan (Float.max cursor f) rest
+  in
+  scan ready slots
+
+let insert_slot slots slot =
+  let rec go = function
+    | [] -> [ slot ]
+    | hd :: tl as l -> if slot.s < hd.s then slot :: l else hd :: go tl
+  in
+  go slots
+
+let oct inst =
+  let g = Instance.dag inst in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let table = Array.make_matrix v m 0. in
+  let topo = Dag.topological_order g in
+  (* reverse topological order: successors are final when visited *)
+  for i = v - 1 downto 0 do
+    let t = topo.(i) in
+    for p = 0 to m - 1 do
+      let worst = ref 0. in
+      List.iter
+        (fun (s, vol) ->
+          let best = ref infinity in
+          for q = 0 to m - 1 do
+            let comm =
+              if q = p then 0. else Instance.avg_comm_time inst ~volume:vol
+            in
+            let cand = table.(s).(q) +. Instance.exec inst s q +. comm in
+            if cand < !best then best := cand
+          done;
+          if !best > !worst then worst := !best)
+        (Dag.succs g t);
+      table.(t).(p) <- !worst
+    done
+  done;
+  table
+
+let schedule ?seed:_ inst =
+  let g = Instance.dag inst in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let pl = Instance.platform inst in
+  let table = oct inst in
+  let rank =
+    Array.init v (fun t ->
+        Array.fold_left ( +. ) 0. table.(t) /. float_of_int m)
+  in
+  let slots = Array.make m [] in
+  let placed = Array.make v None in
+  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+  let ready_list = ref (Dag.entries g) in
+  let pick () =
+    let best =
+      List.fold_left
+        (fun acc t ->
+          match acc with
+          | None -> Some t
+          | Some b -> if rank.(t) > rank.(b) then Some t else acc)
+        None !ready_list
+    in
+    match best with
+    | None -> invalid_arg "Peft: empty ready list"
+    | Some t ->
+        ready_list := List.filter (fun x -> x <> t) !ready_list;
+        t
+  in
+  for _ = 1 to v do
+    let t = pick () in
+    let best = ref (-1) and bs = ref 0. and bf = ref infinity
+    and bscore = ref infinity in
+    for p = 0 to m - 1 do
+      let arrival =
+        List.fold_left
+          (fun acc (t', vol) ->
+            match placed.(t') with
+            | None -> invalid_arg "Peft: order not topological"
+            | Some (p', f') ->
+                Float.max acc (f' +. (vol *. Platform.delay pl p' p)))
+          0. (Dag.preds g t)
+      in
+      let dur = Instance.exec inst t p in
+      let start = earliest_gap slots.(p) ~ready:arrival ~duration:dur in
+      let finish = start +. dur in
+      let score = finish +. table.(t).(p) in
+      if score < !bscore then begin
+        best := p;
+        bs := start;
+        bf := finish;
+        bscore := score
+      end
+    done;
+    slots.(!best) <- insert_slot slots.(!best) { s = !bs; f = !bf };
+    placed.(t) <- Some (!best, !bf);
+    List.iter
+      (fun (t', _) ->
+        remaining.(t') <- remaining.(t') - 1;
+        if remaining.(t') = 0 then ready_list := t' :: !ready_list)
+      (Dag.succs g t)
+  done;
+  let replicas =
+    Array.init v (fun task ->
+        match placed.(task) with
+        | None -> assert false
+        | Some (proc, finish) ->
+            let start = finish -. Instance.exec inst task proc in
+            [|
+              {
+                Schedule.task;
+                index = 0;
+                proc;
+                start;
+                finish;
+                pess_start = start;
+                pess_finish = finish;
+              };
+            |])
+  in
+  Schedule.create ~instance:inst ~eps:0 ~replicas ~comm:Comm_plan.All_to_all

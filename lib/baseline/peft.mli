@@ -1,0 +1,19 @@
+(** PEFT (Predict Earliest Finish Time; Arabnejad & Barbosa) — the
+    standard lookahead improvement over HEFT, added as a third fault-free
+    reference.
+
+    PEFT precomputes the {e optimistic cost table}
+    [OCT(t, p) = max over successors s of
+       min over processors q of (OCT(s, q) + E(s, q) + W̄(t,s) if q ≠ p)]
+    — the best-case remaining work if [t] runs on [p] — and then schedules
+    by decreasing average OCT, placing each task on the processor
+    minimizing [EFT(t,p) + OCT(t,p)] (earliest finish {e plus} predicted
+    tail) with insertion.  The lookahead lets it avoid processors that
+    finish a task early but strand its successors. *)
+
+val schedule :
+  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
+(** Fault-free (single-copy) schedule, represented with [eps = 0]. *)
+
+val oct : Ftsched_model.Instance.t -> float array array
+(** The optimistic cost table ([v × m]); exposed for tests. *)

@@ -1,0 +1,61 @@
+module Instance = Ftsched_model.Instance
+module Deadline = Ftsched_model.Deadline
+module Schedule = Ftsched_schedule.Schedule
+module Rng = Ftsched_util.Rng
+
+type bound = Lower_bound | Upper_bound
+
+type infeasible = {
+  task : Ftsched_dag.Dag.task;
+  deadline : float;
+  finish : float;
+}
+
+let run_once ?(seed = 0) ~mc inst ~eps =
+  if mc then Mc_ftsa.schedule ~seed inst ~eps else Ftsa.schedule ~seed inst ~eps
+
+let measure bound s =
+  match bound with
+  | Lower_bound -> Schedule.latency_lower_bound s
+  | Upper_bound -> Schedule.latency_upper_bound s
+
+let max_supported_failures ?(seed = 0) ?(bound = Upper_bound) ?(mc = false)
+    inst ~latency =
+  let m = Instance.n_procs inst in
+  let fits eps =
+    let s = run_once ~seed ~mc inst ~eps in
+    if measure bound s <= latency then Some s else None
+  in
+  (* Binary search for the largest feasible ε, seeded by the ε = 0 probe so
+     that infeasibility is reported early. *)
+  match fits 0 with
+  | None -> None
+  | Some s0 ->
+      let best = ref (0, s0) in
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !lo < !hi do
+        let mid = !lo + ((!hi - !lo + 1) / 2) in
+        match fits mid with
+        | Some s ->
+            best := (mid, s);
+            lo := mid
+        | None -> hi := mid - 1
+      done;
+      Some !best
+
+let latency_profile ?(seed = 0) ?(mc = false) inst ~max_eps =
+  let m = Instance.n_procs inst in
+  let top = min max_eps (m - 1) in
+  List.init (top + 1) (fun eps ->
+      let s = run_once ~seed ~mc inst ~eps in
+      (eps, Schedule.latency_lower_bound s, Schedule.latency_upper_bound s))
+
+let with_deadlines ?(seed = 0) ?(mc = false) inst ~eps ~latency =
+  let deadlines = Deadline.compute inst ~eps ~latency in
+  let rng = Rng.create ~seed in
+  let mode =
+    if mc then Engine.Min_comm Engine.Greedy_edges else Engine.All_to_all_comm
+  in
+  match Engine.run ~rng ~instance:inst ~eps ~mode ~deadlines () with
+  | Ok s -> Ok s
+  | Error { Engine.task; deadline; finish } -> Error { task; deadline; finish }

@@ -1,0 +1,55 @@
+(** Robust communication-edge selection for MC-FTSA (§4.2).
+
+    For one DAG edge [(t', t)], the replicas of [t'] form the left side of
+    a bipartite graph and the replicas of [t] the right side.  A left
+    replica colocated with one of [t]'s processors has a single {e forced}
+    edge to that colocated right replica (this is what makes the selection
+    survive ε failures — see the proof of Prop. 4.3); every other left
+    replica has an edge to all right replicas.  Each edge is weighted with
+    the completion time [t] would reach through it alone.
+
+    A {e robust selection} is a set of [ε+1] edges saturating every left
+    and every right node exactly once.  The paper offers two selectors and
+    so do we: the greedy rule, and the optimal bottleneck rule (binary
+    search over the threshold [T] + maximum bipartite matching). *)
+
+type edge = {
+  left : int;  (** source replica index, 0 … ε *)
+  right : int;  (** destination replica index, 0 … ε *)
+  weight : float;
+  forced : bool;
+      (** [true] iff this is the unique admissible edge of its left node
+          (the intra-processor case). *)
+}
+
+exception Infeasible of string
+(** Raised when no one-to-one selection exists (cannot happen for graphs
+    built by the MC-FTSA construction; the selector still defends). *)
+
+val greedy : eps:int -> edge list -> (int * int) list
+(** The paper's greedy rule: retain every forced edge first, then scan
+    the remaining edges in non-decreasing weight order, keeping an edge
+    whenever it saturates a new left and a new right node.  Returns the
+    [(left, right)] pairs.  O(E log E). *)
+
+val bottleneck : eps:int -> edge list -> (int * int) list
+(** Optimal bottleneck selection: the one-to-one set minimizing the
+    largest selected weight, via binary search on the sorted distinct
+    weights with a Hopcroft–Karp feasibility test per probe (the
+    polynomial algorithm sketched in §4.2). *)
+
+val bottleneck_value : eps:int -> edge list -> float
+(** The minimal achievable largest weight (the optimum certified by
+    {!bottleneck}). *)
+
+val max_weight : edge list -> (int * int) list -> float
+(** Largest weight among the chosen pairs — for comparing selectors. *)
+
+val redundant : eps:int -> senders:int -> edge list -> (int * int) list
+(** Extension beyond the paper: a greedy one-to-one selection augmented
+    so that every destination replica receives from [senders] distinct
+    source replicas (clamped to [1 … ε+1]).  [senders = 1] is the paper's
+    MC-FTSA; [senders = ε+1] restores FTSA's full fan-in.  Extra senders
+    are the cheapest non-forced candidates, so colocated sources still
+    feed only their own processor (the forced-internal rule is
+    preserved).  Message count: at most [(ε+1)·senders] per DAG edge. *)

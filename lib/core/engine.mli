@@ -1,0 +1,45 @@
+(** The list-scheduling engine shared by FTSA and MC-FTSA.
+
+    One pass of Algorithm 4.1: maintain the AVL-backed priority list [α]
+    of free tasks keyed by criticalness [tℓ(t) + bℓ(t)], repeatedly pop
+    the critical task, evaluate its finish time on every processor with
+    equation (1), keep the [ε+1] best processors, and commit the replicas.
+    In minimum-communication mode, the commit step additionally runs the
+    robust edge selection of §4.2 per incoming DAG edge and re-times the
+    replicas against their single selected sender.
+
+    This module is the implementation substrate; user-facing entry points
+    are {!Ftsa}, {!Mc_ftsa} and {!Bicriteria}. *)
+
+type edge_strategy =
+  | Greedy_edges  (** the paper's greedy rule *)
+  | Bottleneck_edges  (** optimal bottleneck matching *)
+  | Redundant_edges of int
+      (** extension: greedy selection widened to that many senders per
+          destination replica (see {!Edge_select.redundant}) *)
+
+type mode =
+  | All_to_all_comm  (** plain FTSA: replicas broadcast to all successors *)
+  | Min_comm of edge_strategy  (** MC-FTSA *)
+
+type deadline_failure = {
+  task : Ftsched_dag.Dag.task;
+  deadline : float;
+  finish : float;  (** the best achievable [max over chosen procs F(t,P)] *)
+}
+(** Witness that the dual-fixed bicriteria test of §4.3 failed: scheduling
+    [task] could not meet its deadline. *)
+
+val run :
+  rng:Ftsched_util.Rng.t ->
+  instance:Ftsched_model.Instance.t ->
+  eps:int ->
+  mode:mode ->
+  ?deadlines:float array ->
+  unit ->
+  (Ftsched_schedule.Schedule.t, deadline_failure) result
+(** [run ~rng ~instance ~eps ~mode ()] schedules the whole DAG.
+    [eps] must satisfy [0 ≤ eps < m].  With [?deadlines] (one per task),
+    the per-step feasibility check of §4.3 is enabled and the first missed
+    deadline aborts the run.  [rng] drives only priority tie-breaking.
+    Raises [Invalid_argument] on malformed parameters. *)

@@ -1,0 +1,23 @@
+(** FTSA — the Fault Tolerant Scheduling Algorithm (Algorithm 4.1).
+
+    Maps every task of the DAG onto [ε+1] distinct processors using active
+    replication so that the schedule tolerates any [ε] fail-silent
+    processor failures (Theorem 4.1), while greedily minimizing latency:
+    the critical free task (largest [tℓ + bℓ]) is repeatedly placed on the
+    [ε+1] processors minimizing its equation-(1) finish time.
+
+    Complexity: O(e·m² + v·log ω) as established by Theorem 4.2. *)
+
+val schedule :
+  ?seed:int ->
+  ?rng:Ftsched_util.Rng.t ->
+  Ftsched_model.Instance.t ->
+  eps:int ->
+  Ftsched_schedule.Schedule.t
+(** [schedule inst ~eps] runs FTSA.  [eps = 0] yields the fault-free
+    (replication-less) variant used as the baseline in the figures.
+    Randomness ([?rng], or [?seed], default 0) only breaks priority ties.
+    Raises [Invalid_argument] unless [0 ≤ eps < m]. *)
+
+val fault_free : ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
+(** [fault_free inst] is [schedule inst ~eps:0]. *)

@@ -1,0 +1,17 @@
+module Rng = Ftsched_util.Rng
+
+type strategy = Greedy | Bottleneck | Redundant of int
+
+let schedule ?(seed = 0) ?rng ?(strategy = Greedy) inst ~eps =
+  let rng = match rng with Some r -> r | None -> Rng.create ~seed in
+  let edge_strategy =
+    match strategy with
+    | Greedy -> Engine.Greedy_edges
+    | Bottleneck -> Engine.Bottleneck_edges
+    | Redundant senders -> Engine.Redundant_edges senders
+  in
+  match
+    Engine.run ~rng ~instance:inst ~eps ~mode:(Engine.Min_comm edge_strategy) ()
+  with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -1,0 +1,161 @@
+type task = int
+type edge = int
+
+type t = {
+  labels : string array;
+  edge_src : int array;
+  edge_dst : int array;
+  edge_vol : float array;
+  out_edges : edge list array;  (* per task, in insertion order *)
+  in_edges : edge list array;
+  topo : task array;
+}
+
+let n_tasks t = Array.length t.labels
+let n_edges t = Array.length t.edge_src
+
+let label t i = t.labels.(i)
+
+let out_edges t i = t.out_edges.(i)
+let in_edges t i = t.in_edges.(i)
+
+let edge_endpoints t e = (t.edge_src.(e), t.edge_dst.(e))
+let edge_volume t e = t.edge_vol.(e)
+
+let succs t i =
+  List.map (fun e -> (t.edge_dst.(e), t.edge_vol.(e))) t.out_edges.(i)
+
+let preds t i =
+  List.map (fun e -> (t.edge_src.(e), t.edge_vol.(e))) t.in_edges.(i)
+
+let out_degree t i = List.length t.out_edges.(i)
+let in_degree t i = List.length t.in_edges.(i)
+
+let entries t =
+  let acc = ref [] in
+  for i = n_tasks t - 1 downto 0 do
+    if t.in_edges.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let exits t =
+  let acc = ref [] in
+  for i = n_tasks t - 1 downto 0 do
+    if t.out_edges.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let find_edge t ~src ~dst =
+  List.find_opt (fun e -> t.edge_dst.(e) = dst) t.out_edges.(src)
+
+let iter_edges t f =
+  for e = 0 to n_edges t - 1 do
+    f e ~src:t.edge_src.(e) ~dst:t.edge_dst.(e) ~volume:t.edge_vol.(e)
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun e ~src ~dst ~volume -> acc := f !acc e ~src ~dst ~volume);
+  !acc
+
+let total_volume t = Array.fold_left ( +. ) 0. t.edge_vol
+
+let topological_order t = Array.copy t.topo
+
+let pp ppf t =
+  Format.fprintf ppf "dag{v=%d; e=%d; entries=%d; exits=%d}" (n_tasks t)
+    (n_edges t)
+    (List.length (entries t))
+    (List.length (exits t))
+
+(* Kahn's algorithm with a FIFO queue: deterministic order, and detects
+   cycles (fewer than n tasks emitted). *)
+let kahn_topo ~n ~out_edges ~edge_dst ~in_degree =
+  let indeg = Array.copy in_degree in
+  let q = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i q
+  done;
+  let order = Array.make n (-1) in
+  let filled = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order.(!filled) <- u;
+    incr filled;
+    List.iter
+      (fun e ->
+        let v = edge_dst.(e) in
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      out_edges.(u)
+  done;
+  if !filled < n then None else Some order
+
+module Builder = struct
+  type built = t
+
+  type t = {
+    mutable labels_rev : string list;
+    mutable count : int;
+    mutable edges_rev : (int * int * float) list;
+    mutable edge_count : int;
+    edge_set : (int * int, unit) Hashtbl.t;
+  }
+
+  let create ?(expected_tasks = 64) () =
+    {
+      labels_rev = [];
+      count = 0;
+      edges_rev = [];
+      edge_count = 0;
+      edge_set = Hashtbl.create (4 * expected_tasks);
+    }
+
+  let add_task ?label b =
+    let id = b.count in
+    let label = match label with Some l -> l | None -> Printf.sprintf "t%d" id in
+    b.labels_rev <- label :: b.labels_rev;
+    b.count <- id + 1;
+    id
+
+  let add_edge b ~src ~dst ~volume =
+    if src < 0 || src >= b.count then invalid_arg "Dag.Builder.add_edge: src";
+    if dst < 0 || dst >= b.count then invalid_arg "Dag.Builder.add_edge: dst";
+    if src = dst then invalid_arg "Dag.Builder.add_edge: self loop";
+    if volume < 0. || not (Float.is_finite volume) then
+      invalid_arg "Dag.Builder.add_edge: volume";
+    if Hashtbl.mem b.edge_set (src, dst) then
+      invalid_arg "Dag.Builder.add_edge: duplicate edge";
+    Hashtbl.add b.edge_set (src, dst) ();
+    b.edges_rev <- (src, dst, volume) :: b.edges_rev;
+    b.edge_count <- b.edge_count + 1
+
+  let build b : built =
+    let n = b.count in
+    let labels = Array.of_list (List.rev b.labels_rev) in
+    let m = b.edge_count in
+    let edge_src = Array.make m 0 in
+    let edge_dst = Array.make m 0 in
+    let edge_vol = Array.make m 0. in
+    let out_edges = Array.make n [] in
+    let in_edges = Array.make n [] in
+    let in_degree = Array.make n 0 in
+    (* edges_rev is reversed insertion order; walking it backwards restores
+       insertion order while consing keeps adjacency lists ordered too. *)
+    List.iteri
+      (fun i (src, dst, vol) ->
+        let e = m - 1 - i in
+        edge_src.(e) <- src;
+        edge_dst.(e) <- dst;
+        edge_vol.(e) <- vol)
+      b.edges_rev;
+    for e = m - 1 downto 0 do
+      out_edges.(edge_src.(e)) <- e :: out_edges.(edge_src.(e));
+      in_edges.(edge_dst.(e)) <- e :: in_edges.(edge_dst.(e));
+      in_degree.(edge_dst.(e)) <- in_degree.(edge_dst.(e)) + 1
+    done;
+    match kahn_topo ~n ~out_edges ~edge_dst ~in_degree with
+    | None -> invalid_arg "Dag.Builder.build: graph has a cycle"
+    | Some topo ->
+        { labels; edge_src; edge_dst; edge_vol; out_edges; in_edges; topo }
+end

@@ -1,0 +1,82 @@
+(** Weighted directed acyclic task graphs.
+
+    The application model of the paper: [G = (V, E)] where nodes are tasks
+    and every edge [(ti, tj)] carries the volume [V(ti,tj)] of data that
+    [ti] must send to [tj].  Execution costs live on the platform side
+    ([Ftsched_platform]) because they are per (task, processor).
+
+    Tasks are dense integers [0 .. n_tasks-1]; edges are dense integers
+    [0 .. n_edges-1] so that schedules and communication plans can use flat
+    arrays indexed by edge id.  Values of type [t] are immutable; use
+    {!Builder} to construct them. *)
+
+type task = int
+type edge = int
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type dag := t
+  type t
+
+  val create : ?expected_tasks:int -> unit -> t
+
+  val add_task : ?label:string -> t -> task
+  (** Adds a task and returns its id (ids are allocated consecutively from
+      0).  The optional [label] is kept for rendering only. *)
+
+  val add_edge : t -> src:task -> dst:task -> volume:float -> unit
+  (** Declares the precedence [src → dst] with data volume [volume ≥ 0].
+      Raises [Invalid_argument] on unknown endpoints, negative volume,
+      self-loops, or duplicate edges. *)
+
+  val build : t -> dag
+  (** Freezes the builder.  Raises [Invalid_argument] if the edge relation
+      has a cycle. *)
+end
+
+(** {1 Accessors} *)
+
+val n_tasks : t -> int
+val n_edges : t -> int
+
+val label : t -> task -> string
+(** The task's label; defaults to ["t<i>"]. *)
+
+val succs : t -> task -> (task * float) list
+(** Immediate successors [Γ⁺(t)] with edge volumes. *)
+
+val preds : t -> task -> (task * float) list
+(** Immediate predecessors [Γ⁻(t)] with edge volumes. *)
+
+val out_degree : t -> task -> int
+val in_degree : t -> task -> int
+
+val entries : t -> task list
+(** Tasks without predecessors. *)
+
+val exits : t -> task list
+(** Tasks without successors. *)
+
+val edge_endpoints : t -> edge -> task * task
+val edge_volume : t -> edge -> float
+
+val find_edge : t -> src:task -> dst:task -> edge option
+
+val out_edges : t -> task -> edge list
+val in_edges : t -> task -> edge list
+
+val iter_edges : t -> (edge -> src:task -> dst:task -> volume:float -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> src:task -> dst:task -> volume:float -> 'a) -> 'a
+
+val total_volume : t -> float
+(** Sum of all edge volumes. *)
+
+val topological_order : t -> task array
+(** A fixed topological order computed at build time (Kahn's algorithm with
+    a FIFO tie-break, hence deterministic). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact human-readable summary (sizes, entries, exits). *)

@@ -1,0 +1,34 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(name = "dag") ?(task_attr = fun _ -> []) ?(show_volumes = true) g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for i = 0 to Dag.n_tasks g - 1 do
+    let attrs =
+      ("label", Dag.label g i) :: task_attr i
+      |> List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v))
+      |> String.concat ", "
+    in
+    Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" i attrs)
+  done;
+  Dag.iter_edges g (fun _e ~src ~dst ~volume ->
+      if show_volumes then
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%.3g\"];\n" src dst volume)
+      else Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src dst));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?name ?show_volumes g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?show_volumes g))

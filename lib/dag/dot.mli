@@ -1,0 +1,16 @@
+(** Graphviz export of task graphs and schedules' task-level views.
+
+    Debugging a scheduler without looking at the graph is miserable; the
+    CLI's [gen --dot] and the examples write these files. *)
+
+val to_dot :
+  ?name:string ->
+  ?task_attr:(Dag.task -> (string * string) list) ->
+  ?show_volumes:bool ->
+  Dag.t ->
+  string
+(** [to_dot g] renders [g] in DOT syntax.  [task_attr] can attach extra
+    node attributes (e.g. a color per assigned processor);
+    [show_volumes] (default true) labels edges with their volumes. *)
+
+val save : ?name:string -> ?show_volumes:bool -> Dag.t -> path:string -> unit

@@ -1,0 +1,203 @@
+module Rng = Ftsched_util.Rng
+
+type volume_spec =
+  | Constant_volume of float
+  | Uniform_volume of float * float
+
+let draw_volume rng = function
+  | Constant_volume v -> v
+  | Uniform_volume (lo, hi) -> Rng.float_in rng lo hi
+
+let default_volume = Uniform_volume (50., 150.)
+
+let layered rng ~n_tasks ?(fatness = 0.5) ?(density = 0.35)
+    ?(volume = default_volume) () =
+  assert (n_tasks > 0);
+  let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+  (* Partition tasks into levels whose sizes fluctuate around
+     [fatness * 2 * sqrt n]. *)
+  let mean_width =
+    Float.max 1. (fatness *. 2. *. sqrt (float_of_int n_tasks))
+  in
+  let levels = ref [] in
+  let remaining = ref n_tasks in
+  while !remaining > 0 do
+    let w =
+      let lo = Float.max 1. (mean_width /. 2.) in
+      let hi = mean_width *. 1.5 in
+      int_of_float (Float.round (Rng.float_in rng lo hi))
+    in
+    let w = max 1 (min w !remaining) in
+    (* The first level must not swallow the whole graph: a one-level DAG
+       has no edges, breaking the documented connectivity guarantee. *)
+    let w =
+      if !remaining = n_tasks && n_tasks >= 2 then min w (n_tasks - 1) else w
+    in
+    let tasks = Array.init w (fun _ -> Dag.Builder.add_task b) in
+    levels := tasks :: !levels;
+    remaining := !remaining - w
+  done;
+  let levels = Array.of_list (List.rev !levels) in
+  let n_levels = Array.length levels in
+  let vol () = draw_volume rng volume in
+  (* Edges look back up to [window] levels; the probability halves per
+     extra level of distance so most edges are between adjacent levels. *)
+  let window = 3 in
+  for l = 1 to n_levels - 1 do
+    Array.iter
+      (fun dst ->
+        let got_pred = ref false in
+        for back = 1 to min window l do
+          let p = density /. float_of_int back in
+          Array.iter
+            (fun src ->
+              if Rng.bernoulli rng p then begin
+                Dag.Builder.add_edge b ~src ~dst ~volume:(vol ());
+                got_pred := true
+              end)
+            levels.(l - back)
+        done;
+        if not !got_pred then begin
+          let src = Rng.pick rng levels.(l - 1) in
+          Dag.Builder.add_edge b ~src ~dst ~volume:(vol ())
+        end)
+      levels.(l)
+  done;
+  (* Guarantee each non-final-level task a successor so exits stay few. *)
+  let rebuild dag extra =
+    let b' = Dag.Builder.create ~expected_tasks:n_tasks () in
+    for i = 0 to n_tasks - 1 do
+      ignore (Dag.Builder.add_task ~label:(Dag.label dag i) b')
+    done;
+    Dag.iter_edges dag (fun _e ~src ~dst ~volume ->
+        Dag.Builder.add_edge b' ~src ~dst ~volume);
+    List.iter (fun (src, dst) -> Dag.Builder.add_edge b' ~src ~dst ~volume:(vol ())) extra;
+    Dag.Builder.build b'
+  in
+  let dag_so_far = Dag.Builder.build b in
+  let succ_repairs = ref [] in
+  for l = 0 to n_levels - 2 do
+    Array.iter
+      (fun src ->
+        if Dag.out_degree dag_so_far src = 0 then
+          succ_repairs := (src, Rng.pick rng levels.(l + 1)) :: !succ_repairs)
+      levels.(l)
+  done;
+  let dag2 = rebuild dag_so_far !succ_repairs in
+  (* Adjacent levels can still partition the graph into parallel strands;
+     anchor every secondary weak component to the main one.  Each
+     component contains a level-0 task (predecessor guarantee) and hence
+     a level-1 task (successor guarantee), so a link from a level-0 task
+     of the main component into a level-1 task of the stray component
+     always exists and is always new. *)
+  if n_levels < 2 then dag2
+  else begin
+    let comp = Array.make n_tasks (-1) in
+    let rec flood c t =
+      if comp.(t) = -1 then begin
+        comp.(t) <- c;
+        List.iter (fun (u, _) -> flood c u) (Dag.preds dag2 t);
+        List.iter (fun (u, _) -> flood c u) (Dag.succs dag2 t)
+      end
+    in
+    let n_comp = ref 0 in
+    for t = 0 to n_tasks - 1 do
+      if comp.(t) = -1 then begin
+        flood !n_comp t;
+        incr n_comp
+      end
+    done;
+    if !n_comp = 1 then dag2
+    else begin
+      let main = comp.(levels.(0).(0)) in
+      let links = ref [] in
+      let seen = Hashtbl.create 8 in
+      (* Scan levels upward: the first task of a stray component at level
+         >= 1 becomes its anchor point. *)
+      for l = 1 to n_levels - 1 do
+        Array.iter
+          (fun t ->
+            let c = comp.(t) in
+            if c <> main && not (Hashtbl.mem seen c) then begin
+              Hashtbl.add seen c ();
+              links := (levels.(0).(0), t) :: !links
+            end)
+          levels.(l)
+      done;
+      rebuild dag2 !links
+    end
+  end
+
+let erdos_renyi rng ~n_tasks ~edge_prob ?(volume = default_volume) () =
+  assert (n_tasks > 0 && edge_prob >= 0. && edge_prob <= 1.);
+  let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+  let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
+  let order = Array.copy ids in
+  Rng.shuffle rng order;
+  for i = 0 to n_tasks - 1 do
+    for j = i + 1 to n_tasks - 1 do
+      if Rng.bernoulli rng edge_prob then
+        Dag.Builder.add_edge b ~src:order.(i) ~dst:order.(j)
+          ~volume:(draw_volume rng volume)
+    done
+  done;
+  Dag.Builder.build b
+
+let fork_join rng ~stages ~width ?(volume = default_volume) () =
+  assert (stages > 0 && width > 0);
+  let b = Dag.Builder.create () in
+  let vol () = draw_volume rng volume in
+  let first_fork = Dag.Builder.add_task ~label:"fork0" b in
+  let prev_join = ref first_fork in
+  for s = 0 to stages - 1 do
+    let fork =
+      if s = 0 then first_fork
+      else begin
+        let f = Dag.Builder.add_task ~label:(Printf.sprintf "fork%d" s) b in
+        Dag.Builder.add_edge b ~src:!prev_join ~dst:f ~volume:(vol ());
+        f
+      end
+    in
+    let join = Dag.Builder.add_task ~label:(Printf.sprintf "join%d" s) b in
+    for w = 0 to width - 1 do
+      let mid =
+        Dag.Builder.add_task ~label:(Printf.sprintf "s%dw%d" s w) b
+      in
+      Dag.Builder.add_edge b ~src:fork ~dst:mid ~volume:(vol ());
+      Dag.Builder.add_edge b ~src:mid ~dst:join ~volume:(vol ())
+    done;
+    prev_join := join
+  done;
+  Dag.Builder.build b
+
+let random_out_tree rng ~n_tasks ~max_children ?(volume = default_volume) () =
+  assert (n_tasks > 0 && max_children > 0);
+  let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+  let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
+  let child_count = Array.make n_tasks 0 in
+  for i = 1 to n_tasks - 1 do
+    (* Parent chosen among earlier tasks that still have a child slot. *)
+    let rec choose () =
+      let p = Rng.int rng i in
+      if child_count.(p) < max_children then p else choose ()
+    in
+    let parent =
+      if Array.exists (fun c -> c < max_children) (Array.sub child_count 0 i)
+      then choose ()
+      else i - 1
+    in
+    child_count.(parent) <- child_count.(parent) + 1;
+    Dag.Builder.add_edge b ~src:ids.(parent) ~dst:ids.(i)
+      ~volume:(draw_volume rng volume)
+  done;
+  Dag.Builder.build b
+
+let chain rng ~n_tasks ?(volume = default_volume) () =
+  assert (n_tasks > 0);
+  let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+  let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
+  for i = 0 to n_tasks - 2 do
+    Dag.Builder.add_edge b ~src:ids.(i) ~dst:ids.(i + 1)
+      ~volume:(draw_volume rng volume)
+  done;
+  Dag.Builder.build b

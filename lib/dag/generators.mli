@@ -1,0 +1,73 @@
+(** Random task-graph generators.
+
+    The paper evaluates on "randomly generated graphs, whose parameters are
+    consistent with those used in the literature": 100–150 tasks, and a
+    granularity knob.  The layered generator here is the standard
+    level-by-level construction used by that literature (each task sits on
+    a level; edges point from lower to higher levels), which produces DAGs
+    with controllable parallelism and guaranteed entry/exit structure.
+
+    All generators draw exclusively from the supplied {!Ftsched_util.Rng.t},
+    so a seed pins the whole workload. *)
+
+type volume_spec =
+  | Constant_volume of float
+  | Uniform_volume of float * float
+      (** inclusive-exclusive uniform range, e.g. the paper's [50, 150). *)
+
+val draw_volume : Ftsched_util.Rng.t -> volume_spec -> float
+
+val layered :
+  Ftsched_util.Rng.t ->
+  n_tasks:int ->
+  ?fatness:float ->
+  ?density:float ->
+  ?volume:volume_spec ->
+  unit ->
+  Dag.t
+(** [layered rng ~n_tasks ()] builds a random layered DAG.
+
+    [fatness] (default 0.5) controls the shape: the mean number of tasks
+    per level is [fatness *. sqrt n_tasks *. 2.], so small values give
+    deep, chain-like graphs and large values give wide, parallel graphs.
+
+    [density] (default 0.35) is the probability of an edge between a task
+    and each candidate predecessor on the previous few levels.  Every task
+    beyond level 0 receives at least one predecessor, and every task below
+    the last level at least one successor, so the graph is weakly connected
+    with single-digit entry/exit counts, like the benchmark graphs in the
+    scheduling literature. *)
+
+val erdos_renyi :
+  Ftsched_util.Rng.t ->
+  n_tasks:int ->
+  edge_prob:float ->
+  ?volume:volume_spec ->
+  unit ->
+  Dag.t
+(** Random DAG: pick a random permutation as topological order and keep
+    each forward pair as an edge with probability [edge_prob].  Useful for
+    property tests (uncorrelated structure), not for the paper's sweeps. *)
+
+val fork_join :
+  Ftsched_util.Rng.t ->
+  stages:int ->
+  width:int ->
+  ?volume:volume_spec ->
+  unit ->
+  Dag.t
+(** [stages] sequential fork–join diamonds of [width] parallel tasks each:
+    fork → w parallel tasks → join → fork → …  A common kernel shape. *)
+
+val random_out_tree :
+  Ftsched_util.Rng.t ->
+  n_tasks:int ->
+  max_children:int ->
+  ?volume:volume_spec ->
+  unit ->
+  Dag.t
+(** Random rooted out-tree (every non-root has exactly one predecessor). *)
+
+val chain :
+  Ftsched_util.Rng.t -> n_tasks:int -> ?volume:volume_spec -> unit -> Dag.t
+(** A simple linear chain — the degenerate fully sequential workload. *)

@@ -1,0 +1,141 @@
+let depth g =
+  let n = Dag.n_tasks g in
+  let d = Array.make n 0 in
+  let topo = Dag.topological_order g in
+  Array.iter
+    (fun u ->
+      List.iter
+        (fun (v, _vol) -> if d.(u) + 1 > d.(v) then d.(v) <- d.(u) + 1)
+        (Dag.succs g u))
+    topo;
+  d
+
+let height g =
+  let n = Dag.n_tasks g in
+  if n = 0 then 0 else 1 + Array.fold_left max 0 (depth g)
+
+let level_sizes g =
+  let d = depth g in
+  let h = height g in
+  let sizes = Array.make (max h 1) 0 in
+  Array.iter (fun lvl -> sizes.(lvl) <- sizes.(lvl) + 1) d;
+  if Dag.n_tasks g = 0 then [||] else sizes
+
+let width_upper_bound g =
+  (* Simulate the scheduling loop's free set: a task becomes free when its
+     last predecessor is consumed; peak |free| bounds |α|. *)
+  let n = Dag.n_tasks g in
+  let remaining = Array.init n (fun i -> Dag.in_degree g i) in
+  let free = ref 0 and peak = ref 0 in
+  for i = 0 to n - 1 do
+    if remaining.(i) = 0 then incr free
+  done;
+  peak := !free;
+  let topo = Dag.topological_order g in
+  Array.iter
+    (fun u ->
+      decr free;
+      List.iter
+        (fun (v, _) ->
+          remaining.(v) <- remaining.(v) - 1;
+          if remaining.(v) = 0 then incr free)
+        (Dag.succs g u);
+      if !free > !peak then peak := !free)
+    topo;
+  !peak
+
+(* Longest path via one pass over a topological order; [best.(u)] is the
+   heaviest path ending at [u] (inclusive of u's node weight). *)
+let longest_path_table g ~node_weight ~edge_weight =
+  let n = Dag.n_tasks g in
+  let best = Array.make n neg_infinity in
+  let from = Array.make n (-1) in
+  let topo = Dag.topological_order g in
+  Array.iter
+    (fun u ->
+      if best.(u) = neg_infinity then best.(u) <- node_weight u;
+      List.iter
+        (fun e ->
+          let _, v = Dag.edge_endpoints g e in
+          let cand = best.(u) +. edge_weight e +. node_weight v in
+          if cand > best.(v) then begin
+            best.(v) <- cand;
+            from.(v) <- u
+          end)
+        (Dag.out_edges g u))
+    topo;
+  (best, from)
+
+let longest_path g ~node_weight ~edge_weight =
+  if Dag.n_tasks g = 0 then 0.
+  else begin
+    let best, _ = longest_path_table g ~node_weight ~edge_weight in
+    Array.fold_left Float.max neg_infinity best
+  end
+
+let critical_path_tasks g ~node_weight ~edge_weight =
+  if Dag.n_tasks g = 0 then []
+  else begin
+    let best, from = longest_path_table g ~node_weight ~edge_weight in
+    let last = ref 0 in
+    for i = 1 to Dag.n_tasks g - 1 do
+      if best.(i) > best.(!last) then last := i
+    done;
+    let rec walk u acc = if u = -1 then acc else walk from.(u) (u :: acc) in
+    walk !last []
+  end
+
+let is_connected_undirected g =
+  let n = Dag.n_tasks g in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let stack = Stack.create () in
+    Stack.push 0 stack;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Stack.is_empty stack) do
+      let u = Stack.pop stack in
+      let visit (v, _) =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          incr visited;
+          Stack.push v stack
+        end
+      in
+      List.iter visit (Dag.succs g u);
+      List.iter visit (Dag.preds g u)
+    done;
+    !visited = n
+  end
+
+let transitive_edge_count g =
+  let n = Dag.n_tasks g in
+  let words = (n + 62) / 63 in
+  (* reach.(u) is a bitset of tasks reachable from u (excluding u). *)
+  let reach = Array.init n (fun _ -> Array.make words 0) in
+  let set bs i = bs.(i / 63) <- bs.(i / 63) lor (1 lsl (i mod 63)) in
+  let get bs i = bs.(i / 63) land (1 lsl (i mod 63)) <> 0 in
+  let union dst src =
+    for w = 0 to words - 1 do
+      dst.(w) <- dst.(w) lor src.(w)
+    done
+  in
+  let topo = Dag.topological_order g in
+  for i = Array.length topo - 1 downto 0 do
+    let u = topo.(i) in
+    List.iter
+      (fun (v, _) ->
+        set reach.(u) v;
+        union reach.(u) reach.(v))
+      (Dag.succs g u)
+  done;
+  Dag.fold_edges g ~init:0 ~f:(fun acc _e ~src ~dst ~volume:_ ->
+      (* (src,dst) is transitive iff dst is reachable from some other
+         successor of src. *)
+      let redundant =
+        List.exists
+          (fun (w, _) -> w <> dst && get reach.(w) dst)
+          (Dag.succs g src)
+      in
+      if redundant then acc + 1 else acc)

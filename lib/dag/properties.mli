@@ -1,0 +1,42 @@
+(** Structural measures of a task graph.
+
+    These feed the scheduler (bottom levels need longest paths), the
+    complexity analysis (the paper bounds the free list by the width ω),
+    and the workload generator (granularity targets need the slowest
+    computation/communication sums of §2). *)
+
+val depth : Dag.t -> int array
+(** [depth g] assigns to each task the length (in edges) of the longest
+    path from any entry task to it; entries have depth 0. *)
+
+val height : Dag.t -> int
+(** Number of levels: [1 + max depth] (0 for the empty graph). *)
+
+val level_sizes : Dag.t -> int array
+(** [level_sizes g] counts tasks per depth level. *)
+
+val width_upper_bound : Dag.t -> int
+(** An upper bound on the width ω (the maximum antichain).  We return the
+    peak number of simultaneously free tasks over a topological sweep,
+    which is exactly the bound that matters for the size of the priority
+    list α in Algorithm 4.1. *)
+
+val longest_path :
+  Dag.t -> node_weight:(Dag.task -> float) -> edge_weight:(Dag.edge -> float) -> float
+(** Length of the heaviest path: sum of node weights of the path's tasks
+    plus edge weights of its edges, maximized over all paths.  This is the
+    generic critical-path computation used for bottom levels and for
+    latency normalization. *)
+
+val critical_path_tasks :
+  Dag.t -> node_weight:(Dag.task -> float) -> edge_weight:(Dag.edge -> float) -> Dag.task list
+(** Tasks of one heaviest path, in precedence order. *)
+
+val is_connected_undirected : Dag.t -> bool
+(** Whether the underlying undirected graph is connected (generators use
+    this to decide when to add linking edges). *)
+
+val transitive_edge_count : Dag.t -> int
+(** Number of edges [(u,v)] such that some other [u → … → v] path exists;
+    a cheap redundancy diagnostic for generated graphs (O(v·e) bitset
+    reachability — fine for experiment sizes). *)

@@ -1,0 +1,27 @@
+(** Import/export of the Standard Task Graph Set (STG) format.
+
+    STG (Kasahara & Narita's benchmark suite) is the de-facto interchange
+    format for precedence task graphs: one line per task with a
+    computation cost and the list of immediate predecessors.  The format
+    carries node costs but no edge volumes, so:
+
+    - {!parse} returns the DAG plus the per-task costs; edge volumes are
+      synthesized with [edge_volume] (default 1.0) — rescale with
+      {!Ftsched_model.Granularity.scale_to} afterwards;
+    - {!to_string} needs the costs to emit and drops edge volumes.
+
+    Grammar accepted: blank lines and [#]-comments anywhere; first data
+    line is the task count [n]; then [n] lines
+    [<id> <cost> <npred> <pred> …] with ids [0 … n-1] in order. *)
+
+val parse : ?edge_volume:float -> string -> Dag.t * float array
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_string : Dag.t -> costs:float array -> string
+
+val load : ?edge_volume:float -> string -> Dag.t * float array
+val save : Dag.t -> costs:float array -> path:string -> unit
+
+(** To schedule an imported graph, lift the homogeneous costs to an
+    unrelated-machines matrix with
+    {!Ftsched_model.Instance.of_task_costs}. *)

@@ -1,0 +1,158 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type key = Ord.t
+
+  type 'a t =
+    | Leaf
+    | Node of { l : 'a t; k : key; v : 'a; r : 'a t; h : int; n : int }
+
+  let empty = Leaf
+  let is_empty t = t = Leaf
+
+  let height = function Leaf -> 0 | Node { h; _ } -> h
+  let cardinal = function Leaf -> 0 | Node { n; _ } -> n
+
+  let mk l k v r =
+    let h = 1 + max (height l) (height r) in
+    let n = 1 + cardinal l + cardinal r in
+    Node { l; k; v; r; h; n }
+
+  (* [balance l k v r] builds a balanced node assuming [l] and [r] are valid
+     AVLs whose heights differ by at most 2 (the situation after one
+     insertion or deletion). *)
+  let balance l k v r =
+    let hl = height l and hr = height r in
+    if hl > hr + 1 then begin
+      match l with
+      | Leaf -> assert false
+      | Node { l = ll; k = lk; v = lv; r = lr; _ } ->
+          if height ll >= height lr then mk ll lk lv (mk lr k v r)
+          else begin
+            match lr with
+            | Leaf -> assert false
+            | Node { l = lrl; k = lrk; v = lrv; r = lrr; _ } ->
+                mk (mk ll lk lv lrl) lrk lrv (mk lrr k v r)
+          end
+    end
+    else if hr > hl + 1 then begin
+      match r with
+      | Leaf -> assert false
+      | Node { l = rl; k = rk; v = rv; r = rr; _ } ->
+          if height rr >= height rl then mk (mk l k v rl) rk rv rr
+          else begin
+            match rl with
+            | Leaf -> assert false
+            | Node { l = rll; k = rlk; v = rlv; r = rlr; _ } ->
+                mk (mk l k v rll) rlk rlv (mk rlr rk rv rr)
+          end
+    end
+    else mk l k v r
+
+  let rec add k v = function
+    | Leaf -> mk Leaf k v Leaf
+    | Node { l; k = k'; v = v'; r; _ } ->
+        let c = Ord.compare k k' in
+        if c = 0 then mk l k v r
+        else if c < 0 then balance (add k v l) k' v' r
+        else balance l k' v' (add k v r)
+
+  let rec pop_min_exn = function
+    | Leaf -> invalid_arg "Avl.pop_min_exn: empty"
+    | Node { l = Leaf; k; v; r; _ } -> (k, v, r)
+    | Node { l; k; v; r; _ } ->
+        let mk', mv', l' = pop_min_exn l in
+        (mk', mv', balance l' k v r)
+
+  let rec remove k = function
+    | Leaf -> Leaf
+    | Node { l; k = k'; v = v'; r; _ } ->
+        let c = Ord.compare k k' in
+        if c < 0 then balance (remove k l) k' v' r
+        else if c > 0 then balance l k' v' (remove k r)
+        else begin
+          match (l, r) with
+          | Leaf, _ -> r
+          | _, Leaf -> l
+          | _ ->
+              let sk, sv, r' = pop_min_exn r in
+              balance l sk sv r'
+        end
+
+  let rec find_opt k = function
+    | Leaf -> None
+    | Node { l; k = k'; v; r; _ } ->
+        let c = Ord.compare k k' in
+        if c = 0 then Some v else if c < 0 then find_opt k l else find_opt k r
+
+  let mem k t = find_opt k t <> None
+
+  let rec min_binding_opt = function
+    | Leaf -> None
+    | Node { l = Leaf; k; v; _ } -> Some (k, v)
+    | Node { l; _ } -> min_binding_opt l
+
+  let rec max_binding_opt = function
+    | Leaf -> None
+    | Node { r = Leaf; k; v; _ } -> Some (k, v)
+    | Node { r; _ } -> max_binding_opt r
+
+  let pop_max t =
+    match max_binding_opt t with
+    | None -> None
+    | Some (k, v) -> Some (k, v, remove k t)
+
+  let pop_min t =
+    match min_binding_opt t with
+    | None -> None
+    | Some (k, v) -> Some (k, v, remove k t)
+
+  let rec fold f t acc =
+    match t with
+    | Leaf -> acc
+    | Node { l; k; v; r; _ } -> fold f r (f k v (fold f l acc))
+
+  let iter f t = fold (fun k v () -> f k v) t ()
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let of_list bindings =
+    List.fold_left (fun t (k, v) -> add k v t) empty bindings
+
+  let check_invariants t =
+    (* Verifies ordering, cached heights/sizes, and balance in one pass;
+       returns the (height, size, bounds) on success. *)
+    let rec go = function
+      | Leaf -> Some (0, 0, None)
+      | Node { l; k; v = _; r; h; n } -> (
+          match (go l, go r) with
+          | Some (hl, nl, bl), Some (hr, nr, br) ->
+              let ordered_left =
+                match bl with
+                | None -> true
+                | Some (_, lmax) -> Ord.compare lmax k < 0
+              in
+              let ordered_right =
+                match br with
+                | None -> true
+                | Some (rmin, _) -> Ord.compare k rmin < 0
+              in
+              if
+                ordered_left && ordered_right
+                && h = 1 + max hl hr
+                && n = 1 + nl + nr
+                && abs (hl - hr) <= 1
+              then begin
+                let lo = match bl with None -> k | Some (lmin, _) -> lmin in
+                let hi = match br with None -> k | Some (_, rmax) -> rmax in
+                Some (h, n, Some (lo, hi))
+              end
+              else None
+          | _ -> None)
+    in
+    go t <> None
+end

@@ -1,0 +1,61 @@
+(** Persistent AVL-balanced search trees.
+
+    The FTSA paper maintains the free-task priority list [α] "by using a
+    balanced search tree data structure (AVL)" so that head extraction and
+    insertion cost [O(log ω)] where [ω] bounds [|α|].  This module provides
+    that structure as a generic ordered map; the scheduler instantiates it
+    with keys [(priority, task id)] ordered so that the maximum binding is
+    the critical task.
+
+    The tree is persistent (applicative): operations return new trees and
+    never mutate, which keeps scheduler checkpointing and testing trivial. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type key = Ord.t
+  type 'a t
+
+  val empty : 'a t
+  val is_empty : 'a t -> bool
+
+  val cardinal : 'a t -> int
+  (** Number of bindings; O(1). *)
+
+  val add : key -> 'a -> 'a t -> 'a t
+  (** [add k v t] binds [k] to [v], replacing any previous binding of [k]. *)
+
+  val remove : key -> 'a t -> 'a t
+  (** [remove k t] is [t] without [k]'s binding; [t] itself if unbound. *)
+
+  val find_opt : key -> 'a t -> 'a option
+  val mem : key -> 'a t -> bool
+
+  val min_binding_opt : 'a t -> (key * 'a) option
+  val max_binding_opt : 'a t -> (key * 'a) option
+
+  val pop_max : 'a t -> (key * 'a * 'a t) option
+  (** [pop_max t] is the maximum binding together with the tree without it —
+      the head extraction [H(α)] of Algorithm 4.1. *)
+
+  val pop_min : 'a t -> (key * 'a * 'a t) option
+
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  (** In increasing key order. *)
+
+  val iter : (key -> 'a -> unit) -> 'a t -> unit
+  val to_list : 'a t -> (key * 'a) list
+  val of_list : (key * 'a) list -> 'a t
+
+  val height : 'a t -> int
+  (** Tree height; exposed for the balance property tests. *)
+
+  val check_invariants : 'a t -> bool
+  (** [true] iff the tree is a valid AVL: strictly ordered keys, accurate
+      cached heights/sizes, and every node balance factor in [-1, 1].
+      Used by the property-based tests. *)
+end

@@ -1,0 +1,76 @@
+type result = {
+  size : int;
+  match_left : int array;
+  match_right : int array;
+}
+
+let inf = max_int
+
+let max_matching ~n_left ~n_right ~adj =
+  if Array.length adj <> n_left then
+    invalid_arg "Hopcroft_karp.max_matching: adj length";
+  Array.iter
+    (List.iter (fun v ->
+         if v < 0 || v >= n_right then
+           invalid_arg "Hopcroft_karp.max_matching: neighbour out of range"))
+    adj;
+  let match_left = Array.make n_left (-1) in
+  let match_right = Array.make n_right (-1) in
+  let dist = Array.make n_left inf in
+  (* BFS layering from free left vertices; returns true if an augmenting
+     path exists. *)
+  let bfs () =
+    let q = Queue.create () in
+    for u = 0 to n_left - 1 do
+      if match_left.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u q
+      end
+      else dist.(u) <- inf
+    done;
+    let found = ref false in
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      let relax v =
+        match match_right.(v) with
+        | -1 -> found := true
+        | u' ->
+            if dist.(u') = inf then begin
+              dist.(u') <- dist.(u) + 1;
+              Queue.add u' q
+            end
+      in
+      List.iter relax adj.(u)
+    done;
+    !found
+  in
+  (* DFS along the BFS layers, flipping matched edges on success. *)
+  let rec dfs u =
+    let rec try_neighbours = function
+      | [] ->
+          dist.(u) <- inf;
+          false
+      | v :: rest ->
+          let advance =
+            match match_right.(v) with
+            | -1 -> true
+            | u' -> dist.(u') = dist.(u) + 1 && dfs u'
+          in
+          if advance then begin
+            match_left.(u) <- v;
+            match_right.(v) <- u;
+            true
+          end
+          else try_neighbours rest
+    in
+    try_neighbours adj.(u)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to n_left - 1 do
+      if match_left.(u) = -1 && dfs u then incr size
+    done
+  done;
+  { size = !size; match_left; match_right }
+
+let is_perfect_on_left r = Array.for_all (fun v -> v >= 0) r.match_left

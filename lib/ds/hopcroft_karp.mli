@@ -1,0 +1,26 @@
+(** Maximum matching in bipartite graphs (Hopcroft–Karp).
+
+    MC-FTSA's optimal communication selection (§4.2 of the paper) binary
+    searches a threshold [T] over edge weights and asks, for each candidate
+    [T], whether the bipartite replica graph restricted to edges of weight
+    [≤ T] admits a matching saturating every source replica.  That inner
+    query is a maximum-bipartite-matching problem, solved here in
+    O(E √V) by Hopcroft–Karp. *)
+
+type result = {
+  size : int;  (** number of matched pairs *)
+  match_left : int array;
+      (** [match_left.(u)] is the right vertex matched to left vertex [u],
+          or [-1] if [u] is unmatched. *)
+  match_right : int array;  (** symmetric, for right vertices. *)
+}
+
+val max_matching : n_left:int -> n_right:int -> adj:int list array -> result
+(** [max_matching ~n_left ~n_right ~adj] computes a maximum matching of the
+    bipartite graph whose left vertices are [0..n_left-1], right vertices
+    [0..n_right-1], and where [adj.(u)] lists the right neighbours of left
+    vertex [u].  Requires [Array.length adj = n_left] and all listed
+    neighbours in range. *)
+
+val is_perfect_on_left : result -> bool
+(** [true] iff every left vertex is matched. *)

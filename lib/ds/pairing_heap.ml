@@ -1,0 +1,57 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type elt = Ord.t
+  type tree = Tree of elt * tree list
+  type t = { root : tree option; size : int }
+
+  let empty = { root = None; size = 0 }
+  let is_empty t = t.root = None
+  let cardinal t = t.size
+
+  let meld a b =
+    let (Tree (xa, ca)) = a and (Tree (xb, cb)) = b in
+    if Ord.compare xa xb <= 0 then Tree (xa, b :: ca) else Tree (xb, a :: cb)
+
+  let merge a b =
+    match (a.root, b.root) with
+    | None, _ -> b
+    | _, None -> a
+    | Some ta, Some tb -> { root = Some (meld ta tb); size = a.size + b.size }
+
+  let insert x t =
+    merge { root = Some (Tree (x, [])); size = 1 } t
+
+  let find_min t =
+    match t.root with None -> None | Some (Tree (x, _)) -> Some x
+
+  (* Two-pass pairing: meld children pairwise left-to-right, then fold the
+     results right-to-left.  This is the variant with the proven O(log n)
+     amortized delete-min. *)
+  let rec meld_pairs = function
+    | [] -> None
+    | [ t ] -> Some t
+    | a :: b :: rest -> (
+        let ab = meld a b in
+        match meld_pairs rest with None -> Some ab | Some t -> Some (meld ab t))
+
+  let pop_min t =
+    match t.root with
+    | None -> None
+    | Some (Tree (x, children)) ->
+        Some (x, { root = meld_pairs children; size = t.size - 1 })
+
+  let of_list xs = List.fold_left (fun t x -> insert x t) empty xs
+
+  let to_sorted_list t =
+    let rec drain acc t =
+      match pop_min t with
+      | None -> List.rev acc
+      | Some (x, t') -> drain (x :: acc) t'
+    in
+    drain [] t
+end

@@ -1,0 +1,432 @@
+module Table = Ftsched_util.Table
+module Rng = Ftsched_util.Rng
+module Gen = Ftsched_dag.Generators
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Ca_ftsa = Ftsched_core.Ca_ftsa
+module Ftbar = Ftsched_baseline.Ftbar
+
+type panels = {
+  bounds : Table.t;
+  crash : Table.t;
+  overhead : Table.t;
+  mc_defeats : Table.t;
+}
+
+let fmt3 x = Printf.sprintf "%.3f" x
+let fmt_pct x = Printf.sprintf "%.1f" x
+
+(* Overhead of metric [key] against fault-free FTSA, per graph, then
+   averaged — the §6 formula. *)
+let mean_overhead results key =
+  let values =
+    List.map
+      (fun (r : Runner.graph_result) ->
+        let get k =
+          match List.assoc_opt k r.Runner.metrics with
+          | Some v -> v
+          | None -> invalid_arg ("Figures: unknown metric " ^ k)
+        in
+        let baseline = get "ff_ftsa" in
+        100. *. (get key -. baseline) /. baseline)
+      results
+  in
+  List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let figure ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples ~eps
+    ~crash_counts () =
+  let points =
+    List.map
+      (fun granularity ->
+        ( granularity,
+          Runner.run_point spec ~master_seed ~granularity ~eps ~crash_counts
+            ?crash_samples () ))
+      Workload.granularities
+  in
+  let bounds =
+    Table.create
+      ~columns:
+        [
+          "granularity"; "FTSA-LB"; "FTSA-UB"; "FTBAR-LB"; "FTBAR-UB";
+          "MC-FTSA-LB"; "MC-FTSA-UB"; "FaultFree-FTSA"; "FaultFree-FTBAR";
+        ]
+  in
+  List.iter
+    (fun (gr, rs) ->
+      let v k = Runner.mean_of rs k in
+      Table.add_row bounds
+        (Printf.sprintf "%.1f" gr
+        :: List.map fmt3
+             [
+               v "ftsa_lb"; v "ftsa_ub"; v "ftbar_lb"; v "ftbar_ub";
+               v "mc_lb"; v "mc_ub"; v "ff_ftsa"; v "ff_ftbar";
+             ]))
+    points;
+  let crash_cols =
+    List.concat_map
+      (fun c ->
+        if c = eps then
+          [
+            Printf.sprintf "FTSA-%dcrash" c;
+            Printf.sprintf "MC-FTSA-%dcrash" c;
+            Printf.sprintf "FTBAR-%dcrash" c;
+          ]
+        else [ Printf.sprintf "FTSA-%dcrash" c ])
+      crash_counts
+  in
+  let crash =
+    Table.create ~columns:(("granularity" :: crash_cols) @ [ "FaultFree-FTSA" ])
+  in
+  let crash_keys c =
+    if c = eps then
+      [
+        Printf.sprintf "ftsa_crash%d" c;
+        Printf.sprintf "mc_crash%d" c;
+        Printf.sprintf "ftbar_crash%d" c;
+      ]
+    else [ Printf.sprintf "ftsa_crash%d" c ]
+  in
+  List.iter
+    (fun (gr, rs) ->
+      let cells =
+        List.concat_map
+          (fun c -> List.map (fun k -> fmt3 (Runner.mean_of rs k)) (crash_keys c))
+          crash_counts
+      in
+      Table.add_row crash
+        ((Printf.sprintf "%.1f" gr :: cells)
+        @ [ fmt3 (Runner.mean_of rs "ff_ftsa") ]))
+    points;
+  let overhead =
+    Table.create ~columns:("granularity" :: List.map (fun c -> c ^ " ovh%") crash_cols)
+  in
+  List.iter
+    (fun (gr, rs) ->
+      let cells =
+        List.concat_map
+          (fun c ->
+            List.map (fun k -> fmt_pct (mean_overhead rs k)) (crash_keys c))
+          crash_counts
+      in
+      Table.add_row overhead (Printf.sprintf "%.1f" gr :: cells))
+    points;
+  let mc_defeats =
+    Table.create ~columns:[ "granularity"; "MC-strict-defeat-rate" ]
+  in
+  List.iter
+    (fun (gr, rs) ->
+      Table.add_row mc_defeats
+        [ Printf.sprintf "%.1f" gr; fmt3 (Runner.mean_defeat_rate rs) ])
+    points;
+  { bounds; crash; overhead; mc_defeats }
+
+let figure4 ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples () =
+  let spec = Workload.with_procs spec 5 in
+  let eps = 2 in
+  let crash_counts = [ 0; 1; 2 ] in
+  let points =
+    List.map
+      (fun granularity ->
+        ( granularity,
+          Runner.run_point spec ~master_seed ~granularity ~eps ~crash_counts
+            ?crash_samples () ))
+      Workload.granularities
+  in
+  let latency =
+    Table.create
+      ~columns:
+        [
+          "granularity"; "FTSA-0crash"; "FTSA-1crash"; "FTSA-2crash";
+          "FaultFree-FTSA";
+        ]
+  in
+  let overhead =
+    Table.create
+      ~columns:
+        [ "granularity"; "FTSA-0crash ovh%"; "FTSA-1crash ovh%"; "FTSA-2crash ovh%" ]
+  in
+  List.iter
+    (fun (gr, rs) ->
+      Table.add_row latency
+        (Printf.sprintf "%.1f" gr
+        :: List.map fmt3
+             [
+               Runner.mean_of rs "ftsa_crash0";
+               Runner.mean_of rs "ftsa_crash1";
+               Runner.mean_of rs "ftsa_crash2";
+               Runner.mean_of rs "ff_ftsa";
+             ]);
+      Table.add_row overhead
+        (Printf.sprintf "%.1f" gr
+        :: List.map fmt_pct
+             [
+               mean_overhead rs "ftsa_crash0";
+               mean_overhead rs "ftsa_crash1";
+               mean_overhead rs "ftsa_crash2";
+             ]))
+    points;
+  (latency, overhead)
+
+let paper_sizes = [ 100; 500; 1000; 2000; 3000; 5000 ]
+
+let contention_ablation ?(spec = Workload.quick) ?(master_seed = 2008) ~eps
+    ~ports () =
+  let module Esim = Ftsched_sim.Event_sim in
+  let module Schedule = Ftsched_schedule.Schedule in
+  let models =
+    (Esim.Contention_free, "free", None)
+    :: List.map
+         (fun k -> (Esim.Sender_ports k, Printf.sprintf "%d-port" k, Some k))
+         ports
+  in
+  (* Under a contended model we additionally evaluate CA-FTSA, the
+     contention-aware variant scheduling with that port budget. *)
+  let columns_of (_, tag, ca) =
+    match ca with
+    | None -> [ "FTSA " ^ tag; "MC-FTSA " ^ tag ]
+    | Some _ -> [ "FTSA " ^ tag; "CA-FTSA " ^ tag; "MC-FTSA " ^ tag ]
+  in
+  let columns = "granularity" :: List.concat_map columns_of models in
+  let n_cols = List.length columns - 1 in
+  let table = Table.create ~columns in
+  List.iter
+    (fun granularity ->
+      let totals = Array.make n_cols 0. in
+      let norm = ref 0. in
+      for index = 0 to spec.Workload.graphs_per_point - 1 do
+        let inst = Workload.instance spec ~master_seed ~granularity ~index in
+        let seed = master_seed + (31 * index) in
+        let f = Ftsa.schedule ~seed inst ~eps in
+        let mc = Mc_ftsa.schedule ~seed inst ~eps in
+        norm := !norm +. Runner.mean_edge_comm inst;
+        let m = Instance.n_procs inst in
+        let col = ref 0 in
+        let add v =
+          totals.(!col) <- totals.(!col) +. v;
+          incr col
+        in
+        List.iter
+          (fun (model, _, ca) ->
+            let lat s =
+              match
+                (Esim.run ~network:model s ~fail_times:(Array.make m infinity))
+                  .Esim.latency
+              with
+              | Some l -> l
+              | None -> invalid_arg "contention_ablation: defeated"
+            in
+            add (lat f);
+            (match ca with
+            | Some k -> add (lat (Ca_ftsa.schedule ~seed ~ports:k inst ~eps))
+            | None -> ());
+            add (lat mc))
+          models
+      done;
+      let n = float_of_int spec.Workload.graphs_per_point in
+      let norm = !norm /. n in
+      Table.add_row table
+        (Printf.sprintf "%.1f" granularity
+        :: (Array.to_list totals |> List.map (fun t -> fmt3 (t /. n /. norm)))))
+    Workload.granularities;
+  table
+
+let reliability_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
+    ?(trials = 1500) ~p_fail () =
+  let module R = Ftsched_reliability.Reliability in
+  let table =
+    Table.create
+      ~columns:
+        [
+          "eps"; "Thm-4.1 bound"; "FTSA (MC est)"; "MC-FTSA strict (MC est)";
+          "MC-FTSA reroute (MC est)";
+        ]
+  in
+  let granularity = 1.0 in
+  let max_eps = 4 in
+  for eps = 0 to max_eps do
+    let b = ref 0. and f = ref 0. and ms = ref 0. and mr = ref 0. in
+    for index = 0 to spec.Workload.graphs_per_point - 1 do
+      let inst = Workload.instance spec ~master_seed ~granularity ~index in
+      let seed = master_seed + (31 * index) in
+      let s_ftsa = Ftsa.schedule ~seed inst ~eps in
+      let s_mc = Mc_ftsa.schedule ~seed inst ~eps in
+      let rng = Rng.create ~seed:(seed + 101) in
+      b := !b +. R.binomial_bound s_ftsa ~p_fail;
+      f := !f +. (R.monte_carlo rng s_ftsa R.Strict ~p_fail ~trials).R.mean;
+      ms := !ms +. (R.monte_carlo rng s_mc R.Strict ~p_fail ~trials).R.mean;
+      mr := !mr +. (R.monte_carlo rng s_mc R.Reroute ~p_fail ~trials).R.mean
+    done;
+    let n = float_of_int spec.Workload.graphs_per_point in
+    Table.add_row table
+      [
+        string_of_int eps;
+        Printf.sprintf "%.4f" (!b /. n);
+        Printf.sprintf "%.4f" (!f /. n);
+        Printf.sprintf "%.4f" (!ms /. n);
+        Printf.sprintf "%.4f" (!mr /. n);
+      ]
+  done;
+  table
+
+let procs_sweep ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples
+    ~eps ~procs () =
+  let table =
+    Table.create
+      ~columns:
+        [
+          "procs"; "FaultFree-FTSA"; "FTSA M*"; "FTSA M";
+          (Printf.sprintf "FTSA %dcrash" eps); "overhead %";
+        ]
+  in
+  List.iter
+    (fun m ->
+      if m <= eps then invalid_arg "Figures.procs_sweep: procs <= eps";
+      let spec = Workload.with_procs spec m in
+      let rs =
+        Runner.run_point spec ~master_seed ~granularity:1.0 ~eps
+          ~crash_counts:[ eps ] ?crash_samples ()
+      in
+      let crash_key = Printf.sprintf "ftsa_crash%d" eps in
+      Table.add_row table
+        [
+          string_of_int m;
+          fmt3 (Runner.mean_of rs "ff_ftsa");
+          fmt3 (Runner.mean_of rs "ftsa_lb");
+          fmt3 (Runner.mean_of rs "ftsa_ub");
+          fmt3 (Runner.mean_of rs crash_key);
+          fmt_pct (mean_overhead rs crash_key);
+        ])
+    procs;
+  table
+
+let rftsa_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
+    ?(trials = 800) ?(flaky_factor = 20.) ~eps () =
+  let module R = Ftsched_reliability.Reliability in
+  let module R_ftsa = Ftsched_core.R_ftsa in
+  let module Schedule = Ftsched_schedule.Schedule in
+  let table =
+    Table.create
+      ~columns:[ "alpha"; "M* (norm)"; "M (norm)"; "mission reliability" ]
+  in
+  let granularity = 1.0 in
+  List.iter
+    (fun alpha ->
+      let lb = ref 0. and ub = ref 0. and rel = ref 0. and norm = ref 0. in
+      for index = 0 to spec.Workload.graphs_per_point - 1 do
+        let inst = Workload.instance spec ~master_seed ~granularity ~index in
+        let seed = master_seed + (31 * index) in
+        let m = Instance.n_procs inst in
+        (* calibrate the base rate against FTSA's horizon so the sweep
+           sits in the informative part of the reliability curve *)
+        let horizon =
+          Schedule.latency_upper_bound (Ftsa.schedule ~seed inst ~eps)
+        in
+        let base = 0.05 /. horizon in
+        let rates =
+          Array.init m (fun p ->
+              if p mod 2 = 0 then flaky_factor *. base else base)
+        in
+        let s = R_ftsa.schedule ~seed ~alpha ~rates inst ~eps in
+        lb := !lb +. Schedule.latency_lower_bound s;
+        ub := !ub +. Schedule.latency_upper_bound s;
+        norm := !norm +. Runner.mean_edge_comm inst;
+        let rng = Rng.create ~seed:(seed + 7) in
+        rel :=
+          !rel
+          +. (fst (R.mission rng s ~rates ~rate:0. ~trials ())).R.mean
+      done;
+      let n = float_of_int spec.Workload.graphs_per_point in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" alpha;
+          fmt3 (!lb /. !norm);
+          fmt3 (!ub /. !norm);
+          Printf.sprintf "%.4f" (!rel /. n);
+        ])
+    [ 0.; 0.1; 0.2; 0.3; 0.5 ];
+  table
+
+let redundancy_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
+    ?(scenarios_per_graph = 4) ~eps () =
+  let module Schedule = Ftsched_schedule.Schedule in
+  let module Scenario = Ftsched_sim.Scenario in
+  let module Crash_exec = Ftsched_sim.Crash_exec in
+  let table =
+    Table.create
+      ~columns:
+        [
+          "senders/input"; "defeat rate (strict)"; "messages (mean)";
+          "M* (norm)"; "M (norm)";
+        ]
+  in
+  let granularity = 1.0 in
+  List.iter
+    (fun senders ->
+      let defeats = ref 0 and trials = ref 0 in
+      let msgs = ref 0 and lb = ref 0. and ub = ref 0. and norm = ref 0. in
+      for index = 0 to spec.Workload.graphs_per_point - 1 do
+        let inst = Workload.instance spec ~master_seed ~granularity ~index in
+        let seed = master_seed + (31 * index) in
+        let s =
+          Mc_ftsa.schedule ~seed ~strategy:(Mc_ftsa.Redundant senders) inst ~eps
+        in
+        msgs := !msgs + Schedule.inter_processor_messages s;
+        lb := !lb +. Schedule.latency_lower_bound s;
+        ub := !ub +. Schedule.latency_upper_bound s;
+        norm := !norm +. Runner.mean_edge_comm inst;
+        let rng = Rng.create ~seed:(seed + 17) in
+        for _ = 1 to scenarios_per_graph do
+          incr trials;
+          let sc =
+            Scenario.random rng ~m:(Instance.n_procs inst) ~count:eps
+          in
+          if
+            (Crash_exec.run ~policy:Crash_exec.Strict s sc).Crash_exec.latency
+            = None
+          then incr defeats
+        done
+      done;
+      let n = float_of_int spec.Workload.graphs_per_point in
+      Table.add_row table
+        [
+          string_of_int senders;
+          Printf.sprintf "%.3f" (float_of_int !defeats /. float_of_int !trials);
+          Printf.sprintf "%.0f" (float_of_int !msgs /. n);
+          fmt3 (!lb /. n /. (!norm /. n));
+          fmt3 (!ub /. n /. (!norm /. n));
+        ])
+    (List.init (eps + 1) (fun i -> i + 1));
+  table
+
+let time_once f =
+  let t0 = Sys.time () in
+  ignore (Sys.opaque_identity (f ()));
+  Sys.time () -. t0
+
+let table1 ?(sizes = [ 100; 500; 1000 ]) ?(m = 50) ?(eps = 5) ?(seed = 1)
+    () =
+  let table =
+    Table.create ~columns:[ "tasks"; "FTSA (s)"; "MC-FTSA (s)"; "FTBAR (s)" ]
+  in
+  List.iter
+    (fun n_tasks ->
+      let rng = Rng.create ~seed:(seed + n_tasks) in
+      let dag =
+        Gen.layered rng ~n_tasks ~volume:(Gen.Uniform_volume (50., 150.)) ()
+      in
+      let platform = Platform.random rng ~m ~delay_lo:0.5 ~delay_hi:1.0 () in
+      let inst = Instance.random_exec rng ~dag ~platform () in
+      let t_ftsa = time_once (fun () -> Ftsa.schedule ~seed inst ~eps) in
+      let t_mc = time_once (fun () -> Mc_ftsa.schedule ~seed inst ~eps) in
+      let t_ftbar = time_once (fun () -> Ftbar.schedule ~seed inst ~npf:eps) in
+      Table.add_row table
+        [
+          string_of_int n_tasks;
+          Printf.sprintf "%.3f" t_ftsa;
+          Printf.sprintf "%.3f" t_mc;
+          Printf.sprintf "%.3f" t_ftbar;
+        ])
+    sizes;
+  table

@@ -1,0 +1,129 @@
+(** Drivers regenerating every figure and table of Section 6.
+
+    Each driver sweeps granularity 0.2 … 2.0 and prints one row per
+    granularity with one column per curve of the corresponding plot,
+    normalized as described in EXPERIMENTS.md (latency divided by the
+    instance's mean per-edge average communication cost).  The three
+    panels of a figure share one simulation sweep, exactly as in the
+    paper. *)
+
+type panels = {
+  bounds : Ftsched_util.Table.t;
+      (** panel (a): FTSA/FTBAR/MC-FTSA lower and upper bounds plus the
+          two fault-free curves *)
+  crash : Ftsched_util.Table.t;
+      (** panel (b): achieved latency when processors actually crash *)
+  overhead : Ftsched_util.Table.t;
+      (** panel (c): fault-tolerance overhead (%) against fault-free
+          FTSA, the formula of §6 *)
+  mc_defeats : Ftsched_util.Table.t;
+      (** diagnostic (not in the paper): fraction of ε-crash scenarios
+          that defeat MC-FTSA under the strict execution policy *)
+}
+
+val figure :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?crash_samples:int ->
+  eps:int ->
+  crash_counts:int list ->
+  unit ->
+  panels
+(** [figure ~eps ~crash_counts ()] computes the three panels:
+    Figure 1 is [~eps:1 ~crash_counts:[0;1]],
+    Figure 2 [~eps:2 ~crash_counts:[0;1;2]],
+    Figure 3 [~eps:5 ~crash_counts:[0;2;5]].
+    [spec] defaults to {!Workload.quick}; pass {!Workload.paper} for the
+    full 60-graph sweep. *)
+
+val figure4 :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?crash_samples:int ->
+  unit ->
+  Ftsched_util.Table.t * Ftsched_util.Table.t
+(** Figure 4: FTSA on a 5-processor platform with ε = 2 — (latency,
+    overhead) tables for 0, 1 and 2 crashes, where the latency spread
+    with the number of failures becomes visible. *)
+
+val table1 :
+  ?sizes:int list ->
+  ?m:int ->
+  ?eps:int ->
+  ?seed:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Table 1: running time (seconds) of FTSA, MC-FTSA and FTBAR on graphs
+    of [sizes] tasks (default [[100; 500; 1000]]; the paper's full list is
+    [[100; 500; 1000; 2000; 3000; 5000]]), [m] = 50 processors, ε = 5. *)
+
+val paper_sizes : int list
+(** [100; 500; 1000; 2000; 3000; 5000]. *)
+
+val contention_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  eps:int ->
+  ports:int list ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (its §7 future work): failure-free achieved latency
+    of FTSA vs MC-FTSA replayed through the event simulator under
+    realistic communication models — contention-free plus one column pair
+    per bounded multi-port width in [ports] ([1] = the one-port model).
+    The paper conjectures MC-FTSA wins once links contend; this table
+    quantifies by how much. *)
+
+val reliability_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?trials:int ->
+  p_fail:float ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (its §7 future work): schedule reliability — the
+    probability that the application completes when every processor
+    independently fails with probability [p_fail] — as ε grows.  One row
+    per ε with the Theorem-4.1 binomial bound, the Monte-Carlo estimate
+    for FTSA, and the strict-policy estimate for MC-FTSA, whose collapse
+    quantifies the end-to-end gap. *)
+
+val procs_sweep :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?crash_samples:int ->
+  eps:int ->
+  procs:int list ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper: the full curve behind its Figure-4 observation
+    (m = 20 hides the replication cost, m = 5 exposes it).  One row per
+    platform size: fault-free latency, FTSA bounds, mean latency under ε
+    crashes, and the fault-tolerance overhead — all at granularity 1.0. *)
+
+val rftsa_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?trials:int ->
+  ?flaky_factor:float ->
+  eps:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (its §7 future work): the reliability/latency
+    trade-off of {!Ftsched_core.R_ftsa} on a platform where every second
+    processor is [flaky_factor] (default 20) times more failure-prone.
+    One row per latency-slack [alpha]; columns report normalized latency
+    and Monte-Carlo mission reliability (the [alpha = 0] row is FTSA's
+    processor choice). *)
+
+val redundancy_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?scenarios_per_graph:int ->
+  eps:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper: strict-policy defeat rate and message count of the
+    redundant MC-FTSA variant as the per-input sender count sweeps from 1
+    (the paper's MC-FTSA) to [eps+1] (FTSA's full fan-in), quantifying
+    the end-to-end-robustness gap documented in DESIGN.md. *)

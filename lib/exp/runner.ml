@@ -1,0 +1,119 @@
+module Rng = Ftsched_util.Rng
+module Dag = Ftsched_dag.Dag
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Ftbar = Ftsched_baseline.Ftbar
+module Scenario = Ftsched_sim.Scenario
+module Crash_exec = Ftsched_sim.Crash_exec
+
+type metrics = (string * float) list
+
+type graph_result = {
+  granularity : float;
+  normalizer : float;
+  mc_strict_defeated : float;
+  metrics : metrics;
+}
+
+let mean_edge_comm inst =
+  let g = Instance.dag inst in
+  let e = Dag.n_edges g in
+  if e = 0 then 1.
+  else begin
+    let total = ref 0. in
+    for i = 0 to e - 1 do
+      total := !total +. Instance.edge_avg_comm inst i
+    done;
+    !total /. float_of_int e
+  end
+
+let run_graph inst ~eps ~crash_counts ?(crash_samples = 3) ?(seed = 0) () =
+  let m = Instance.n_procs inst in
+  let s_ftsa = Ftsa.schedule ~seed inst ~eps in
+  let s_mc = Mc_ftsa.schedule ~seed inst ~eps in
+  let s_ftbar = Ftbar.schedule ~seed inst ~npf:eps in
+  let s_ff_ftsa = Ftsa.schedule ~seed inst ~eps:0 in
+  let s_ff_ftbar = Ftbar.schedule ~seed inst ~npf:0 in
+  let bounds =
+    [
+      ("ftsa_lb", Schedule.latency_lower_bound s_ftsa);
+      ("ftsa_ub", Schedule.latency_upper_bound s_ftsa);
+      ("mc_lb", Schedule.latency_lower_bound s_mc);
+      ("mc_ub", Schedule.latency_upper_bound s_mc);
+      ("ftbar_lb", Schedule.latency_lower_bound s_ftbar);
+      ("ftbar_ub", Schedule.latency_upper_bound s_ftbar);
+      ("ff_ftsa", Schedule.latency_lower_bound s_ff_ftsa);
+      ("ff_ftbar", Schedule.latency_lower_bound s_ff_ftbar);
+    ]
+  in
+  let crash_rng = Rng.create ~seed:(seed + 0x5eed) in
+  let strict_defeats = ref 0 and strict_total = ref 0 in
+  let crash_metrics =
+    List.concat_map
+      (fun count ->
+        let scenarios =
+          List.init crash_samples (fun _ ->
+              Scenario.random crash_rng ~m ~count)
+        in
+        let mean run_one =
+          let total =
+            List.fold_left (fun acc sc -> acc +. run_one sc) 0. scenarios
+          in
+          total /. float_of_int crash_samples
+        in
+        let ftsa_c =
+          mean (fun sc -> Crash_exec.latency_exn ~policy:Reroute s_ftsa sc)
+        in
+        let mc_c =
+          mean (fun sc ->
+              if count = eps then begin
+                incr strict_total;
+                match (Crash_exec.run ~policy:Strict s_mc sc).latency with
+                | None -> incr strict_defeats
+                | Some _ -> ()
+              end;
+              Crash_exec.latency_exn ~policy:Reroute s_mc sc)
+        in
+        let ftbar_c =
+          mean (fun sc -> Crash_exec.latency_exn ~policy:Reroute s_ftbar sc)
+        in
+        [
+          (Printf.sprintf "ftsa_crash%d" count, ftsa_c);
+          (Printf.sprintf "mc_crash%d" count, mc_c);
+          (Printf.sprintf "ftbar_crash%d" count, ftbar_c);
+        ])
+      crash_counts
+  in
+  {
+    granularity = Ftsched_model.Granularity.granularity inst;
+    normalizer = mean_edge_comm inst;
+    mc_strict_defeated =
+      (if !strict_total = 0 then 0.
+       else float_of_int !strict_defeats /. float_of_int !strict_total);
+    metrics = bounds @ crash_metrics;
+  }
+
+let run_point spec ~master_seed ~granularity ~eps ~crash_counts
+    ?crash_samples () =
+  List.init spec.Workload.graphs_per_point (fun index ->
+      let inst = Workload.instance spec ~master_seed ~granularity ~index in
+      run_graph inst ~eps ~crash_counts ?crash_samples
+        ~seed:(master_seed + (31 * index))
+        ())
+
+let mean_of results key =
+  let values =
+    List.map
+      (fun r ->
+        match List.assoc_opt key r.metrics with
+        | Some v -> v /. r.normalizer
+        | None -> invalid_arg ("Runner.mean_of: unknown metric " ^ key))
+      results
+  in
+  List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+
+let mean_defeat_rate results =
+  List.fold_left (fun acc r -> acc +. r.mc_strict_defeated) 0. results
+  /. float_of_int (List.length results)

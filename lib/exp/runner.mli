@@ -1,0 +1,64 @@
+(** Per-instance measurements behind every figure of Section 6.
+
+    For one random instance this module runs every scheduler the figures
+    compare — FTSA, MC-FTSA (greedy selection, as evaluated in the paper),
+    FTBAR, and the fault-free variants — extracts the latency bounds
+    [M*]/[M], and replays the schedules under randomly drawn crash
+    scenarios with the {!Ftsched_sim.Crash_exec} simulator (reroute
+    policy, see that module on why).
+
+    Results are labelled raw latencies; {!Figures} normalizes and
+    averages them. *)
+
+type metrics = (string * float) list
+(** Labels used:
+    ["ftsa_lb"], ["ftsa_ub"], ["mc_lb"], ["mc_ub"], ["ftbar_lb"],
+    ["ftbar_ub"], ["ff_ftsa"], ["ff_ftbar"] — bounds (eqs. 2/4) and
+    fault-free latencies;
+    ["ftsa_crash<k>"], ["mc_crash<k>"], ["ftbar_crash<k>"] — mean achieved
+    latency over the crash scenarios with [k] failed processors. *)
+
+type graph_result = {
+  granularity : float;
+  normalizer : float;
+      (** mean average communication cost per edge, [W̄] — the
+          latency-normalization constant used in the reports *)
+  mc_strict_defeated : float;
+      (** fraction of sampled ε-crash scenarios that defeat MC-FTSA under
+          the strict (paper-literal) execution policy — the end-to-end
+          gap documented in DESIGN.md *)
+  metrics : metrics;
+}
+
+val run_graph :
+  Ftsched_model.Instance.t ->
+  eps:int ->
+  crash_counts:int list ->
+  ?crash_samples:int ->
+  ?seed:int ->
+  unit ->
+  graph_result
+(** [run_graph inst ~eps ~crash_counts ()] measures one instance.
+    [crash_counts] lists the failure multiplicities to replay for the
+    crash panels (e.g. [[0; 1]] for Figure 1(b)); [crash_samples]
+    scenarios are drawn per multiplicity (default 3). *)
+
+val run_point :
+  Workload.spec ->
+  master_seed:int ->
+  granularity:float ->
+  eps:int ->
+  crash_counts:int list ->
+  ?crash_samples:int ->
+  unit ->
+  graph_result list
+(** All graphs of one figure point. *)
+
+val mean_of : graph_result list -> string -> float
+(** Mean of one normalized metric over the point's graphs ([latency /
+    normalizer], per graph). *)
+
+val mean_defeat_rate : graph_result list -> float
+
+val mean_edge_comm : Ftsched_model.Instance.t -> float
+(** The latency normalizer: mean over DAG edges of [W̄(e)]. *)

@@ -1,0 +1,25 @@
+(** Per-task deadlines for the dual-fixed bicriteria mode (§4.3).
+
+    When both the latency [L] and the failure count [ε] are prescribed,
+    the paper assigns each task a deadline, computed in reverse
+    topological order from optimistic (ε+1-fastest) average costs, and
+    aborts the scheduling run as soon as some task's ε+1 committed
+    replicas cannot all finish by its deadline. *)
+
+val fastest_avg_exec : Instance.t -> eps:int -> Ftsched_dag.Dag.task -> float
+(** [E(ti)] of §4.3: mean execution time of [ti] over the [ε+1] fastest
+    processors {e for that task}. *)
+
+val fastest_avg_delay : Instance.t -> eps:int -> float
+(** [d̄] of §4.3: mean unit delay over the [ε+1] fastest (smallest-delay)
+    distinct-processor links of the platform. *)
+
+val compute : Instance.t -> eps:int -> latency:float -> float array
+(** [compute inst ~eps ~latency] is the deadline array:
+    [d(ti) = latency] for exit tasks, else
+    [min_{tj ∈ Γ⁺(ti)} (d(tj) − E(tj) − W(ti,tj))].
+    Deadlines of tasks are always at most those of their successors. *)
+
+val feasible : float array -> bool
+(** [true] iff every deadline is non-negative — a quick necessary
+    condition before even starting the scheduler. *)

@@ -1,0 +1,25 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+
+let slowest_comp_sum inst =
+  let total = ref 0. in
+  for t = 0 to Instance.n_tasks inst - 1 do
+    total := !total +. Instance.max_exec inst t
+  done;
+  !total
+
+let slowest_comm_sum inst =
+  let dmax = Platform.max_delay (Instance.platform inst) in
+  Dag.total_volume (Instance.dag inst) *. dmax
+
+let granularity inst =
+  let comm = slowest_comm_sum inst in
+  if comm = 0. then infinity else slowest_comp_sum inst /. comm
+
+let scale_to inst ~target =
+  if target <= 0. || not (Float.is_finite target) then
+    invalid_arg "Granularity.scale_to: target";
+  let current = granularity inst in
+  if not (Float.is_finite current) then
+    invalid_arg "Granularity.scale_to: no communication in instance";
+  Instance.scale_exec inst ~factor:(target /. current)

@@ -1,0 +1,16 @@
+(** Granularity [g(G,P)] of §2 and the sweep knob built on it.
+
+    [g(G,P)] is the ratio of the sum of slowest computation times of each
+    task to the sum of slowest communication times along each edge.  The
+    experiments sweep it from 0.2 (fine grain, communication dominates)
+    to 2.0 (coarse grain). *)
+
+val granularity : Instance.t -> float
+(** [Σ_t max_j E(t,Pj) / Σ_e V(e)·d_max].  Returns [infinity] for graphs
+    without edges or with zero total communication. *)
+
+val scale_to : Instance.t -> target:float -> Instance.t
+(** [scale_to inst ~target] rescales all execution costs by one factor so
+    that the resulting instance has granularity [target] (> 0).  Raises
+    [Invalid_argument] if the instance has no communication to scale
+    against. *)

@@ -1,0 +1,26 @@
+(** Static task levels.
+
+    The priority of a free task in FTSA is [tℓ(t) + bℓ(t)] where the
+    bottom level [bℓ] is static: computed once, bottom-up, from average
+    execution costs [E̅] and average communication costs [W̅] (§4.1).
+    The top level [tℓ] is dynamic and lives in the scheduler; this module
+    provides everything static, including the downward rank used by the
+    FTBAR baseline's pressure function. *)
+
+val bottom_levels : Instance.t -> float array
+(** [bℓ(t) = E̅(t)] for exit tasks, else
+    [max over successors t' of (E̅(t) + W̅(t,t') + bℓ(t'))].
+    This equals HEFT's upward rank. *)
+
+val downward_ranks : Instance.t -> float array
+(** [rank_d(t) = 0] for entries, else
+    [max_{p ∈ Γ⁻(t)} (rank_d(p) + E̅(p) + W̅(p,t))] — the static earliest
+    start used as the top-down component of baseline priorities. *)
+
+val static_critical_path : Instance.t -> float
+(** Length of the critical path under average costs:
+    [max_t (rank_d(t) + bℓ(t))]. *)
+
+val sorted_by_bottom_level : Instance.t -> Ftsched_dag.Dag.task array
+(** Tasks in decreasing [bℓ] order (a valid topological order when
+    execution costs are positive) — the classic HEFT task ordering. *)

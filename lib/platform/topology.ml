@@ -1,0 +1,68 @@
+module Rng = Ftsched_util.Rng
+
+let shortest_paths ~m ~links =
+  let d = Array.make_matrix m m infinity in
+  for i = 0 to m - 1 do
+    d.(i).(i) <- 0.
+  done;
+  List.iter
+    (fun (a, b, w) ->
+      if a < 0 || a >= m || b < 0 || b >= m || a = b || w < 0. then
+        invalid_arg "Topology: malformed link";
+      if w < d.(a).(b) then begin
+        d.(a).(b) <- w;
+        d.(b).(a) <- w
+      end)
+    links;
+  (* Floyd–Warshall; m is small (tens), cubic is fine. *)
+  for k = 0 to m - 1 do
+    for i = 0 to m - 1 do
+      for j = 0 to m - 1 do
+        let via = d.(i).(k) +. d.(k).(j) in
+        if via < d.(i).(j) then d.(i).(j) <- via
+      done
+    done
+  done;
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if d.(i).(j) = infinity then
+        invalid_arg "Topology: disconnected platform"
+    done
+  done;
+  d
+
+let of_links ~m ~links =
+  Platform.create ~delay:(shortest_paths ~m ~links)
+
+let hop ?rng ?(jitter = 0.) hop_delay =
+  match rng with
+  | Some rng when jitter > 0. ->
+      fun () -> Rng.float_in rng (hop_delay *. (1. -. jitter)) (hop_delay *. (1. +. jitter))
+  | _ -> fun () -> hop_delay
+
+let ring ?rng ?jitter ~m ~hop_delay () =
+  if m < 2 then invalid_arg "Topology.ring: need at least 2 processors";
+  let h = hop ?rng ?jitter hop_delay in
+  let links = List.init m (fun i -> (i, (i + 1) mod m, h ())) in
+  (* m = 2 would produce a duplicate edge; shortest_paths keeps the min *)
+  of_links ~m ~links
+
+let grid ?rng ?jitter ~rows ~cols ~hop_delay () =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Topology.grid: need at least 2 processors";
+  let h = hop ?rng ?jitter hop_delay in
+  let id r c = (r * cols) + c in
+  let links = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then links := (id r c, id r (c + 1), h ()) :: !links;
+      if r + 1 < rows then links := (id r c, id (r + 1) c, h ()) :: !links
+    done
+  done;
+  of_links ~m:(rows * cols) ~links:!links
+
+let star ?rng ?jitter ~leaves ~hop_delay () =
+  if leaves < 1 then invalid_arg "Topology.star: need at least one leaf";
+  let h = hop ?rng ?jitter hop_delay in
+  let links = List.init leaves (fun i -> (0, i + 1, h ())) in
+  of_links ~m:(leaves + 1) ~links

@@ -1,0 +1,48 @@
+(** Structured platform topologies.
+
+    The paper's model (and {!Platform.t}) is a fully connected set of
+    processors with per-pair unit delays.  Real interconnects are rings,
+    meshes or stars; their effective pairwise delay is the shortest path
+    through the topology.  This module builds those delay matrices — the
+    scheduling model is unchanged, only the heterogeneity structure
+    becomes realistic (multi-hop pairs cost proportionally more).
+
+    Each generator takes a per-hop delay (optionally jittered by an RNG)
+    and closes the hop graph under shortest paths (Floyd–Warshall). *)
+
+val ring :
+  ?rng:Ftsched_util.Rng.t ->
+  ?jitter:float ->
+  m:int ->
+  hop_delay:float ->
+  unit ->
+  Platform.t
+(** Bidirectional ring: neighbours cost one hop, opposite ends ⌊m/2⌋
+    hops.  [jitter] (default 0) draws each physical link's delay from
+    [hop_delay·(1±jitter)]. *)
+
+val grid :
+  ?rng:Ftsched_util.Rng.t ->
+  ?jitter:float ->
+  rows:int ->
+  cols:int ->
+  hop_delay:float ->
+  unit ->
+  Platform.t
+(** 2-D mesh of [rows × cols] processors (4-neighbourhood). *)
+
+val star :
+  ?rng:Ftsched_util.Rng.t ->
+  ?jitter:float ->
+  leaves:int ->
+  hop_delay:float ->
+  unit ->
+  Platform.t
+(** A hub (processor 0) with [leaves] satellites: leaf↔hub is one hop,
+    leaf↔leaf two — the classic master/worker interconnect. *)
+
+val of_links :
+  m:int -> links:(int * int * float) list -> Platform.t
+(** General construction: an undirected weighted link list, closed under
+    shortest paths.  Raises [Invalid_argument] if some pair is
+    unreachable or a link is malformed. *)

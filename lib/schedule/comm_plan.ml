@@ -1,0 +1,43 @@
+type pair = { src_replica : int; dst_replica : int }
+
+type t =
+  | All_to_all
+  | Selected of pair list array
+
+let all_pairs ~eps =
+  let acc = ref [] in
+  for s = eps downto 0 do
+    for d = eps downto 0 do
+      acc := { src_replica = s; dst_replica = d } :: !acc
+    done
+  done;
+  !acc
+
+let pairs_for t ~eps e =
+  match t with All_to_all -> all_pairs ~eps | Selected sel -> sel.(e)
+
+let senders_to t ~eps e ~dst_replica =
+  match t with
+  | All_to_all -> List.init (eps + 1) (fun i -> i)
+  | Selected sel ->
+      List.filter_map
+        (fun p -> if p.dst_replica = dst_replica then Some p.src_replica else None)
+        sel.(e)
+
+let is_one_to_one pairs ~eps =
+  let k = eps + 1 in
+  List.length pairs = k
+  && begin
+       let src_seen = Array.make k false and dst_seen = Array.make k false in
+       let ok = ref true in
+       List.iter
+         (fun { src_replica = s; dst_replica = d } ->
+           if s < 0 || s >= k || d < 0 || d >= k then ok := false
+           else begin
+             if src_seen.(s) || dst_seen.(d) then ok := false;
+             src_seen.(s) <- true;
+             dst_seen.(d) <- true
+           end)
+         pairs;
+       !ok
+     end

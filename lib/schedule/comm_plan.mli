@@ -1,0 +1,32 @@
+(** Communication plans: which replica talks to which.
+
+    With every task replicated [ε+1] times, a DAG edge [(t', t)] expands
+    into inter-replica messages.  FTSA ships all-to-all — up to [(ε+1)²]
+    messages per edge — while MC-FTSA selects exactly [ε+1] of them, one
+    per source replica and one per destination replica (§4.2).  The plan
+    records that choice; the simulator and the validators interpret it. *)
+
+type pair = { src_replica : int; dst_replica : int }
+(** Indices into the replica arrays (0 … ε) of the edge's source task and
+    destination task respectively. *)
+
+type t =
+  | All_to_all
+      (** Every replica of the predecessor sends to every replica of the
+          successor (modulo the intra-processor shortcut). *)
+  | Selected of pair list array
+      (** [Selected pairs] has one entry per DAG edge id; entry [e] lists
+          the retained messages for edge [e]. *)
+
+val pairs_for : t -> eps:int -> Ftsched_dag.Dag.edge -> pair list
+(** The explicit message list for an edge: the full cross product for
+    [All_to_all], the selection otherwise. *)
+
+val senders_to : t -> eps:int -> Ftsched_dag.Dag.edge -> dst_replica:int -> int list
+(** Source-replica indices that send to the given destination replica
+    under the plan. *)
+
+val is_one_to_one : pair list -> eps:int -> bool
+(** [true] iff the list saturates each of the [ε+1] source replicas and
+    each of the [ε+1] destination replicas exactly once — the structural
+    half of Proposition 4.3. *)

@@ -1,0 +1,21 @@
+(** Plain-text Gantt rendering of a schedule.
+
+    One row per processor, scaled to a fixed character width; replica
+    blocks show the task id.  Meant for the CLI and examples — quick
+    visual confirmation that replication spreads work as expected. *)
+
+val render : ?width:int -> Schedule.t -> string
+(** [render ?width s] draws every processor's optimistic timeline scaled
+    to [width] columns (default 92). *)
+
+val render_listing : Schedule.t -> string
+(** A textual listing: per processor, its replicas in start order with
+    optimistic and pessimistic windows. *)
+
+val render_svg : ?width:int -> ?row_height:int -> Schedule.t -> string
+(** A standalone SVG document: one horizontal lane per processor,
+    replica blocks colored by task and labelled with the task id, a thin
+    whisker extending each block to its pessimistic finish, and a time
+    axis.  Suitable for dropping into a browser or a report. *)
+
+val save_svg : ?width:int -> ?row_height:int -> Schedule.t -> path:string -> unit

@@ -1,0 +1,60 @@
+module Dag = Ftsched_dag.Dag
+module Properties = Ftsched_dag.Properties
+module Instance = Ftsched_model.Instance
+
+let critical_path_lower_bound inst =
+  Properties.longest_path (Instance.dag inst)
+    ~node_weight:(fun t -> Instance.min_exec inst t)
+    ~edge_weight:(fun _ -> 0.)
+
+let slr s =
+  Schedule.latency_lower_bound s
+  /. critical_path_lower_bound (Schedule.instance s)
+
+let guaranteed_slr s =
+  Schedule.latency_upper_bound s
+  /. critical_path_lower_bound (Schedule.instance s)
+
+let sequential_time inst =
+  let total = ref 0. in
+  for t = 0 to Instance.n_tasks inst - 1 do
+    total := !total +. Instance.min_exec inst t
+  done;
+  !total
+
+let speedup s =
+  sequential_time (Schedule.instance s) /. Schedule.latency_lower_bound s
+
+let busy_times s =
+  let m = Instance.n_procs (Schedule.instance s) in
+  Array.init m (fun p -> Schedule.busy_time s p)
+
+let avg_utilization s =
+  let busy = busy_times s in
+  let horizon = Schedule.latency_lower_bound s in
+  if horizon <= 0. then 0.
+  else
+    Array.fold_left ( +. ) 0. busy
+    /. (float_of_int (Array.length busy) *. horizon)
+
+let load_imbalance s =
+  let busy = Array.to_list (busy_times s) |> List.filter (fun b -> b > 0.) in
+  match busy with
+  | [] -> 1.
+  | _ ->
+      let mx = List.fold_left Float.max 0. busy in
+      let mean =
+        List.fold_left ( +. ) 0. busy /. float_of_int (List.length busy)
+      in
+      mx /. mean
+
+let work_inflation s =
+  let total = Array.fold_left ( +. ) 0. (busy_times s) in
+  let ideal = sequential_time (Schedule.instance s) in
+  total /. ideal
+
+let pp ppf s =
+  Format.fprintf ppf
+    "slr=%.3f gslr=%.3f speedup=%.3f util=%.3f imbalance=%.3f inflation=%.3f"
+    (slr s) (guaranteed_slr s) (speedup s) (avg_utilization s)
+    (load_imbalance s) (work_inflation s)

@@ -1,0 +1,42 @@
+(** Standard schedule quality metrics.
+
+    These are the conventional figures of merit from the list-scheduling
+    literature (SLR, speedup, efficiency), computed against this paper's
+    two latencies: the optimistic [M*] and the guaranteed [M].  They let
+    the experiments report scale-free numbers next to the raw
+    latencies. *)
+
+val critical_path_lower_bound : Ftsched_model.Instance.t -> float
+(** The classic makespan lower bound: the heaviest entry→exit path when
+    every task runs at its {e fastest} processor speed and communication
+    is free.  No schedule, fault-tolerant or not, can beat it. *)
+
+val slr : Schedule.t -> float
+(** Schedule Length Ratio: [M* / critical_path_lower_bound] — ≥ 1, lower
+    is better. *)
+
+val guaranteed_slr : Schedule.t -> float
+(** [M / critical_path_lower_bound]. *)
+
+val sequential_time : Ftsched_model.Instance.t -> float
+(** [Σ_t min_p E(t,p)] — the best single-processor-per-task serial time. *)
+
+val speedup : Schedule.t -> float
+(** [sequential_time / M*]. *)
+
+val avg_utilization : Schedule.t -> float
+(** Mean over processors of busy time divided by [M*] — how much of the
+    machine the schedule actually uses (replication inflates this by
+    design). *)
+
+val load_imbalance : Schedule.t -> float
+(** [max busy / mean busy] over processors with non-zero work; 1.0 is a
+    perfectly balanced schedule. *)
+
+val work_inflation : Schedule.t -> float
+(** Total executed work (over all replicas) divided by the ideal
+    single-copy work [Σ_t min_p E(t,p)]: captures both the [ε+1]-fold
+    replication and any slow-processor placements. *)
+
+val pp : Format.formatter -> Schedule.t -> unit
+(** One-line rendering of all metrics. *)

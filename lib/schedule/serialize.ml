@@ -1,0 +1,237 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+
+(* Floats are emitted as hex literals ("%h") so parsing restores the
+   exact bit pattern. *)
+let fl x = Printf.sprintf "%h" x
+
+let buf_add_instance buf inst =
+  let g = Instance.dag inst in
+  let pl = Instance.platform inst in
+  let v = Dag.n_tasks g and m = Platform.n_procs pl in
+  Buffer.add_string buf (Printf.sprintf "instance %d %d %d\n" v m (Dag.n_edges g));
+  for t = 0 to v - 1 do
+    Buffer.add_string buf (Printf.sprintf "label %s\n" (Dag.label g t))
+  done;
+  Dag.iter_edges g (fun _e ~src ~dst ~volume ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %s\n" src dst (fl volume)));
+  for k = 0 to m - 1 do
+    let row =
+      String.concat " "
+        (List.init m (fun h -> fl (Platform.delay pl k h)))
+    in
+    Buffer.add_string buf (Printf.sprintf "delay %s\n" row)
+  done;
+  for t = 0 to v - 1 do
+    let row =
+      String.concat " " (List.init m (fun p -> fl (Instance.exec inst t p)))
+    in
+    Buffer.add_string buf (Printf.sprintf "exec %s\n" row)
+  done
+
+let instance_to_string inst =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ftsched v1\n";
+  buf_add_instance buf inst;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+type cursor = { lines : string array; mutable pos : int }
+
+let fail cur fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "line %d: %s" (cur.pos + 1) s)) fmt
+
+let next cur =
+  let rec skip () =
+    if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input"
+    else begin
+      let l = String.trim cur.lines.(cur.pos) in
+      cur.pos <- cur.pos + 1;
+      if l = "" then skip () else l
+    end
+  in
+  skip ()
+
+let words l = String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+let float_of_word cur w =
+  try float_of_string w with _ -> fail cur "bad float %S" w
+
+let int_of_word cur w =
+  try int_of_string w with _ -> fail cur "bad integer %S" w
+
+let expect_tag cur tag line =
+  match words line with
+  | t :: rest when t = tag -> rest
+  | _ -> fail cur "expected %S" tag
+
+let parse_instance cur =
+  let header = next cur in
+  match words header with
+  | [ "instance"; v; m; e ] ->
+      let v = int_of_word cur v
+      and m = int_of_word cur m
+      and e = int_of_word cur e in
+      let b = Dag.Builder.create ~expected_tasks:v () in
+      for _ = 1 to v do
+        let line = next cur in
+        match words line with
+        | "label" :: rest ->
+            ignore (Dag.Builder.add_task ~label:(String.concat " " rest) b)
+        | _ -> fail cur "expected label line"
+      done;
+      for _ = 1 to e do
+        match words (next cur) with
+        | [ "edge"; src; dst; vol ] ->
+            Dag.Builder.add_edge b ~src:(int_of_word cur src)
+              ~dst:(int_of_word cur dst) ~volume:(float_of_word cur vol)
+        | _ -> fail cur "expected edge line"
+      done;
+      let dag = Dag.Builder.build b in
+      let delay =
+        Array.init m (fun _ ->
+            let row = expect_tag cur "delay" (next cur) in
+            if List.length row <> m then fail cur "delay row arity";
+            Array.of_list (List.map (float_of_word cur) row))
+      in
+      let platform = Platform.create ~delay in
+      let exec =
+        Array.init v (fun _ ->
+            let row = expect_tag cur "exec" (next cur) in
+            if List.length row <> m then fail cur "exec row arity";
+            Array.of_list (List.map (float_of_word cur) row))
+      in
+      Instance.create ~dag ~platform ~exec
+  | _ -> fail cur "expected instance header"
+
+let check_magic cur =
+  match words (next cur) with
+  | [ "ftsched"; "v1" ] -> ()
+  | _ -> fail cur "bad magic (expected \"ftsched v1\")"
+
+let cursor_of_string s =
+  { lines = Array.of_list (String.split_on_char '\n' s); pos = 0 }
+
+let instance_of_string s =
+  let cur = cursor_of_string s in
+  check_magic cur;
+  parse_instance cur
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+
+let schedule_to_string sched =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "ftsched v1\n";
+  let inst = Schedule.instance sched in
+  buf_add_instance buf inst;
+  let eps = Schedule.eps sched in
+  Buffer.add_string buf (Printf.sprintf "schedule %d\n" eps);
+  for task = 0 to Instance.n_tasks inst - 1 do
+    Array.iter
+      (fun (r : Schedule.replica) ->
+        Buffer.add_string buf
+          (Printf.sprintf "replica %d %d %d %s %s %s %s\n" r.task r.index
+             r.proc (fl r.start) (fl r.finish) (fl r.pess_start)
+             (fl r.pess_finish)))
+      (Schedule.replicas sched task)
+  done;
+  (match Schedule.comm sched with
+  | Comm_plan.All_to_all -> Buffer.add_string buf "comm all\n"
+  | Comm_plan.Selected sel ->
+      Buffer.add_string buf "comm selected\n";
+      Array.iteri
+        (fun e pairs ->
+          let body =
+            String.concat " "
+              (List.map
+                 (fun { Comm_plan.src_replica; dst_replica } ->
+                   Printf.sprintf "%d:%d" src_replica dst_replica)
+                 pairs)
+          in
+          Buffer.add_string buf (Printf.sprintf "pairs %d %s\n" e body))
+        sel);
+  Buffer.contents buf
+
+let schedule_of_string s =
+  let cur = cursor_of_string s in
+  check_magic cur;
+  let inst = parse_instance cur in
+  let v = Instance.n_tasks inst in
+  let eps =
+    match words (next cur) with
+    | [ "schedule"; e ] -> int_of_word cur e
+    | _ -> fail cur "expected schedule header"
+  in
+  let replicas =
+    Array.init v (fun _ -> Array.make (eps + 1) None)
+  in
+  for _ = 1 to v * (eps + 1) do
+    match words (next cur) with
+    | [ "replica"; task; index; proc; st; fi; ps; pf ] ->
+        let task = int_of_word cur task and index = int_of_word cur index in
+        if task < 0 || task >= v || index < 0 || index > eps then
+          fail cur "replica out of range";
+        replicas.(task).(index) <-
+          Some
+            {
+              Schedule.task;
+              index;
+              proc = int_of_word cur proc;
+              start = float_of_word cur st;
+              finish = float_of_word cur fi;
+              pess_start = float_of_word cur ps;
+              pess_finish = float_of_word cur pf;
+            }
+    | _ -> fail cur "expected replica line"
+  done;
+  let replicas =
+    Array.map
+      (Array.map (function
+        | Some r -> r
+        | None -> failwith "missing replica in schedule file"))
+      replicas
+  in
+  let comm =
+    match words (next cur) with
+    | [ "comm"; "all" ] -> Comm_plan.All_to_all
+    | [ "comm"; "selected" ] ->
+        let e = Dag.n_edges (Instance.dag inst) in
+        let sel = Array.make e [] in
+        for _ = 1 to e do
+          match words (next cur) with
+          | "pairs" :: idx :: body ->
+              let idx = int_of_word cur idx in
+              if idx < 0 || idx >= e then fail cur "pairs edge out of range";
+              sel.(idx) <-
+                List.map
+                  (fun w ->
+                    match String.split_on_char ':' w with
+                    | [ a; b ] ->
+                        {
+                          Comm_plan.src_replica = int_of_word cur a;
+                          dst_replica = int_of_word cur b;
+                        }
+                    | _ -> fail cur "bad pair %S" w)
+                  body
+          | _ -> fail cur "expected pairs line"
+        done;
+        Comm_plan.Selected sel
+    | _ -> fail cur "expected comm line"
+  in
+  Schedule.create ~instance:inst ~eps ~replicas ~comm
+
+let save_schedule sched ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (schedule_to_string sched))
+
+let load_schedule ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> schedule_of_string (really_input_string ic (in_channel_length ic)))

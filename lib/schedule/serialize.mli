@@ -1,0 +1,22 @@
+(** Plain-text serialization of instances and schedules.
+
+    A schedule is only reproducible together with its instance (DAG,
+    platform, cost matrix), so the format embeds everything: a versioned,
+    line-oriented text file that diffs well and round-trips exactly
+    (floats are written as hex float literals, so no precision is lost).
+
+    Typical uses: archiving the schedule behind a published figure,
+    shipping failing cases into the test suite, and feeding external
+    tooling. *)
+
+val instance_to_string : Ftsched_model.Instance.t -> string
+val instance_of_string : string -> Ftsched_model.Instance.t
+
+val schedule_to_string : Schedule.t -> string
+(** Embeds the instance. *)
+
+val schedule_of_string : string -> Schedule.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save_schedule : Schedule.t -> path:string -> unit
+val load_schedule : path:string -> Schedule.t

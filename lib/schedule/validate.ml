@@ -1,0 +1,267 @@
+module Dag = Ftsched_dag.Dag
+module Instance = Ftsched_model.Instance
+module F = Ftsched_util.Float_utils
+
+type error = { check : string; detail : string }
+
+let pp_error ppf e = Format.fprintf ppf "[%s] %s" e.check e.detail
+
+let errf check fmt = Format.kasprintf (fun detail -> { check; detail }) fmt
+
+let tolerance = 1e-6
+
+let distinct_replica_procs s =
+  let errs = ref [] in
+  let v = Instance.n_tasks (Schedule.instance s) in
+  for task = 0 to v - 1 do
+    let procs = Schedule.assigned_procs s task in
+    let sorted = Array.copy procs in
+    Array.sort compare sorted;
+    for i = 0 to Array.length sorted - 2 do
+      if sorted.(i) = sorted.(i + 1) then
+        errs :=
+          errf "distinct-procs" "task %d has two replicas on P%d" task
+            sorted.(i)
+          :: !errs
+    done
+  done;
+  !errs
+
+let no_processor_overlap s =
+  let errs = ref [] in
+  let m = Instance.n_procs (Schedule.instance s) in
+  for p = 0 to m - 1 do
+    let timeline = Schedule.proc_timeline s p in
+    let rec scan = function
+      | a :: (b :: _ as rest) ->
+          if b.Schedule.start < a.Schedule.finish -. tolerance then
+            errs :=
+              errf "no-overlap"
+                "P%d: task %d [%g,%g) overlaps task %d [%g,%g)" p a.task
+                a.start a.finish b.task b.start b.finish
+              :: !errs;
+          scan rest
+      | _ -> ()
+    in
+    scan timeline
+  done;
+  !errs
+
+let data_feasible s =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let errs = ref [] in
+  for task = 0 to Dag.n_tasks g - 1 do
+    Array.iter
+      (fun (r : Schedule.replica) ->
+        if r.start < -.tolerance || r.pess_start < -.tolerance then
+          errs :=
+            errf "negative-start" "task %d replica %d starts before time 0"
+              task r.index
+            :: !errs;
+        let cost = Instance.exec inst task r.proc in
+        if not (F.approx_equal ~eps:tolerance (r.finish -. r.start) cost) then
+          errs :=
+            errf "duration" "task %d replica %d on P%d: duration %g ≠ E=%g"
+              task r.index r.proc (r.finish -. r.start) cost
+            :: !errs;
+        List.iter
+          (fun e ->
+            let src, _ = Dag.edge_endpoints g e in
+            let volume = Dag.edge_volume g e in
+            let senders =
+              Comm_plan.senders_to plan ~eps e ~dst_replica:r.index
+            in
+            if senders = [] then
+              errs :=
+                errf "senders" "task %d replica %d: no sender for edge %d"
+                  task r.index e
+                :: !errs
+            else begin
+              let arrival finish sproc =
+                finish +. Instance.comm_time inst ~volume ~src:sproc ~dst:r.proc
+              in
+              let earliest =
+                List.fold_left
+                  (fun acc k ->
+                    let sr = Schedule.replica s src k in
+                    Float.min acc (arrival sr.finish sr.proc))
+                  infinity senders
+              in
+              let latest =
+                List.fold_left
+                  (fun acc k ->
+                    let sr = Schedule.replica s src k in
+                    Float.max acc (arrival sr.pess_finish sr.proc))
+                  0. senders
+              in
+              if r.start +. tolerance < earliest then
+                errs :=
+                  errf "arrival-opt"
+                    "task %d replica %d starts %g before earliest input %g"
+                    task r.index r.start earliest
+                  :: !errs;
+              if r.pess_start +. tolerance < latest then
+                errs :=
+                  errf "arrival-pess"
+                    "task %d replica %d pess-starts %g before latest input %g"
+                    task r.index r.pess_start latest
+                  :: !errs
+            end)
+          (Dag.in_edges g task))
+      (Schedule.replicas s task)
+  done;
+  !errs
+
+let robust_selection s =
+  match Schedule.comm s with
+  | Comm_plan.All_to_all -> []
+  | Comm_plan.Selected sel ->
+      let inst = Schedule.instance s in
+      let g = Instance.dag inst in
+      let eps = Schedule.eps s in
+      let errs = ref [] in
+      Array.iteri
+        (fun e pairs ->
+          let src, dst = Dag.edge_endpoints g e in
+          let k = eps + 1 in
+          (* A pure MC selection has exactly ε+1 pairs and must be
+             one-to-one; the redundant extension carries more pairs and
+             must still cover every destination and use every source. *)
+          let structurally_ok =
+            if List.length pairs <= k then Comm_plan.is_one_to_one pairs ~eps
+            else begin
+              let src_used = Array.make k false
+              and dst_fed = Array.make k false in
+              let distinct = Hashtbl.create (2 * k) in
+              let dup = ref false in
+              List.iter
+                (fun { Comm_plan.src_replica = s; dst_replica = d } ->
+                  if s < 0 || s >= k || d < 0 || d >= k then dup := true
+                  else begin
+                    if Hashtbl.mem distinct (s, d) then dup := true;
+                    Hashtbl.replace distinct (s, d) ();
+                    src_used.(s) <- true;
+                    dst_fed.(d) <- true
+                  end)
+                pairs;
+              (not !dup)
+              && Array.for_all Fun.id src_used
+              && Array.for_all Fun.id dst_fed
+            end
+          in
+          if not structurally_ok then
+            errs :=
+              errf "one-to-one" "edge %d (%d→%d): selection not one-to-one" e
+                src dst
+              :: !errs;
+          (* Forced internal edge.  For a pure (ε+1-pair) selection, a
+             source replica whose processor hosts a destination replica
+             must feed exactly that replica; a redundant selection only
+             has to include that internal pair (extra fan-out from the
+             same source is harmless). *)
+          let pure = List.length pairs <= k in
+          for src_replica = 0 to k - 1 do
+            let sp = Schedule.proc_of s src src_replica in
+            match Schedule.replica_on s dst ~proc:sp with
+            | None -> ()
+            | Some colocated ->
+                let outgoing =
+                  List.filter
+                    (fun p -> p.Comm_plan.src_replica = src_replica)
+                    pairs
+                in
+                let has_internal =
+                  List.exists
+                    (fun p -> p.Comm_plan.dst_replica = colocated.index)
+                    outgoing
+                in
+                if outgoing <> [] && not has_internal then
+                  errs :=
+                    errf "forced-internal"
+                      "edge %d: source replica %d on P%d does not feed its \
+                       colocated replica %d"
+                      e src_replica sp colocated.index
+                    :: !errs;
+                if
+                  pure
+                  && List.exists
+                       (fun p -> p.Comm_plan.dst_replica <> colocated.index)
+                       outgoing
+                then
+                  errs :=
+                    errf "forced-internal"
+                      "edge %d: source replica %d on P%d must send only to \
+                       colocated replica %d"
+                      e src_replica sp colocated.index
+                    :: !errs
+          done)
+        sel;
+      !errs
+
+let check s =
+  match
+    distinct_replica_procs s @ no_processor_overlap s @ data_feasible s
+    @ robust_selection s
+  with
+  | [] -> Ok ()
+  | errs -> Error errs
+
+let survives s ~failed =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let m = Instance.n_procs inst in
+  let dead = Array.make m false in
+  Array.iter (fun p -> dead.(p) <- true) failed;
+  (* productive.(task).(k): replica k of task runs and produces output,
+     given the failure set.  Computable in one topological pass. *)
+  let v = Dag.n_tasks g in
+  let productive = Array.make_matrix v (eps + 1) false in
+  let ok = ref true in
+  Array.iter
+    (fun task ->
+      let any = ref false in
+      for k = 0 to eps do
+        let r = Schedule.replica s task k in
+        if not dead.(r.proc) then begin
+          let fed =
+            List.for_all
+              (fun e ->
+                let src, _ = Dag.edge_endpoints g e in
+                List.exists
+                  (fun sk -> productive.(src).(sk))
+                  (Comm_plan.senders_to plan ~eps e ~dst_replica:k))
+              (Dag.in_edges g task)
+          in
+          if fed then begin
+            productive.(task).(k) <- true;
+            any := true
+          end
+        end
+      done;
+      if not !any then ok := false)
+    (Dag.topological_order g);
+  !ok
+
+let survives_all_subsets s =
+  let m = Instance.n_procs (Schedule.instance s) in
+  let eps = Schedule.eps s in
+  let subset = Array.make eps 0 in
+  let rec enum idx lo =
+    if idx = eps then survives s ~failed:subset
+    else begin
+      let rec loop p =
+        if p > m - (eps - idx) then true
+        else begin
+          subset.(idx) <- p;
+          enum (idx + 1) (p + 1) && loop (p + 1)
+        end
+      in
+      loop lo
+    end
+  in
+  if eps = 0 then survives s ~failed:[||] else enum 0 0

@@ -1,0 +1,51 @@
+(** Semantic validation of fault-tolerant schedules.
+
+    These checks encode the paper's propositions as executable predicates:
+    Prop. 4.1 (replicas on distinct processors), the feasibility of every
+    start time under the communication plan, processor exclusivity, the
+    one-to-one + forced-internal-edge structure of MC selections, and the
+    survivability statement of Theorem 4.1 / Prop. 4.3 via exhaustive
+    failure-subset enumeration.  The test suite runs them on every
+    schedule the algorithms produce. *)
+
+type error = {
+  check : string;  (** name of the failed check *)
+  detail : string;
+}
+
+val distinct_replica_procs : Schedule.t -> error list
+(** Prop. 4.1: the [ε+1] replicas of each task occupy distinct
+    processors. *)
+
+val no_processor_overlap : Schedule.t -> error list
+(** On every processor, optimistic execution intervals are disjoint. *)
+
+val data_feasible : Schedule.t -> error list
+(** Every replica starts no earlier than the arrival of its inputs:
+    optimistic start ≥ max over predecessors of the {e earliest} sender
+    arrival (eq. 1), pessimistic start ≥ max over predecessors of the
+    {e latest} sender arrival (eq. 3), both restricted to the plan's
+    senders.  Also checks that each replica has at least one sender per
+    predecessor edge and that durations equal [E(task, proc)]. *)
+
+val robust_selection : Schedule.t -> error list
+(** For [Selected] plans: each edge's pair list is one-to-one on replica
+    indices, and respects the forced internal edge rule — a source replica
+    colocated with one of the destination's processors must send (only)
+    to that colocated destination replica.  Empty for [All_to_all]. *)
+
+val check : Schedule.t -> (unit, error list) result
+(** All of the above. *)
+
+val survives : Schedule.t -> failed:int array -> bool
+(** [survives s ~failed] is [true] iff, with the given processors
+    fail-stopped from the start, every task still has a {e productive}
+    replica: one on a live processor whose every predecessor edge has at
+    least one productive sender under the plan. *)
+
+val survives_all_subsets : Schedule.t -> bool
+(** Exhaustively checks {!survives} on every subset of exactly [ε]
+    processors (smaller subsets are implied by monotonicity).  Intended
+    for tests on small platforms — the subset count is [C(m, ε)]. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,206 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Comm_plan = Ftsched_schedule.Comm_plan
+
+type policy = Strict | Reroute
+
+type replica_outcome =
+  | Completed of { start : float; finish : float }
+  | Starved
+  | Dead
+
+type t = {
+  latency : float option;
+  outcomes : replica_outcome array array;
+}
+
+(* Productivity (purely structural, no timing): a replica produces output
+   iff its processor is alive and every input edge can be fed — by a plan
+   sender (strict) or, under rerouting, by any productive replica of the
+   predecessor.  One topological pass suffices. *)
+let productivity s ~policy ~dead =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let v = Dag.n_tasks g in
+  let productive = Array.make_matrix v (eps + 1) false in
+  let any_productive src =
+    Array.exists (fun b -> b) productive.(src)
+  in
+  Array.iter
+    (fun task ->
+      for k = 0 to eps do
+        let r = Schedule.replica s task k in
+        if not dead.(r.proc) then
+          productive.(task).(k) <-
+            List.for_all
+              (fun e ->
+                let src, _ = Dag.edge_endpoints g e in
+                let via_plan =
+                  List.exists
+                    (fun sk -> productive.(src).(sk))
+                    (Comm_plan.senders_to plan ~eps e ~dst_replica:k)
+                in
+                via_plan || (policy = Reroute && any_productive src))
+              (Dag.in_edges g task)
+      done)
+    (Dag.topological_order g);
+  productive
+
+(* Effective senders feeding replica [k] of the edge's destination: the
+   productive plan senders, or (reroute, none alive) every productive
+   replica of the source. *)
+let effective_senders s ~policy ~productive e ~dst_replica =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let src, _ = Dag.edge_endpoints g e in
+  let planned =
+    List.filter
+      (fun sk -> productive.(src).(sk))
+      (Comm_plan.senders_to plan ~eps e ~dst_replica)
+  in
+  if planned <> [] then planned
+  else if policy = Reroute then
+    List.filter
+      (fun sk -> productive.(src).(sk))
+      (List.init (eps + 1) (fun i -> i))
+  else []
+
+let run ?(policy = Strict) s scenario =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let pl = Instance.platform inst in
+  let eps = Schedule.eps s in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let dead = Array.make m false in
+  Array.iter (fun p -> dead.(p) <- true) scenario.Scenario.failed;
+  let productive = productivity s ~policy ~dead in
+  (* Replica-level dependency graph: data edges (effective sender →
+     receiver) plus per-processor chains between consecutive productive
+     replicas in planned order.  Both are consistent with the scheduler's
+     commit order, hence acyclic; a Kahn sweep then re-times every
+     productive replica. *)
+  let rid task k = (task * (eps + 1)) + k in
+  let n = v * (eps + 1) in
+  let dep_succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  let add_dep a b =
+    dep_succs.(a) <- b :: dep_succs.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  let senders = Hashtbl.create (4 * n) in
+  for task = 0 to v - 1 do
+    for k = 0 to eps do
+      if productive.(task).(k) then
+        List.iter
+          (fun e ->
+            let src, _ = Dag.edge_endpoints g e in
+            let eff = effective_senders s ~policy ~productive e ~dst_replica:k in
+            Hashtbl.replace senders (e, k) eff;
+            List.iter (fun sk -> add_dep (rid src sk) (rid task k)) eff)
+          (Dag.in_edges g task)
+    done
+  done;
+  for p = 0 to m - 1 do
+    if not dead.(p) then begin
+      let chain =
+        List.filter
+          (fun (r : Schedule.replica) -> productive.(r.task).(r.index))
+          (Schedule.proc_timeline s p)
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            add_dep (rid a.Schedule.task a.index) (rid b.Schedule.task b.index);
+            link rest
+        | _ -> ()
+      in
+      link chain
+    end
+  done;
+  (* Timing sweep. *)
+  let start_of = Array.make n 0. in
+  let finish_of = Array.make n infinity in
+  let proc_free = Array.make m 0. in
+  let q = Queue.create () in
+  for task = 0 to v - 1 do
+    for k = 0 to eps do
+      if productive.(task).(k) && indeg.(rid task k) = 0 then
+        Queue.add (task, k) q
+    done
+  done;
+  while not (Queue.is_empty q) do
+    let task, k = Queue.pop q in
+    let id = rid task k in
+    let r = Schedule.replica s task k in
+    let arrival =
+      List.fold_left
+        (fun acc e ->
+          let src, _ = Dag.edge_endpoints g e in
+          let vol = Dag.edge_volume g e in
+          let first =
+            List.fold_left
+              (fun best sk ->
+                let sr = Schedule.replica s src sk in
+                let w = vol *. Platform.delay pl sr.proc r.proc in
+                Float.min best (finish_of.(rid src sk) +. w))
+              infinity
+              (Hashtbl.find senders (e, k))
+          in
+          Float.max acc first)
+        0. (Dag.in_edges g task)
+    in
+    let start = Float.max arrival proc_free.(r.proc) in
+    let finish = start +. Instance.exec inst task r.proc in
+    start_of.(id) <- start;
+    finish_of.(id) <- finish;
+    proc_free.(r.proc) <- finish;
+    List.iter
+      (fun b ->
+        indeg.(b) <- indeg.(b) - 1;
+        if indeg.(b) = 0 then Queue.add (b / (eps + 1), b mod (eps + 1)) q)
+      dep_succs.(id)
+  done;
+  let outcomes =
+    Array.init v (fun task ->
+        Array.init (eps + 1) (fun k ->
+            let r = Schedule.replica s task k in
+            if dead.(r.proc) then Dead
+            else if not productive.(task).(k) then Starved
+            else
+              Completed
+                { start = start_of.(rid task k); finish = finish_of.(rid task k) }))
+  in
+  (* Achieved latency: every task must complete somewhere; the user-visible
+     instant is the first completion of each exit task. *)
+  let all_tasks_ok = Array.for_all (Array.exists (fun b -> b)) productive in
+  let latency =
+    if not all_tasks_ok then None
+    else
+      Some
+        (List.fold_left
+           (fun acc e ->
+             let first =
+               Array.fold_left
+                 (fun best o ->
+                   match o with
+                   | Completed { finish; _ } -> Float.min best finish
+                   | Starved | Dead -> best)
+                 infinity outcomes.(e)
+             in
+             Float.max acc first)
+           0. (Dag.exits g))
+  in
+  { latency; outcomes }
+
+let latency_exn ?policy s scenario =
+  match (run ?policy s scenario).latency with
+  | Some l -> l
+  | None ->
+      failwith
+        (Format.asprintf "Crash_exec: schedule defeated by %a" Scenario.pp
+           scenario)

@@ -1,0 +1,344 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Comm_plan = Ftsched_schedule.Comm_plan
+
+type network_model =
+  | Contention_free
+  | Sender_ports of int
+  | Duplex_ports of int
+
+type outcome =
+  | Completed of { start : float; finish : float }
+  | Lost
+
+type result = {
+  latency : float option;
+  outcomes : outcome array array;
+  events_processed : int;
+}
+
+type event_kind =
+  | Arrival of { task : int; k : int; edge_pos : int }
+      (** a copy of input [edge_pos] (position in the task's in-edge list)
+          reaches replica [k] of [task] *)
+  | Completion of { task : int; k : int }
+
+module Event = struct
+  type t = { at : float; seq : int; kind : event_kind }
+
+  let compare a b =
+    match compare a.at b.at with 0 -> compare a.seq b.seq | c -> c
+end
+
+module Heap = Ftsched_ds.Pairing_heap.Make (Event)
+
+type replica_state =
+  | Waiting
+  | Running of { start : float; finish : float }
+  | Done of { start : float; finish : float }
+  | Lost_replica
+
+type rstate = {
+  mutable state : replica_state;
+  satisfied_at : float array;  (* per in-edge position; infinity = not yet *)
+  pending_senders : int array;  (* per in-edge position *)
+}
+
+let run ?(network = Contention_free) s ~fail_times =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let pl = Instance.platform inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  if Array.length fail_times <> m then invalid_arg "Event_sim.run: fail_times";
+  let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
+  let edge_pos_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun t edges ->
+      Array.iteri (fun pos e -> Hashtbl.replace edge_pos_of (t, e) pos) edges)
+    in_edges;
+  let rs =
+    Array.init v (fun t ->
+        Array.init (eps + 1) (fun k ->
+            let ne = Array.length in_edges.(t) in
+            let pending =
+              Array.init ne (fun pos ->
+                  let e = in_edges.(t).(pos) in
+                  List.length (Comm_plan.senders_to plan ~eps e ~dst_replica:k))
+            in
+            ignore k;
+            {
+              state = Waiting;
+              satisfied_at = Array.make ne infinity;
+              pending_senders = pending;
+            }))
+  in
+  (* Per-processor planned queues and availability. *)
+  let queues =
+    Array.init m (fun p ->
+        ref (List.map (fun (r : Schedule.replica) -> (r.task, r.index))
+               (Schedule.proc_timeline s p)))
+  in
+  let free_at = Array.make m 0. in
+  (* Outgoing-port free instants per processor (empty = contention-free).
+     Messages grab the earliest-free port FIFO in production order. *)
+  let make_ports k =
+    if k <= 0 then invalid_arg "Event_sim.run: ports must be positive";
+    Array.init m (fun _ -> Array.make k 0.)
+  in
+  let ports =
+    match network with
+    | Contention_free -> [||]
+    | Sender_ports k | Duplex_ports k -> make_ports k
+  in
+  (* incoming ports, only under the duplex (telephone) model *)
+  let recv_ports =
+    match network with
+    | Contention_free | Sender_ports _ -> [||]
+    | Duplex_ports k -> make_ports k
+  in
+  let heap = ref Heap.empty in
+  let seq = ref 0 in
+  let events = ref 0 in
+  let push at kind =
+    incr seq;
+    heap := Heap.insert { Event.at; seq = !seq; kind } !heap
+  in
+  (* Losing a replica cascades: every plan receiver loses one potential
+     sender; an input with no arrival and no pending sender is dead, and
+     kills its (still waiting) receiver. *)
+  let dirty_procs = Queue.create () in
+  let rec lose task k =
+    let st = rs.(task).(k) in
+    match st.state with
+    | Lost_replica | Done _ -> ()
+    | Waiting | Running _ ->
+        st.state <- Lost_replica;
+        let r = Schedule.replica s task k in
+        Queue.add r.proc dirty_procs;
+        List.iter
+          (fun e ->
+            let _, dst = Dag.edge_endpoints g e in
+            List.iter
+              (fun (pair : Comm_plan.pair) ->
+                if pair.src_replica = k then begin
+                  let pos = Hashtbl.find edge_pos_of (dst, e) in
+                  let dst_st = rs.(dst).(pair.dst_replica) in
+                  dst_st.pending_senders.(pos) <-
+                    dst_st.pending_senders.(pos) - 1;
+                  if
+                    dst_st.pending_senders.(pos) = 0
+                    && dst_st.satisfied_at.(pos) = infinity
+                  then lose dst pair.dst_replica
+                end)
+              (Comm_plan.pairs_for plan ~eps e))
+          (Dag.out_edges g task)
+  in
+  let try_advance p =
+    let continue_p = ref true in
+    while !continue_p do
+      match !(queues.(p)) with
+      | [] -> continue_p := false
+      | (task, k) :: rest -> (
+          let st = rs.(task).(k) in
+          match st.state with
+          | Done _ ->
+              queues.(p) := rest
+          | Lost_replica ->
+              queues.(p) := rest
+          | Running _ -> continue_p := false
+          | Waiting ->
+              if Array.for_all (fun a -> a < infinity) st.satisfied_at then begin
+                let inputs_ready =
+                  Array.fold_left Float.max 0. st.satisfied_at
+                in
+                let start = Float.max inputs_ready free_at.(p) in
+                let finish = start +. Instance.exec inst task p in
+                if start >= fail_times.(p) || finish > fail_times.(p) then begin
+                  lose task k;
+                  (* A replica cut down mid-run still occupied the
+                     processor until the crash instant; without this the
+                     next queued replica could start inside the busy
+                     window. *)
+                  if start < fail_times.(p) then free_at.(p) <- fail_times.(p);
+                  queues.(p) := rest
+                end
+                else begin
+                  st.state <- Running { start; finish };
+                  push finish (Completion { task; k });
+                  continue_p := false
+                end
+              end
+              else continue_p := false)
+    done
+  in
+  let drain_dirty () =
+    while not (Queue.is_empty dirty_procs) do
+      try_advance (Queue.pop dirty_procs)
+    done
+  in
+  (* Processors whose planned head is an entry replica can start at t=0;
+     dead-at-0 processors immediately lose their whole queue. *)
+  for p = 0 to m - 1 do
+    try_advance p;
+    drain_dirty ()
+  done;
+  let continue_sim = ref true in
+  while !continue_sim do
+    match Heap.pop_min !heap with
+    | None -> continue_sim := false
+    | Some (ev, rest) -> (
+        heap := rest;
+        incr events;
+        match ev.kind with
+        | Arrival { task; k; edge_pos } ->
+            let st = rs.(task).(k) in
+            (match st.state with
+            | Waiting ->
+                if st.satisfied_at.(edge_pos) = infinity then
+                  st.satisfied_at.(edge_pos) <- ev.at;
+                let r = Schedule.replica s task k in
+                try_advance r.proc
+            | Running _ | Done _ | Lost_replica -> ());
+            drain_dirty ()
+        | Completion { task; k } ->
+            let st = rs.(task).(k) in
+            (match st.state with
+            | Running { start; finish } ->
+                st.state <- Done { start; finish };
+                let r = Schedule.replica s task k in
+                free_at.(r.proc) <- finish;
+                (* Emit one message per retained plan pair originating at
+                   this replica.  Under a port model a non-local message
+                   must wait for a free outgoing port, and dies with the
+                   sender if the transfer has not finished by the
+                   sender's failure instant; a dropped message costs the
+                   receiver one potential sender. *)
+                List.iter
+                  (fun e ->
+                    let _, dst = Dag.edge_endpoints g e in
+                    let vol = Dag.edge_volume g e in
+                    List.iter
+                      (fun (pair : Comm_plan.pair) ->
+                        if pair.src_replica = k then begin
+                          let dr = Schedule.replica s dst pair.dst_replica in
+                          let w = vol *. Platform.delay pl r.proc dr.proc in
+                          let edge_pos = Hashtbl.find edge_pos_of (dst, e) in
+                          let arrival_event at =
+                            push at
+                              (Arrival { task = dst; k = pair.dst_replica; edge_pos })
+                          in
+                          if w = 0. || network = Contention_free then
+                            arrival_event (finish +. w)
+                          else begin
+                            let min_idx port_free =
+                              let best = ref 0 in
+                              Array.iteri
+                                (fun i t -> if t < port_free.(!best) then best := i)
+                                port_free;
+                              !best
+                            in
+                            let send_free = ports.(r.proc) in
+                            let si = min_idx send_free in
+                            let depart =
+                              match network with
+                              | Duplex_ports _ ->
+                                  let recv_free = recv_ports.(dr.proc) in
+                                  let ri = min_idx recv_free in
+                                  Float.max finish
+                                    (Float.max send_free.(si) recv_free.(ri))
+                              | Contention_free | Sender_ports _ ->
+                                  Float.max finish send_free.(si)
+                            in
+                            if depart +. w <= fail_times.(r.proc) then begin
+                              send_free.(si) <- depart +. w;
+                              (match network with
+                              | Duplex_ports _ ->
+                                  let recv_free = recv_ports.(dr.proc) in
+                                  recv_free.(min_idx recv_free) <- depart +. w
+                              | Contention_free | Sender_ports _ -> ());
+                              arrival_event (depart +. w)
+                            end
+                            else begin
+                              (* transfer cut off by the sender's death *)
+                              let dst_st = rs.(dst).(pair.dst_replica) in
+                              dst_st.pending_senders.(edge_pos) <-
+                                dst_st.pending_senders.(edge_pos) - 1;
+                              if
+                                dst_st.pending_senders.(edge_pos) = 0
+                                && dst_st.satisfied_at.(edge_pos) = infinity
+                              then begin
+                                match dst_st.state with
+                                | Waiting -> lose dst pair.dst_replica
+                                | Running _ | Done _ | Lost_replica -> ()
+                              end
+                            end
+                          end
+                        end)
+                      (Comm_plan.pairs_for plan ~eps e))
+                  (Dag.out_edges g task);
+                try_advance r.proc;
+                drain_dirty ()
+            | Waiting | Done _ | Lost_replica ->
+                (* A completion event for a replica that was lost in the
+                   meantime cannot happen: losses only strike waiting
+                   replicas or processors already checked at start. *)
+                assert false))
+  done;
+  (* Anything still waiting after the heap drains can never run. *)
+  Array.iteri
+    (fun _t row ->
+      Array.iter
+        (fun st -> match st.state with Waiting | Running _ -> st.state <- Lost_replica | _ -> ())
+        row)
+    rs;
+  let outcomes =
+    Array.map
+      (Array.map (fun st ->
+           match st.state with
+           | Done { start; finish } -> Completed { start; finish }
+           | Waiting | Running _ | Lost_replica -> Lost))
+      rs
+  in
+  let all_tasks_ok =
+    Array.for_all
+      (Array.exists (function Completed _ -> true | Lost -> false))
+      outcomes
+  in
+  let latency =
+    if not all_tasks_ok then None
+    else
+      Some
+        (List.fold_left
+           (fun acc e ->
+             let first =
+               Array.fold_left
+                 (fun best o ->
+                   match o with
+                   | Completed { finish; _ } -> Float.min best finish
+                   | Lost -> best)
+                 infinity outcomes.(e)
+             in
+             Float.max acc first)
+           0. (Dag.exits g))
+  in
+  { latency; outcomes; events_processed = !events }
+
+let run_timed ?network s timed =
+  let m = Instance.n_procs (Schedule.instance s) in
+  let fail_times = Array.make m infinity in
+  List.iter
+    (fun { Scenario.proc; at } ->
+      if proc < 0 || proc >= m then invalid_arg "Event_sim.run_timed";
+      fail_times.(proc) <- Float.min fail_times.(proc) at)
+    timed;
+  run ?network s ~fail_times
+
+let run_crash ?network s scenario =
+  let m = Instance.n_procs (Schedule.instance s) in
+  let fail_times = Array.make m infinity in
+  Array.iter (fun p -> fail_times.(p) <- 0.) scenario.Scenario.failed;
+  run ?network s ~fail_times

@@ -1,0 +1,72 @@
+(** Discrete-event execution of a schedule with timed fail-stop failures.
+
+    An extension beyond the paper's evaluation (which fails processors
+    from the start): here each processor [p] dies at a given instant
+    [fail_times.(p)] ([infinity] = never).  Execution follows the static
+    schedule faithfully:
+
+    - each live processor runs its planned replica sequence in order,
+      skipping replicas that can never receive their inputs;
+    - a replica starts once the processor is free and one copy of every
+      input has physically arrived (active replication: the first copy
+      wins, later copies are ignored);
+    - a replica completes only if its processor survives until its finish
+      time; completions emit messages to the successor replicas allowed
+      by the communication plan (messages in flight survive the sender's
+      subsequent death — fail-silent processors, reliable links);
+    - a replica whose inputs can never arrive, or whose processor dies
+      first, is lost; losses cascade along the plan.
+
+    With [fail_times.(p) = 0] for a set of processors this reproduces the
+    {!Crash_exec} semantics exactly — the test suite checks that the two
+    independent implementations agree. *)
+
+type network_model =
+  | Contention_free
+      (** the paper's model: any number of simultaneous transfers *)
+  | Sender_ports of int
+      (** each processor owns that many outgoing ports; a message occupies
+          one port for its whole transfer time and messages queue FIFO by
+          production time.  [Sender_ports 1] is the classic one-port
+          model (Sinnen & Sousa [25]), [Sender_ports k] the bounded
+          multi-port model (Hong & Prasanna [13]) — the two models the
+          paper's conclusion names as future work.  Intra-processor
+          transfers are free and bypass the ports. *)
+  | Duplex_ports of int
+      (** the "telephone" refinement: a transfer simultaneously occupies
+          one outgoing port of the sender and one incoming port of the
+          receiver for its whole duration, so its departure waits for
+          both endpoints.  [Duplex_ports 1] is the strict bidirectional
+          one-port model. *)
+
+type outcome =
+  | Completed of { start : float; finish : float }
+  | Lost
+
+type result = {
+  latency : float option;
+      (** [max over exit tasks of (min over completed replicas of finish)],
+          or [None] when some task never completes anywhere. *)
+  outcomes : outcome array array;  (** per task, per replica *)
+  events_processed : int;  (** simulator effort, for the curious *)
+}
+
+val run :
+  ?network:network_model ->
+  Ftsched_schedule.Schedule.t ->
+  fail_times:float array ->
+  result
+(** [fail_times] has one entry per processor.  [network] defaults to
+    [Contention_free]. *)
+
+val run_timed :
+  ?network:network_model ->
+  Ftsched_schedule.Schedule.t ->
+  Scenario.timed list ->
+  result
+(** Convenience wrapper building [fail_times] from a timed scenario. *)
+
+val run_crash :
+  ?network:network_model -> Ftsched_schedule.Schedule.t -> Scenario.t -> result
+(** All scenario processors dead from time 0 — comparable with
+    {!Crash_exec.run}. *)

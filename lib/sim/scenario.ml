@@ -1,0 +1,43 @@
+module Rng = Ftsched_util.Rng
+
+type t = { failed : int array }
+
+let none = { failed = [||] }
+
+let of_list procs =
+  let arr = Array.of_list procs in
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Array.iteri
+    (fun i p ->
+      if p < 0 then invalid_arg "Scenario.of_list: negative processor";
+      if i > 0 && sorted.(i - 1) = p then
+        invalid_arg "Scenario.of_list: duplicate processor")
+    sorted;
+  { failed = arr }
+
+let random rng ~m ~count =
+  if count < 0 || count > m then invalid_arg "Scenario.random";
+  { failed = Rng.sample_distinct rng ~k:count ~n:m }
+
+let all_of_size ~m ~count =
+  if count < 0 || count > m then invalid_arg "Scenario.all_of_size";
+  let rec choose lo k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun p -> List.map (fun rest -> p :: rest) (choose (p + 1) (k - 1)))
+        (List.init (m - lo) (fun i -> lo + i))
+  in
+  List.map (fun l -> { failed = Array.of_list l }) (choose 0 count)
+
+type timed = { proc : int; at : float }
+
+let random_timed rng ~m ~count ~horizon =
+  let procs = Rng.sample_distinct rng ~k:count ~n:m in
+  Array.to_list
+    (Array.map (fun proc -> { proc; at = Rng.float_in rng 0. horizon }) procs)
+
+let pp ppf t =
+  Format.fprintf ppf "failed{%s}"
+    (String.concat "," (Array.to_list (Array.map string_of_int t.failed)))

@@ -1,0 +1,31 @@
+(** Failure scenarios.
+
+    The paper's crash experiments pick the failing processors uniformly at
+    random and fail them for the whole execution (fail-silent / fail-stop,
+    §2).  The timed variant — each chosen processor dies at a random
+    instant — feeds the event-driven simulator, an extension beyond the
+    paper's evaluation. *)
+
+type t = { failed : int array }
+(** Processors dead from time 0; entries are distinct. *)
+
+val none : t
+
+val of_list : int list -> t
+(** Raises [Invalid_argument] on duplicates or negatives. *)
+
+val random : Ftsched_util.Rng.t -> m:int -> count:int -> t
+(** [count] distinct processors uniform over [0, m-1]. *)
+
+val all_of_size : m:int -> count:int -> t list
+(** Every subset of exactly [count] processors — exhaustive testing on
+    small platforms. *)
+
+type timed = { proc : int; at : float }
+
+val random_timed :
+  Ftsched_util.Rng.t -> m:int -> count:int -> horizon:float -> timed list
+(** [count] distinct processors, each failing at a uniform time in
+    [0, horizon). *)
+
+val pp : Format.formatter -> t -> unit

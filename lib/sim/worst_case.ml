@@ -1,0 +1,66 @@
+module Schedule = Ftsched_schedule.Schedule
+module Instance = Ftsched_model.Instance
+
+type report = {
+  scenarios : int;
+  best : float;
+  worst : float;
+  worst_scenario : Scenario.t;
+  mean : float;
+  defeated : int;
+}
+
+let choose m k =
+  let rec go acc n r =
+    if r = 0 then acc else go (acc * n / (k - r + 1)) (n - 1) (r - 1)
+  in
+  if k < 0 || k > m then 0 else go 1 m k
+
+let analyze ?policy s ~count =
+  let m = Instance.n_procs (Schedule.instance s) in
+  if count < 0 || count > m then invalid_arg "Worst_case.analyze: count";
+  if choose m count > 200_000 then
+    invalid_arg "Worst_case.analyze: too many scenarios";
+  let best = ref infinity
+  and worst = ref neg_infinity
+  and worst_scenario = ref Scenario.none
+  and total = ref 0.
+  and delivered = ref 0
+  and defeated = ref 0
+  and scenarios = ref 0 in
+  List.iter
+    (fun sc ->
+      incr scenarios;
+      match (Crash_exec.run ?policy s sc).Crash_exec.latency with
+      | None -> incr defeated
+      | Some l ->
+          incr delivered;
+          total := !total +. l;
+          if l < !best then best := l;
+          if l > !worst then begin
+            worst := l;
+            worst_scenario := sc
+          end)
+    (Scenario.all_of_size ~m ~count);
+  if !delivered = 0 then
+    {
+      scenarios = !scenarios;
+      best = nan;
+      worst = nan;
+      worst_scenario = !worst_scenario;
+      mean = nan;
+      defeated = !defeated;
+    }
+  else
+    {
+      scenarios = !scenarios;
+      best = !best;
+      worst = !worst;
+      worst_scenario = !worst_scenario;
+      mean = !total /. float_of_int !delivered;
+      defeated = !defeated;
+    }
+
+let bound_tightness ?policy s =
+  let r = analyze ?policy s ~count:(Schedule.eps s) in
+  r.worst /. Schedule.latency_upper_bound s

@@ -1,0 +1,33 @@
+(** Exhaustive worst-case analysis of a schedule under failures.
+
+    [M] (eq. 4) upper-bounds the latency under any ε failures, but how
+    tight is it?  This module replays the schedule against {e every}
+    subset of exactly [count] failed processors and reports the extremes —
+    an oracle the heuristic's bound can be measured against, and a
+    debugging tool that names the adversarial scenario. *)
+
+type report = {
+  scenarios : int;  (** C(m, count) *)
+  best : float;  (** smallest achieved latency *)
+  worst : float;  (** largest achieved latency *)
+  worst_scenario : Scenario.t;
+  mean : float;
+  defeated : int;  (** scenarios with no achievable latency *)
+}
+
+val analyze :
+  ?policy:Crash_exec.policy ->
+  Ftsched_schedule.Schedule.t ->
+  count:int ->
+  report
+(** [analyze s ~count] enumerates every failure subset of exactly [count]
+    processors (use with small [C(m, count)]).  Defeated scenarios are
+    counted and excluded from the latency extremes; if every scenario is
+    defeated the latency fields are [nan].  Raises [Invalid_argument]
+    when more than 200,000 scenarios would be enumerated. *)
+
+val bound_tightness :
+  ?policy:Crash_exec.policy -> Ftsched_schedule.Schedule.t -> float
+(** [worst achieved latency under exactly ε failures / M] — in [(0, 1]]
+    for schedules whose guarantee holds; the closer to 1, the tighter
+    equation (4). *)

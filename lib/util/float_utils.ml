@@ -1,0 +1,19 @@
+let approx_equal ?(eps = 1e-9) a b =
+  let scale = Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let approx_le ?(eps = 1e-9) a b = a <= b || approx_equal ~eps a b
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let max_array xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.max xs.(0) xs
+
+let min_array xs =
+  assert (Array.length xs > 0);
+  Array.fold_left Float.min xs.(0) xs
+
+let sum = Array.fold_left ( +. ) 0.
+
+let is_finite x = Float.is_finite x

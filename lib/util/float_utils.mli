@@ -1,0 +1,23 @@
+(** Small floating-point helpers shared across the scheduler.
+
+    Schedules are built from chained [max]/[min]/[+.] over task costs, so
+    exact equality is meaningful only up to accumulated rounding; comparisons
+    between independently computed latencies go through [approx_equal]. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Relative-plus-absolute tolerance comparison, default [eps = 1e-9]. *)
+
+val approx_le : ?eps:float -> float -> float -> bool
+(** [approx_le a b] is [a <= b] up to tolerance. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val max_array : float array -> float
+(** Maximum of a non-empty array. *)
+
+val min_array : float array -> float
+(** Minimum of a non-empty array. *)
+
+val sum : float array -> float
+
+val is_finite : float -> bool

@@ -1,0 +1,60 @@
+let columns_and_rows table =
+  (* Re-parse through the CSV renderer so this module needs no access to
+     Table internals. *)
+  let lines =
+    String.split_on_char '\n' (Table.to_csv table)
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: rows ->
+      let split l = String.split_on_char ',' l in
+      (split header, List.map split rows)
+  | [] -> invalid_arg "Gnuplot: empty table"
+
+let data_of_table table =
+  let header, rows = columns_and_rows table in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("# " ^ String.concat " " header ^ "\n");
+  List.iter
+    (fun row ->
+      (* quote cells containing whitespace for gnuplot's `using` parser *)
+      let cell c = if String.contains c ' ' then "\"" ^ c ^ "\"" else c in
+      Buffer.add_string buf (String.concat " " (List.map cell row) ^ "\n"))
+    rows;
+  Buffer.contents buf
+
+let script_of_table ?(title = "") ?(xlabel = "") ?(ylabel = "")
+    ?(terminal = "pngcairo size 900,600") ~dat_file ~out_file table =
+  let header, _ = columns_and_rows table in
+  let series = List.tl header in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "set terminal %s\n" terminal);
+  Buffer.add_string buf (Printf.sprintf "set output '%s'\n" out_file);
+  if title <> "" then Buffer.add_string buf (Printf.sprintf "set title '%s'\n" title);
+  if xlabel <> "" then
+    Buffer.add_string buf (Printf.sprintf "set xlabel '%s'\n" xlabel);
+  if ylabel <> "" then
+    Buffer.add_string buf (Printf.sprintf "set ylabel '%s'\n" ylabel);
+  Buffer.add_string buf "set key outside right\nset grid\n";
+  let plots =
+    List.mapi
+      (fun i name ->
+        Printf.sprintf "'%s' using 1:%d with linespoints title '%s'" dat_file
+          (i + 2) name)
+      series
+  in
+  Buffer.add_string buf ("plot " ^ String.concat ", \\\n     " plots ^ "\n");
+  Buffer.contents buf
+
+let save ?title ?xlabel ?ylabel table ~basename =
+  let dat_file = basename ^ ".dat" and gp_file = basename ^ ".gp" in
+  let out_file = basename ^ ".png" in
+  let write path content =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+  in
+  write dat_file (data_of_table table);
+  write gp_file
+    (script_of_table ?title ?xlabel ?ylabel ~dat_file ~out_file table)

@@ -1,0 +1,35 @@
+(** Gnuplot emission for experiment tables.
+
+    The paper's figures are classic gnuplot line plots (normalized latency
+    vs granularity, one curve per algorithm).  This module turns a
+    {!Table} whose first column is the x-axis and whose remaining columns
+    are numeric series into a `.dat` file plus a self-contained `.gp`
+    script, so `gnuplot <name>.gp` regenerates a figure in the paper's
+    visual style. *)
+
+val data_of_table : Table.t -> string
+(** Whitespace-separated data block: a `#`-prefixed header line followed
+    by one row per table row. *)
+
+val script_of_table :
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  ?terminal:string ->
+  dat_file:string ->
+  out_file:string ->
+  Table.t ->
+  string
+(** The gnuplot script: one `with linespoints` curve per data column,
+    titled after the table headers.  [terminal] defaults to
+    ["pngcairo size 900,600"]. *)
+
+val save :
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  Table.t ->
+  basename:string ->
+  unit
+(** Writes [basename ^ ".dat"] and [basename ^ ".gp"] (rendering to
+    [basename ^ ".png"]). *)

@@ -1,0 +1,76 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  stderr : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let mean xs =
+  assert (Array.length xs > 0);
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  if n = 1 then 0.
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  assert (Array.length xs > 0 && p >= 0. && p <= 100.);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1. -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.
+
+let summarize xs =
+  let n = Array.length xs in
+  assert (n > 0);
+  let m = mean xs in
+  let sd = stddev xs in
+  let ys = sorted_copy xs in
+  {
+    n;
+    mean = m;
+    stddev = sd;
+    stderr = sd /. sqrt (float_of_int n);
+    min = ys.(0);
+    max = ys.(n - 1);
+    median = median xs;
+  }
+
+let ci95_halfwidth s = 1.96 *. s.stderr
+
+let geometric_mean xs =
+  assert (Array.length xs > 0);
+  let sum_log =
+    Array.fold_left
+      (fun acc x ->
+        assert (x > 0.);
+        acc +. log x)
+      0. xs
+  in
+  exp (sum_log /. float_of_int (Array.length xs))
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.median s.max

@@ -1,0 +1,36 @@
+(** Descriptive statistics for experiment series.
+
+    Each figure point in the paper is the mean over 60 random graphs; this
+    module computes those means together with dispersion measures so that
+    EXPERIMENTS.md can report confidence intervals, not just point values. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  stderr : float;  (** standard error of the mean *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes all summary fields.  Requires a non-empty
+    array.  For [n = 1] the dispersion fields are 0. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using linear
+    interpolation between closest ranks. *)
+
+val ci95_halfwidth : summary -> float
+(** Half-width of a normal-approximation 95% confidence interval
+    ([1.96 * stderr]). *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; requires strictly positive entries. *)
+
+val pp_summary : Format.formatter -> summary -> unit

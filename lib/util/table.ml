@@ -1,0 +1,86 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let default_fmt x = Printf.sprintf "%.3f" x
+
+let add_float_row ?(fmt = default_fmt) t label xs =
+  add_row t (label :: List.map fmt xs);
+  t
+
+let row_count t = List.length t.rows
+
+let rows_in_order t = List.rev t.rows
+
+let widths t =
+  let all = t.columns :: rows_in_order t in
+  let arity = List.length t.columns in
+  let w = Array.make arity 0 in
+  let measure row =
+    List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  w
+
+let to_string t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let missing = w.(i) - String.length cell in
+    cell ^ String.make (max 0 missing) ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width -> Buffer.add_string buf (String.make (width + 2) '-' ^ "+"))
+      w;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_row t.columns;
+  rule ();
+  List.iter emit_row (rows_in_order t);
+  rule ();
+  Buffer.contents buf
+
+let csv_escape cell =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quote then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (List.map line (t.columns :: rows_in_order t)) ^ "\n"
+
+let print t = print_string (to_string t)
+
+let save_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

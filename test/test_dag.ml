@@ -1,0 +1,489 @@
+(* Tests for Ftsched_dag: builder, accessors, properties, generators,
+   classic graphs, DOT export. *)
+
+module Dag = Ftsched_dag.Dag
+module Properties = Ftsched_dag.Properties
+module Generators = Ftsched_dag.Generators
+module Classic = Ftsched_dag.Classic
+module Dot = Ftsched_dag.Dot
+module Rng = Ftsched_util.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+let chain3 () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task ~label:"a" b in
+  let t1 = Dag.Builder.add_task b in
+  let t2 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:1.;
+  Dag.Builder.add_edge b ~src:t1 ~dst:t2 ~volume:2.;
+  Dag.Builder.build b
+
+let test_builder_basic () =
+  let g = chain3 () in
+  check_int "tasks" 3 (Dag.n_tasks g);
+  check_int "edges" 2 (Dag.n_edges g);
+  Alcotest.(check string) "label" "a" (Dag.label g 0);
+  Alcotest.(check string) "default label" "t1" (Dag.label g 1);
+  Alcotest.(check (list int)) "entries" [ 0 ] (Dag.entries g);
+  Alcotest.(check (list int)) "exits" [ 2 ] (Dag.exits g);
+  check_float "volume" 2. (Dag.edge_volume g 1);
+  check_int "in degree" 1 (Dag.in_degree g 1);
+  check_int "out degree" 1 (Dag.out_degree g 1)
+
+let test_builder_rejects_cycle () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:1.;
+  Dag.Builder.add_edge b ~src:t1 ~dst:t0 ~volume:1.;
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Dag.Builder.build: graph has a cycle") (fun () ->
+      ignore (Dag.Builder.build b))
+
+let test_builder_rejects_self_loop () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Dag.Builder.add_edge: self loop") (fun () ->
+      Dag.Builder.add_edge b ~src:t0 ~dst:t0 ~volume:1.)
+
+let test_builder_rejects_duplicate () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:1.;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Dag.Builder.add_edge: duplicate edge") (fun () ->
+      Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:2.)
+
+let test_builder_rejects_bad_volume () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Alcotest.check_raises "negative volume"
+    (Invalid_argument "Dag.Builder.add_edge: volume") (fun () ->
+      Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:(-1.))
+
+let test_builder_rejects_unknown_task () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  Alcotest.check_raises "unknown dst"
+    (Invalid_argument "Dag.Builder.add_edge: dst") (fun () ->
+      Dag.Builder.add_edge b ~src:t0 ~dst:42 ~volume:1.)
+
+let test_find_edge () =
+  let g = chain3 () in
+  check_bool "found" true (Dag.find_edge g ~src:0 ~dst:1 <> None);
+  check_bool "absent" true (Dag.find_edge g ~src:0 ~dst:2 = None)
+
+let test_total_volume () =
+  check_float "total" 3. (Dag.total_volume (chain3 ()))
+
+(* random DAG arbitrary via seeds *)
+let seed_arb = QCheck.int_range 0 5000
+
+let random_dag seed =
+  let rng = Rng.create ~seed in
+  let n = 5 + Rng.int rng 80 in
+  if Rng.bool rng then Generators.layered rng ~n_tasks:n ()
+  else Generators.erdos_renyi rng ~n_tasks:n ~edge_prob:0.15 ()
+
+let prop_topo_order_valid =
+  QCheck.Test.make ~name:"topological_order respects every edge" ~count:200
+    seed_arb
+    (fun seed ->
+      let g = random_dag seed in
+      let pos = Array.make (Dag.n_tasks g) (-1) in
+      Array.iteri (fun i t -> pos.(t) <- i) (Dag.topological_order g);
+      Dag.fold_edges g ~init:true ~f:(fun acc _ ~src ~dst ~volume:_ ->
+          acc && pos.(src) < pos.(dst)))
+
+let prop_succs_preds_dual =
+  QCheck.Test.make ~name:"succs/preds are dual" ~count:100 seed_arb
+    (fun seed ->
+      let g = random_dag seed in
+      let ok = ref true in
+      for u = 0 to Dag.n_tasks g - 1 do
+        List.iter
+          (fun (v, vol) ->
+            if not (List.exists (fun (u', vol') -> u' = u && vol' = vol)
+                      (Dag.preds g v))
+            then ok := false)
+          (Dag.succs g u)
+      done;
+      let count_preds =
+        List.init (Dag.n_tasks g) (fun v -> List.length (Dag.preds g v))
+        |> List.fold_left ( + ) 0
+      in
+      !ok && count_preds = Dag.n_edges g)
+
+let prop_edge_endpoints_consistent =
+  QCheck.Test.make ~name:"edge ids consistent with adjacency" ~count:100
+    seed_arb
+    (fun seed ->
+      let g = random_dag seed in
+      let ok = ref true in
+      for u = 0 to Dag.n_tasks g - 1 do
+        List.iter
+          (fun e ->
+            let s, _ = Dag.edge_endpoints g e in
+            if s <> u then ok := false)
+          (Dag.out_edges g u);
+        List.iter
+          (fun e ->
+            let _, d = Dag.edge_endpoints g e in
+            if d <> u then ok := false)
+          (Dag.in_edges g u)
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let test_depth_chain () =
+  let g = chain3 () in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 2 |] (Properties.depth g);
+  check_int "height" 3 (Properties.height g)
+
+let test_level_sizes () =
+  let g = Classic.diamond ~layers:3 () in
+  (* widths 1,2,3,2,1 *)
+  Alcotest.(check (array int)) "levels" [| 1; 2; 3; 2; 1 |]
+    (Properties.level_sizes g)
+
+let test_width_bound_fork_join () =
+  let rng = Rng.create ~seed:1 in
+  let g = Generators.fork_join rng ~stages:2 ~width:7 () in
+  check_bool "width bound >= 7" true (Properties.width_upper_bound g >= 7)
+
+let test_longest_path_chain () =
+  let g = chain3 () in
+  let len =
+    Properties.longest_path g
+      ~node_weight:(fun _ -> 10.)
+      ~edge_weight:(fun e -> Dag.edge_volume g e)
+  in
+  check_float "10+1+10+2+10" 33. len
+
+let test_critical_path_tasks () =
+  let g = chain3 () in
+  let cp =
+    Properties.critical_path_tasks g
+      ~node_weight:(fun _ -> 1.)
+      ~edge_weight:(fun _ -> 0.)
+  in
+  Alcotest.(check (list int)) "whole chain" [ 0; 1; 2 ] cp
+
+let prop_critical_path_achieves_length =
+  QCheck.Test.make ~name:"critical path achieves longest_path" ~count:100
+    seed_arb
+    (fun seed ->
+      let g = random_dag seed in
+      let nw _ = 3. and ew e = Dag.edge_volume g e in
+      let len = Properties.longest_path g ~node_weight:nw ~edge_weight:ew in
+      let cp = Properties.critical_path_tasks g ~node_weight:nw ~edge_weight:ew in
+      (* sum the path *)
+      let rec path_len = function
+        | [] -> 0.
+        | [ t ] -> nw t
+        | a :: (b :: _ as rest) ->
+            let e =
+              match Dag.find_edge g ~src:a ~dst:b with
+              | Some e -> e
+              | None -> invalid_arg "not a path"
+            in
+            nw a +. ew e +. path_len rest
+      in
+      Float.abs (path_len cp -. len) < 1e-6)
+
+let test_connectivity () =
+  let g = chain3 () in
+  check_bool "chain connected" true (Properties.is_connected_undirected g);
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_task b in
+  let _ = Dag.Builder.add_task b in
+  let g2 = Dag.Builder.build b in
+  check_bool "two isolated tasks" false (Properties.is_connected_undirected g2)
+
+let test_transitive_edges () =
+  (* triangle a->b->c plus shortcut a->c: one transitive edge *)
+  let b = Dag.Builder.create () in
+  let a = Dag.Builder.add_task b in
+  let c = Dag.Builder.add_task b in
+  let d = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:a ~dst:c ~volume:1.;
+  Dag.Builder.add_edge b ~src:c ~dst:d ~volume:1.;
+  Dag.Builder.add_edge b ~src:a ~dst:d ~volume:1.;
+  let g = Dag.Builder.build b in
+  check_int "one transitive edge" 1 (Properties.transitive_edge_count g);
+  check_int "chain has none" 0 (Properties.transitive_edge_count (chain3 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let prop_layered_size_and_connect =
+  QCheck.Test.make ~name:"layered: exact size, connected, entries on level 0"
+    ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 2 120))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let g = Generators.layered rng ~n_tasks:n () in
+      Dag.n_tasks g = n
+      && Properties.is_connected_undirected g
+      && List.for_all (fun t -> Dag.in_degree g t = 0) (Dag.entries g))
+
+let prop_layered_no_isolated_task =
+  QCheck.Test.make ~name:"layered: no isolated tasks" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 2 100))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let g = Generators.layered rng ~n_tasks:n () in
+      List.for_all
+        (fun t -> Dag.in_degree g t + Dag.out_degree g t > 0)
+        (List.init (Dag.n_tasks g) (fun i -> i)))
+
+let test_erdos_extremes () =
+  let rng = Rng.create ~seed:5 in
+  let g0 = Generators.erdos_renyi rng ~n_tasks:10 ~edge_prob:0. () in
+  check_int "p=0 no edges" 0 (Dag.n_edges g0);
+  let g1 = Generators.erdos_renyi rng ~n_tasks:10 ~edge_prob:1. () in
+  check_int "p=1 complete dag" 45 (Dag.n_edges g1)
+
+let test_fork_join_shape () =
+  let rng = Rng.create ~seed:2 in
+  let stages = 3 and width = 5 in
+  let g = Generators.fork_join rng ~stages ~width () in
+  check_int "task count" (stages * (width + 2)) (Dag.n_tasks g);
+  check_int "entries" 1 (List.length (Dag.entries g));
+  check_int "exits" 1 (List.length (Dag.exits g))
+
+let prop_out_tree =
+  QCheck.Test.make ~name:"random_out_tree: single root, in-degree <= 1"
+    ~count:100
+    QCheck.(pair (int_range 0 500) (int_range 1 60))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let g = Generators.random_out_tree rng ~n_tasks:n ~max_children:3 () in
+      Dag.n_tasks g = n
+      && Dag.n_edges g = n - 1
+      && List.length (Dag.entries g) = 1
+      && List.for_all
+           (fun t -> Dag.in_degree g t <= 1)
+           (List.init n (fun i -> i))
+      && List.for_all
+           (fun t -> Dag.out_degree g t <= 3)
+           (List.init n (fun i -> i)))
+
+let test_chain_gen () =
+  let rng = Rng.create ~seed:3 in
+  let g = Generators.chain rng ~n_tasks:7 () in
+  check_int "edges" 6 (Dag.n_edges g);
+  check_int "height" 7 (Properties.height g)
+
+let prop_volume_in_range =
+  QCheck.Test.make ~name:"generator volumes in requested range" ~count:50
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let g =
+        Generators.layered rng ~n_tasks:40
+          ~volume:(Generators.Uniform_volume (50., 150.))
+          ()
+      in
+      Dag.fold_edges g ~init:true ~f:(fun acc _ ~src:_ ~dst:_ ~volume ->
+          acc && volume >= 50. && volume < 150.))
+
+(* ------------------------------------------------------------------ *)
+(* Classic graphs                                                      *)
+
+let test_gauss_structure () =
+  let size = 5 in
+  let g = Classic.gaussian_elimination ~size () in
+  (* one pivot + (size-1-k) updates per step k = 0..size-2 *)
+  let expected =
+    List.init (size - 1) (fun k -> 1 + (size - 1 - k))
+    |> List.fold_left ( + ) 0
+  in
+  check_int "task count" expected (Dag.n_tasks g);
+  check_int "single entry" 1 (List.length (Dag.entries g))
+
+let test_fft_structure () =
+  let g = Classic.fft ~points:8 () in
+  check_int "tasks (log2(8)+1)*8" 32 (Dag.n_tasks g);
+  check_int "edges 2*stages*points" 48 (Dag.n_edges g);
+  check_int "entries" 8 (List.length (Dag.entries g));
+  check_int "exits" 8 (List.length (Dag.exits g));
+  check_int "height" 4 (Properties.height g)
+
+let test_fft_rejects_non_power () =
+  check_bool "assert fires" true
+    (try
+       ignore (Classic.fft ~points:6 ());
+       false
+     with Assert_failure _ -> true)
+
+let test_wavefront_structure () =
+  let g = Classic.wavefront ~rows:4 ~cols:5 () in
+  check_int "tasks" 20 (Dag.n_tasks g);
+  check_int "edges" ((2 * 4 * 5) - 4 - 5) (Dag.n_edges g);
+  check_int "height = rows+cols-1" 8 (Properties.height g)
+
+let test_diamond_structure () =
+  let g = Classic.diamond ~layers:4 () in
+  check_int "tasks 1+2+3+4+3+2+1" 16 (Dag.n_tasks g);
+  check_int "entry" 1 (List.length (Dag.entries g));
+  check_int "exit" 1 (List.length (Dag.exits g))
+
+let test_cholesky_structure () =
+  let count t =
+    (* POTRF + TRSM + SYRK + GEMM *)
+    t + (t * (t - 1) / 2 * 2) + (t * (t - 1) * (t - 2) / 6)
+  in
+  List.iter
+    (fun t ->
+      let g = Classic.cholesky ~tiles:t () in
+      check_int (Printf.sprintf "tiles=%d tasks" t) (count t) (Dag.n_tasks g);
+      (* the critical path POTRF->TRSM->SYRK per step gives height 3t-2 *)
+      check_int (Printf.sprintf "tiles=%d height" t) ((3 * t) - 2)
+        (Properties.height g);
+      check_int "single entry (potrf 0)" 1 (List.length (Dag.entries g)))
+    [ 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* STG interchange                                                     *)
+
+module Stg = Ftsched_dag.Stg
+
+let sample_stg = "# a diamond\n4\n0 3 0\n1 5 1 0\n2 7 1 0\n3 2 2 1 2\n"
+
+let test_stg_parse () =
+  let g, costs = Stg.parse sample_stg in
+  check_int "tasks" 4 (Dag.n_tasks g);
+  check_int "edges" 4 (Dag.n_edges g);
+  Alcotest.(check (array (float 1e-9))) "costs" [| 3.; 5.; 7.; 2. |] costs;
+  Alcotest.(check (list int)) "preds of 3" [ 1; 2 ]
+    (List.sort compare (List.map fst (Dag.preds g 3)))
+
+let test_stg_roundtrip () =
+  let g, costs = Stg.parse sample_stg in
+  let g', costs' = Stg.parse (Stg.to_string g ~costs) in
+  check_int "tasks" (Dag.n_tasks g) (Dag.n_tasks g');
+  check_int "edges" (Dag.n_edges g) (Dag.n_edges g');
+  Alcotest.(check (array (float 1e-9))) "costs" costs costs'
+
+let prop_stg_roundtrip_random =
+  QCheck.Test.make ~name:"STG round-trips generated graphs" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let g = Generators.layered rng ~n_tasks:30 () in
+      let costs = Array.init 30 (fun i -> float_of_int (i + 1)) in
+      let g', costs' = Stg.parse (Stg.to_string g ~costs) in
+      Dag.n_tasks g' = 30 && Dag.n_edges g' = Dag.n_edges g && costs = costs'
+      && List.for_all
+           (fun t ->
+             List.sort compare (List.map fst (Dag.preds g t))
+             = List.sort compare (List.map fst (Dag.preds g' t)))
+           (List.init 30 (fun i -> i)))
+
+let test_stg_errors () =
+  let fails s =
+    try
+      ignore (Stg.parse s);
+      false
+    with Failure _ -> true
+  in
+  check_bool "empty" true (fails "");
+  check_bool "bad count" true (fails "x\n");
+  check_bool "missing lines" true (fails "3\n0 1 0\n");
+  check_bool "id disorder" true (fails "2\n1 1 0\n0 1 0\n");
+  check_bool "pred count mismatch" true (fails "2\n0 1 0\n1 1 2 0\n");
+  check_bool "pred out of range" true (fails "2\n0 1 0\n1 1 1 7\n");
+  check_bool "cycle via self" true (fails "1\n0 1 1 0\n")
+
+let test_stg_edge_volume () =
+  let g, _ = Stg.parse ~edge_volume:42. sample_stg in
+  check_float "volume" 42. (Dag.edge_volume g 0)
+
+(* ------------------------------------------------------------------ *)
+(* DOT                                                                 *)
+
+let test_dot_output () =
+  let g = chain3 () in
+  let dot = Dot.to_dot ~name:"test" g in
+  check_bool "digraph" true (contains dot "digraph \"test\"");
+  check_bool "node" true (contains dot "n0 [label=\"a\"]");
+  check_bool "edge" true (contains dot "n0 -> n1");
+  check_bool "volume label" true (contains dot "label=\"1\"")
+
+let test_dot_escaping () =
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_task ~label:"with \"quote\"" b in
+  let g = Dag.Builder.build b in
+  let dot = Dot.to_dot g in
+  check_bool "escaped" true (contains dot "\\\"quote\\\"")
+
+let () =
+  Alcotest.run "dag"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basic" `Quick test_builder_basic;
+          Alcotest.test_case "rejects cycle" `Quick test_builder_rejects_cycle;
+          Alcotest.test_case "rejects self loop" `Quick test_builder_rejects_self_loop;
+          Alcotest.test_case "rejects duplicate" `Quick test_builder_rejects_duplicate;
+          Alcotest.test_case "rejects bad volume" `Quick test_builder_rejects_bad_volume;
+          Alcotest.test_case "rejects unknown task" `Quick test_builder_rejects_unknown_task;
+          Alcotest.test_case "find_edge" `Quick test_find_edge;
+          Alcotest.test_case "total_volume" `Quick test_total_volume;
+          quick prop_topo_order_valid;
+          quick prop_succs_preds_dual;
+          quick prop_edge_endpoints_consistent;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "depth of chain" `Quick test_depth_chain;
+          Alcotest.test_case "level sizes" `Quick test_level_sizes;
+          Alcotest.test_case "width bound" `Quick test_width_bound_fork_join;
+          Alcotest.test_case "longest path" `Quick test_longest_path_chain;
+          Alcotest.test_case "critical path tasks" `Quick test_critical_path_tasks;
+          Alcotest.test_case "connectivity" `Quick test_connectivity;
+          Alcotest.test_case "transitive edges" `Quick test_transitive_edges;
+          quick prop_critical_path_achieves_length;
+        ] );
+      ( "generators",
+        [
+          quick prop_layered_size_and_connect;
+          quick prop_layered_no_isolated_task;
+          Alcotest.test_case "erdos extremes" `Quick test_erdos_extremes;
+          Alcotest.test_case "fork-join shape" `Quick test_fork_join_shape;
+          quick prop_out_tree;
+          Alcotest.test_case "chain" `Quick test_chain_gen;
+          quick prop_volume_in_range;
+        ] );
+      ( "classic",
+        [
+          Alcotest.test_case "gauss" `Quick test_gauss_structure;
+          Alcotest.test_case "fft" `Quick test_fft_structure;
+          Alcotest.test_case "fft non-power" `Quick test_fft_rejects_non_power;
+          Alcotest.test_case "wavefront" `Quick test_wavefront_structure;
+          Alcotest.test_case "diamond" `Quick test_diamond_structure;
+          Alcotest.test_case "cholesky" `Quick test_cholesky_structure;
+        ] );
+      ( "stg",
+        [
+          Alcotest.test_case "parse" `Quick test_stg_parse;
+          Alcotest.test_case "roundtrip" `Quick test_stg_roundtrip;
+          Alcotest.test_case "errors" `Quick test_stg_errors;
+          Alcotest.test_case "edge volume" `Quick test_stg_edge_volume;
+          quick prop_stg_roundtrip_random;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "output" `Quick test_dot_output;
+          Alcotest.test_case "escaping" `Quick test_dot_escaping;
+        ] );
+    ]

@@ -1,0 +1,288 @@
+(* Tests for Ftsched_ds: AVL trees, pairing heaps, Hopcroft–Karp. *)
+
+module Avl = Ftsched_ds.Avl
+module Heap = Ftsched_ds.Pairing_heap
+module Hk = Ftsched_ds.Hopcroft_karp
+open Helpers
+
+module Int_avl = Avl.Make (Int)
+module Int_heap = Heap.Make (Int)
+module Int_map = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* AVL                                                                 *)
+
+type op = Add of int * int | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun k v -> Add (k, v)) (int_bound 50) (int_bound 1000));
+        (1, map (fun k -> Remove k) (int_bound 50));
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add (k, v) -> Printf.sprintf "+%d=%d" k v
+             | Remove k -> Printf.sprintf "-%d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 0 200) op_gen)
+
+let apply_ops ops =
+  List.fold_left
+    (fun (t, m) op ->
+      match op with
+      | Add (k, v) -> (Int_avl.add k v t, Int_map.add k v m)
+      | Remove k -> (Int_avl.remove k t, Int_map.remove k m))
+    (Int_avl.empty, Int_map.empty)
+    ops
+
+let prop_avl_vs_map =
+  QCheck.Test.make ~name:"Avl agrees with Map model" ~count:300 ops_arb
+    (fun ops ->
+      let t, m = apply_ops ops in
+      Int_avl.to_list t = Int_map.bindings m
+      && Int_avl.cardinal t = Int_map.cardinal m
+      && List.for_all
+           (fun k -> Int_avl.find_opt k t = Int_map.find_opt k m)
+           (List.init 51 (fun i -> i)))
+
+let prop_avl_invariants =
+  QCheck.Test.make ~name:"Avl invariants after random ops" ~count:300 ops_arb
+    (fun ops ->
+      let t, _ = apply_ops ops in
+      Int_avl.check_invariants t)
+
+let prop_avl_balance =
+  QCheck.Test.make ~name:"Avl height is O(log n)" ~count:50
+    QCheck.(int_range 1 2000)
+    (fun n ->
+      (* worst adversary for naive BSTs: sorted insertion *)
+      let t = ref Int_avl.empty in
+      for i = 1 to n do
+        t := Int_avl.add i i !t
+      done;
+      let h = Int_avl.height !t in
+      float_of_int h <= 1.4405 *. (log (float_of_int n +. 2.) /. log 2.))
+
+let prop_avl_pop_max_sorted =
+  QCheck.Test.make ~name:"Avl pop_max drains in decreasing order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun l ->
+      let t = Int_avl.of_list (List.map (fun k -> (k, k)) l) in
+      let rec drain acc t =
+        match Int_avl.pop_max t with
+        | None -> List.rev acc
+        | Some (k, _, t') -> drain (k :: acc) t'
+      in
+      drain [] t = List.rev (List.sort_uniq compare l))
+
+let test_avl_pop_min () =
+  let t = Int_avl.of_list [ (3, "c"); (1, "a"); (2, "b") ] in
+  match Int_avl.pop_min t with
+  | Some (1, "a", t') ->
+      check_int "cardinal" 2 (Int_avl.cardinal t');
+      check_bool "1 gone" false (Int_avl.mem 1 t')
+  | _ -> Alcotest.fail "wrong minimum"
+
+let test_avl_empty () =
+  check_bool "is_empty" true (Int_avl.is_empty Int_avl.empty);
+  check_bool "pop_max none" true (Int_avl.pop_max Int_avl.empty = None);
+  check_bool "pop_min none" true (Int_avl.pop_min Int_avl.empty = None);
+  check_bool "min none" true (Int_avl.min_binding_opt Int_avl.empty = None);
+  check_int "cardinal" 0 (Int_avl.cardinal Int_avl.empty)
+
+let test_avl_replace () =
+  let t = Int_avl.add 1 "old" Int_avl.empty in
+  let t = Int_avl.add 1 "new" t in
+  check_int "no duplicate" 1 (Int_avl.cardinal t);
+  Alcotest.(check (option string)) "replaced" (Some "new") (Int_avl.find_opt 1 t)
+
+let test_avl_remove_absent () =
+  let t = Int_avl.add 1 1 Int_avl.empty in
+  let t' = Int_avl.remove 99 t in
+  check_int "unchanged" 1 (Int_avl.cardinal t')
+
+let test_avl_fold_order () =
+  let t = Int_avl.of_list [ (2, ()); (1, ()); (3, ()) ] in
+  let keys = List.rev (Int_avl.fold (fun k () acc -> k :: acc) t []) in
+  Alcotest.(check (list int)) "increasing" [ 1; 2; 3 ] keys
+
+let test_avl_persistence () =
+  let t1 = Int_avl.of_list [ (1, 1); (2, 2) ] in
+  let t2 = Int_avl.remove 1 t1 in
+  check_bool "t1 untouched" true (Int_avl.mem 1 t1);
+  check_bool "t2 updated" false (Int_avl.mem 1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Pairing heap                                                        *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"Pairing_heap drains sorted" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      Int_heap.to_sorted_list (Int_heap.of_list l) = List.sort compare l)
+
+let prop_heap_merge =
+  QCheck.Test.make ~name:"Pairing_heap merge is union" ~count:200
+    QCheck.(pair (list int) (list int))
+    (fun (a, b) ->
+      let h = Int_heap.merge (Int_heap.of_list a) (Int_heap.of_list b) in
+      Int_heap.to_sorted_list h = List.sort compare (a @ b))
+
+let prop_heap_cardinal =
+  QCheck.Test.make ~name:"Pairing_heap cardinal" ~count:200
+    QCheck.(list int)
+    (fun l -> Int_heap.cardinal (Int_heap.of_list l) = List.length l)
+
+let test_heap_empty () =
+  check_bool "is_empty" true (Int_heap.is_empty Int_heap.empty);
+  check_bool "find none" true (Int_heap.find_min Int_heap.empty = None);
+  check_bool "pop none" true (Int_heap.pop_min Int_heap.empty = None)
+
+let test_heap_find_min () =
+  let h = Int_heap.of_list [ 5; 2; 9 ] in
+  Alcotest.(check (option int)) "min" (Some 2) (Int_heap.find_min h);
+  check_int "find_min does not consume" 3 (Int_heap.cardinal h)
+
+let test_heap_duplicates () =
+  let h = Int_heap.of_list [ 1; 1; 1 ] in
+  Alcotest.(check (list int)) "keeps duplicates" [ 1; 1; 1 ]
+    (Int_heap.to_sorted_list h)
+
+(* ------------------------------------------------------------------ *)
+(* Hopcroft–Karp                                                       *)
+
+(* Reference: maximum bipartite matching by Kuhn's augmenting paths. *)
+let reference_matching ~n_left ~n_right ~adj =
+  let match_r = Array.make n_right (-1) in
+  let rec try_kuhn u seen =
+    List.exists
+      (fun v ->
+        if seen.(v) then false
+        else begin
+          seen.(v) <- true;
+          if match_r.(v) = -1 || try_kuhn match_r.(v) seen then begin
+            match_r.(v) <- u;
+            true
+          end
+          else false
+        end)
+      adj.(u)
+  in
+  let size = ref 0 in
+  for u = 0 to n_left - 1 do
+    if try_kuhn u (Array.make n_right false) then incr size
+  done;
+  !size
+
+let bipartite_arb =
+  QCheck.make
+    ~print:(fun (nl, nr, edges) ->
+      Printf.sprintf "nl=%d nr=%d edges=%s" nl nr
+        (String.concat ","
+           (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges)))
+    QCheck.Gen.(
+      int_range 1 8 >>= fun nl ->
+      int_range 1 8 >>= fun nr ->
+      list_size (int_range 0 30)
+        (pair (int_bound (nl - 1)) (int_bound (nr - 1)))
+      >>= fun edges -> return (nl, nr, edges))
+
+let adj_of ~n_left edges =
+  let adj = Array.make n_left [] in
+  List.iter
+    (fun (u, v) -> if not (List.mem v adj.(u)) then adj.(u) <- v :: adj.(u))
+    edges;
+  adj
+
+let prop_hk_max_size =
+  QCheck.Test.make ~name:"Hopcroft–Karp size equals reference" ~count:500
+    bipartite_arb
+    (fun (n_left, n_right, edges) ->
+      let adj = adj_of ~n_left edges in
+      let r = Hk.max_matching ~n_left ~n_right ~adj in
+      r.Hk.size = reference_matching ~n_left ~n_right ~adj)
+
+let prop_hk_valid_matching =
+  QCheck.Test.make ~name:"Hopcroft–Karp produces a valid matching" ~count:500
+    bipartite_arb
+    (fun (n_left, n_right, edges) ->
+      let adj = adj_of ~n_left edges in
+      let r = Hk.max_matching ~n_left ~n_right ~adj in
+      let ok = ref true in
+      Array.iteri
+        (fun u v ->
+          if v <> -1 then begin
+            if not (List.mem v adj.(u)) then ok := false;
+            if r.Hk.match_right.(v) <> u then ok := false
+          end)
+        r.Hk.match_left;
+      let matched =
+        Array.to_list r.Hk.match_left |> List.filter (fun v -> v >= 0)
+      in
+      List.length (List.sort_uniq compare matched) = List.length matched && !ok)
+
+let test_hk_perfect () =
+  let adj = Array.make 3 [ 0; 1; 2 ] in
+  let r = Hk.max_matching ~n_left:3 ~n_right:3 ~adj in
+  check_int "size" 3 r.Hk.size;
+  check_bool "perfect" true (Hk.is_perfect_on_left r)
+
+let test_hk_bottleneck_structure () =
+  (* left 0 and 1 both only connect to right 0: max matching is 1 *)
+  let adj = [| [ 0 ]; [ 0 ] |] in
+  let r = Hk.max_matching ~n_left:2 ~n_right:2 ~adj in
+  check_int "size" 1 r.Hk.size;
+  check_bool "not perfect" false (Hk.is_perfect_on_left r)
+
+let test_hk_empty_graph () =
+  let adj = [| []; [] |] in
+  let r = Hk.max_matching ~n_left:2 ~n_right:3 ~adj in
+  check_int "size" 0 r.Hk.size
+
+let test_hk_bad_input () =
+  Alcotest.check_raises "neighbour out of range"
+    (Invalid_argument "Hopcroft_karp.max_matching: neighbour out of range")
+    (fun () -> ignore (Hk.max_matching ~n_left:1 ~n_right:1 ~adj:[| [ 5 ] |]))
+
+let () =
+  Alcotest.run "ds"
+    [
+      ( "avl",
+        [
+          quick prop_avl_vs_map;
+          quick prop_avl_invariants;
+          quick prop_avl_balance;
+          quick prop_avl_pop_max_sorted;
+          Alcotest.test_case "pop_min" `Quick test_avl_pop_min;
+          Alcotest.test_case "empty" `Quick test_avl_empty;
+          Alcotest.test_case "replace" `Quick test_avl_replace;
+          Alcotest.test_case "remove absent" `Quick test_avl_remove_absent;
+          Alcotest.test_case "fold order" `Quick test_avl_fold_order;
+          Alcotest.test_case "persistence" `Quick test_avl_persistence;
+        ] );
+      ( "pairing-heap",
+        [
+          quick prop_heap_sorts;
+          quick prop_heap_merge;
+          quick prop_heap_cardinal;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "find_min" `Quick test_heap_find_min;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      ( "hopcroft-karp",
+        [
+          quick prop_hk_max_size;
+          quick prop_hk_valid_matching;
+          Alcotest.test_case "perfect K33" `Quick test_hk_perfect;
+          Alcotest.test_case "bottleneck" `Quick test_hk_bottleneck_structure;
+          Alcotest.test_case "empty graph" `Quick test_hk_empty_graph;
+          Alcotest.test_case "bad input" `Quick test_hk_bad_input;
+        ] );
+    ]

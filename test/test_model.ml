@@ -1,0 +1,259 @@
+(* Tests for Ftsched_model: Instance, Granularity, Levels, Deadline.
+
+   Most numeric expectations are hand-computed on the [tiny_instance]
+   fixture: 3-task chain, volumes 10 and 20, two processors with mutual
+   unit delay 0.5, exec matrix [[2;4],[3;3],[5;1]]. *)
+
+module Instance = Ftsched_model.Instance
+module Granularity = Ftsched_model.Granularity
+module Levels = Ftsched_model.Levels
+module Deadline = Ftsched_model.Deadline
+module Dag = Ftsched_dag.Dag
+module Generators = Ftsched_dag.Generators
+module Platform = Ftsched_platform.Platform
+module Rng = Ftsched_util.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Instance                                                            *)
+
+let test_instance_accessors () =
+  let inst = tiny_instance () in
+  check_int "tasks" 3 (Instance.n_tasks inst);
+  check_int "procs" 2 (Instance.n_procs inst);
+  check_float "exec" 4. (Instance.exec inst 0 1);
+  check_float "avg exec t0" 3. (Instance.avg_exec inst 0);
+  check_float "min exec t2" 1. (Instance.min_exec inst 2);
+  check_float "max exec t2" 5. (Instance.max_exec inst 2);
+  check_float "mean task exec" 3. (Instance.mean_task_exec inst)
+
+let test_instance_comm () =
+  let inst = tiny_instance () in
+  check_float "inter-proc" 5. (Instance.comm_time inst ~volume:10. ~src:0 ~dst:1);
+  check_float "intra free" 0. (Instance.comm_time inst ~volume:10. ~src:1 ~dst:1);
+  check_float "avg comm" 5. (Instance.avg_comm_time inst ~volume:10.);
+  check_float "edge avg comm" 10. (Instance.edge_avg_comm inst 1)
+
+let test_instance_validation () =
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_task b in
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:1. in
+  Alcotest.check_raises "wrong rows" (Invalid_argument "Instance.create: exec rows")
+    (fun () -> ignore (Instance.create ~dag ~platform ~exec:[||]));
+  Alcotest.check_raises "wrong cols" (Invalid_argument "Instance.create: exec cols")
+    (fun () -> ignore (Instance.create ~dag ~platform ~exec:[| [| 1. |] |]));
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Instance.create: exec cost must be positive") (fun () ->
+      ignore (Instance.create ~dag ~platform ~exec:[| [| 1.; 0. |] |]))
+
+let test_scale_exec () =
+  let inst = tiny_instance () in
+  let doubled = Instance.scale_exec inst ~factor:2. in
+  check_float "scaled" 8. (Instance.exec doubled 0 1);
+  check_float "avg follows" 6. (Instance.avg_exec doubled 0);
+  check_float "original untouched" 4. (Instance.exec inst 0 1)
+
+let prop_random_exec_bounds =
+  QCheck.Test.make ~name:"random_exec costs within model bounds" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let dag = Generators.layered rng ~n_tasks:20 () in
+      let platform = Platform.homogeneous ~m:4 ~unit_delay:1. in
+      let inst =
+        Instance.random_exec rng ~dag ~platform ~task_weight:(50., 150.)
+          ~proc_speed:(0.5, 2.) ~inconsistency:0.5 ()
+      in
+      let ok = ref true in
+      for t = 0 to 19 do
+        for p = 0 to 3 do
+          let c = Instance.exec inst t p in
+          (* w in [50,150), s in [0.5,2), u in [0.5,1.5) *)
+          if c < 50. *. 0.5 *. 0.5 || c > 150. *. 2. *. 1.5 then ok := false
+        done
+      done;
+      !ok)
+
+let test_random_exec_rejects_bad_inconsistency () =
+  let rng = Rng.create ~seed:0 in
+  let dag = Generators.chain rng ~n_tasks:3 () in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:1. in
+  Alcotest.check_raises "inconsistency out of range"
+    (Invalid_argument "Instance.random_exec: inconsistency must be in [0,1)")
+    (fun () ->
+      ignore (Instance.random_exec rng ~dag ~platform ~inconsistency:1.5 ()))
+
+let test_of_task_costs () =
+  let rng = Rng.create ~seed:1 in
+  let dag = Generators.chain rng ~n_tasks:3 () in
+  let platform = Platform.homogeneous ~m:4 ~unit_delay:1. in
+  let costs = [| 10.; 0.; 20. |] in
+  let inst =
+    Instance.of_task_costs rng ~dag ~costs ~platform ~inconsistency:0.25 ()
+  in
+  for p = 0 to 3 do
+    let c = Instance.exec inst 0 p in
+    check_bool "within noise band" true (c >= 7.5 && c < 12.5);
+    check_bool "zero cost clamped positive" true (Instance.exec inst 1 p > 0.)
+  done;
+  (* inconsistency 0 reproduces costs exactly *)
+  let exact = Instance.of_task_costs rng ~dag ~costs ~platform ~inconsistency:0. () in
+  check_float "exact" 20. (Instance.exec exact 2 1)
+
+(* ------------------------------------------------------------------ *)
+(* Granularity                                                         *)
+
+let test_granularity_known () =
+  let inst = tiny_instance () in
+  (* sum slowest comp = 4+3+5 = 12; slowest comm = (10+20)*0.5 = 15 *)
+  check_float "g = 12/15" 0.8 (Granularity.granularity inst)
+
+let test_scale_to_target () =
+  let inst = tiny_instance () in
+  let scaled = Granularity.scale_to inst ~target:2.0 in
+  check_float "hits target" 2.0 (Granularity.granularity scaled);
+  (* communication volumes untouched, only exec costs move *)
+  check_float "exec rescaled" (4. *. (2.0 /. 0.8)) (Instance.exec scaled 0 1)
+
+let test_granularity_no_edges () =
+  let b = Dag.Builder.create () in
+  let _ = Dag.Builder.add_task b in
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:1. in
+  let inst = Instance.create ~dag ~platform ~exec:[| [| 1.; 2. |] |] in
+  check_bool "infinite granularity" true
+    (Granularity.granularity inst = infinity);
+  Alcotest.check_raises "cannot scale"
+    (Invalid_argument "Granularity.scale_to: no communication in instance")
+    (fun () -> ignore (Granularity.scale_to inst ~target:1.))
+
+let prop_scale_to_any_target =
+  QCheck.Test.make ~name:"scale_to reaches arbitrary targets" ~count:100
+    QCheck.(pair (int_range 0 500) (float_range 0.1 5.0))
+    (fun (seed, target) ->
+      let inst = random_instance ~seed () in
+      let scaled = Granularity.scale_to inst ~target in
+      Float.abs (Granularity.granularity scaled -. target) < 1e-6 *. target)
+
+(* ------------------------------------------------------------------ *)
+(* Levels                                                              *)
+
+let test_bottom_levels_chain () =
+  let inst = tiny_instance () in
+  let bl = Levels.bottom_levels inst in
+  check_float "exit" 3. bl.(2);
+  check_float "middle 3+10+3" 16. bl.(1);
+  check_float "entry 3+5+16" 24. bl.(0)
+
+let test_downward_ranks_chain () =
+  let inst = tiny_instance () in
+  let rd = Levels.downward_ranks inst in
+  check_float "entry" 0. rd.(0);
+  check_float "middle 0+3+5" 8. rd.(1);
+  check_float "exit 8+3+10" 21. rd.(2)
+
+let test_static_critical_path () =
+  let inst = tiny_instance () in
+  check_float "cp" 24. (Levels.static_critical_path inst)
+
+let prop_bottom_level_at_least_avg_exec =
+  QCheck.Test.make ~name:"bl(t) >= avg exec" ~count:100
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let inst = random_instance ~seed () in
+      let bl = Levels.bottom_levels inst in
+      let ok = ref true in
+      Array.iteri
+        (fun t b -> if b < Instance.avg_exec inst t -. 1e-9 then ok := false)
+        bl;
+      !ok)
+
+let prop_sorted_by_bl_topological =
+  QCheck.Test.make ~name:"decreasing bl order is topological" ~count:100
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let inst = random_instance ~seed () in
+      let g = Instance.dag inst in
+      let order = Levels.sorted_by_bottom_level inst in
+      let pos = Array.make (Dag.n_tasks g) 0 in
+      Array.iteri (fun i t -> pos.(t) <- i) order;
+      Dag.fold_edges g ~init:true ~f:(fun acc _ ~src ~dst ~volume:_ ->
+          acc && pos.(src) < pos.(dst)))
+
+(* ------------------------------------------------------------------ *)
+(* Deadline                                                            *)
+
+let test_fastest_avg_exec () =
+  let inst = tiny_instance () in
+  check_float "eps=0 takes the fastest" 1. (Deadline.fastest_avg_exec inst ~eps:0 2);
+  check_float "eps=1 averages both" 3. (Deadline.fastest_avg_exec inst ~eps:1 2);
+  (* eps larger than m-1 clamps to m *)
+  check_float "clamped" 3. (Deadline.fastest_avg_exec inst ~eps:7 2)
+
+let test_fastest_avg_delay () =
+  let inst = tiny_instance () in
+  check_float "homogeneous" 0.5 (Deadline.fastest_avg_delay inst ~eps:0);
+  check_float "still 0.5" 0.5 (Deadline.fastest_avg_delay inst ~eps:1)
+
+let test_deadlines_chain () =
+  let inst = tiny_instance () in
+  let dl = Deadline.compute inst ~eps:0 ~latency:100. in
+  check_float "exit" 100. dl.(2);
+  check_float "middle 100-1-10" 89. dl.(1);
+  check_float "entry 89-3-5" 81. dl.(0);
+  check_bool "feasible" true (Deadline.feasible dl)
+
+let test_deadlines_infeasible () =
+  let inst = tiny_instance () in
+  let dl = Deadline.compute inst ~eps:1 ~latency:1. in
+  check_bool "negative deadlines" false (Deadline.feasible dl)
+
+let prop_deadlines_monotone =
+  QCheck.Test.make ~name:"deadline(t) <= deadline(succ t)" ~count:100
+    QCheck.(int_range 0 500)
+    (fun seed ->
+      let inst = random_instance ~seed () in
+      let g = Instance.dag inst in
+      let dl = Deadline.compute inst ~eps:1 ~latency:1e6 in
+      Dag.fold_edges g ~init:true ~f:(fun acc _ ~src ~dst ~volume:_ ->
+          acc && dl.(src) <= dl.(dst) +. 1e-9))
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "instance",
+        [
+          Alcotest.test_case "accessors" `Quick test_instance_accessors;
+          Alcotest.test_case "comm" `Quick test_instance_comm;
+          Alcotest.test_case "validation" `Quick test_instance_validation;
+          Alcotest.test_case "scale_exec" `Quick test_scale_exec;
+          Alcotest.test_case "inconsistency bound" `Quick
+            test_random_exec_rejects_bad_inconsistency;
+          quick prop_random_exec_bounds;
+          Alcotest.test_case "of_task_costs" `Quick test_of_task_costs;
+        ] );
+      ( "granularity",
+        [
+          Alcotest.test_case "known value" `Quick test_granularity_known;
+          Alcotest.test_case "scale to target" `Quick test_scale_to_target;
+          Alcotest.test_case "edgeless" `Quick test_granularity_no_edges;
+          quick prop_scale_to_any_target;
+        ] );
+      ( "levels",
+        [
+          Alcotest.test_case "bottom levels" `Quick test_bottom_levels_chain;
+          Alcotest.test_case "downward ranks" `Quick test_downward_ranks_chain;
+          Alcotest.test_case "critical path" `Quick test_static_critical_path;
+          quick prop_bottom_level_at_least_avg_exec;
+          quick prop_sorted_by_bl_topological;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "fastest exec" `Quick test_fastest_avg_exec;
+          Alcotest.test_case "fastest delay" `Quick test_fastest_avg_delay;
+          Alcotest.test_case "chain deadlines" `Quick test_deadlines_chain;
+          Alcotest.test_case "infeasible" `Quick test_deadlines_infeasible;
+          quick prop_deadlines_monotone;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Tests for Ftsched_platform. *)
+
+module Platform = Ftsched_platform.Platform
+module Rng = Ftsched_util.Rng
+open Helpers
+
+let test_create_validation () =
+  Alcotest.check_raises "not square" (Invalid_argument "Platform.create: not square")
+    (fun () -> ignore (Platform.create ~delay:[| [| 0.; 1. |] |]));
+  Alcotest.check_raises "nonzero diagonal"
+    (Invalid_argument "Platform.create: nonzero diagonal") (fun () ->
+      ignore (Platform.create ~delay:[| [| 1. |] |]));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Platform.create: bad delay") (fun () ->
+      ignore (Platform.create ~delay:[| [| 0.; -1. |]; [| 1.; 0. |] |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Platform.create: empty")
+    (fun () -> ignore (Platform.create ~delay:[||]))
+
+let test_accessors () =
+  let p = Platform.create ~delay:[| [| 0.; 2. |]; [| 3.; 0. |] |] in
+  check_int "m" 2 (Platform.n_procs p);
+  check_float "d(0,1)" 2. (Platform.delay p 0 1);
+  check_float "d(1,0)" 3. (Platform.delay p 1 0);
+  check_float "diag" 0. (Platform.delay p 1 1);
+  check_float "avg over ordered pairs" 2.5 (Platform.avg_delay p);
+  check_float "max from 0" 2. (Platform.max_delay_from p 0);
+  check_float "max overall" 3. (Platform.max_delay p);
+  Alcotest.(check (array int)) "procs" [| 0; 1 |] (Platform.procs p)
+
+let test_create_copies_input () =
+  let delay = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let p = Platform.create ~delay in
+  delay.(0).(1) <- 99.;
+  check_float "defensive copy" 1. (Platform.delay p 0 1)
+
+let test_homogeneous () =
+  let p = Platform.homogeneous ~m:4 ~unit_delay:0.7 in
+  check_float "avg" 0.7 (Platform.avg_delay p);
+  check_float "max" 0.7 (Platform.max_delay p);
+  check_float "delay" 0.7 (Platform.delay p 1 3);
+  check_float "diag" 0. (Platform.delay p 2 2)
+
+let test_single_proc () =
+  let p = Platform.homogeneous ~m:1 ~unit_delay:0.5 in
+  check_float "no pairs: avg 0" 0. (Platform.avg_delay p);
+  check_float "max from 0" 0. (Platform.max_delay_from p 0)
+
+let prop_random_in_range =
+  QCheck.Test.make ~name:"random delays within bounds" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let p = Platform.random rng ~m:6 ~delay_lo:0.5 ~delay_hi:1.0 () in
+      let ok = ref true in
+      for k = 0 to 5 do
+        for h = 0 to 5 do
+          let d = Platform.delay p k h in
+          if k = h then (if d <> 0. then ok := false)
+          else if d < 0.5 || d >= 1.0 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_random_symmetric =
+  QCheck.Test.make ~name:"random symmetric by default" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let p = Platform.random rng ~m:5 ~delay_lo:0.1 ~delay_hi:2.0 () in
+      let ok = ref true in
+      for k = 0 to 4 do
+        for h = 0 to 4 do
+          if Platform.delay p k h <> Platform.delay p h k then ok := false
+        done
+      done;
+      !ok)
+
+let test_random_asymmetric_allowed () =
+  let rng = Rng.create ~seed:42 in
+  let p = Platform.random rng ~m:8 ~delay_lo:0.1 ~delay_hi:2.0 ~symmetric:false () in
+  (* with 56 independent draws, at least one pair should differ *)
+  let asym = ref false in
+  for k = 0 to 7 do
+    for h = 0 to 7 do
+      if Platform.delay p k h <> Platform.delay p h k then asym := true
+    done
+  done;
+  check_bool "asymmetric" true !asym
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                            *)
+
+module Topology = Ftsched_platform.Topology
+
+let test_ring_delays () =
+  let p = Topology.ring ~m:6 ~hop_delay:1.0 () in
+  check_float "neighbour" 1. (Platform.delay p 0 1);
+  check_float "wraparound neighbour" 1. (Platform.delay p 0 5);
+  check_float "opposite" 3. (Platform.delay p 0 3);
+  check_float "two hops" 2. (Platform.delay p 1 5)
+
+let test_grid_delays () =
+  let p = Topology.grid ~rows:3 ~cols:3 ~hop_delay:0.5 () in
+  (* manhattan distance x hop *)
+  check_float "corner to corner" 2. (Platform.delay p 0 8);
+  check_float "adjacent" 0.5 (Platform.delay p 0 1);
+  check_int "9 procs" 9 (Platform.n_procs p)
+
+let test_star_delays () =
+  let p = Topology.star ~leaves:5 ~hop_delay:2.0 () in
+  check_float "hub to leaf" 2. (Platform.delay p 0 3);
+  check_float "leaf to leaf via hub" 4. (Platform.delay p 1 5)
+
+let test_of_links_validation () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Topology: disconnected platform") (fun () ->
+      ignore (Topology.of_links ~m:3 ~links:[ (0, 1, 1.) ]));
+  Alcotest.check_raises "self link"
+    (Invalid_argument "Topology: malformed link") (fun () ->
+      ignore (Topology.of_links ~m:2 ~links:[ (0, 0, 1.) ]))
+
+let test_of_links_triangle_shortcut () =
+  (* going around is cheaper than the direct heavy link *)
+  let p =
+    Topology.of_links ~m:3 ~links:[ (0, 1, 1.); (1, 2, 1.); (0, 2, 10.) ]
+  in
+  check_float "shortest path wins" 2. (Platform.delay p 0 2)
+
+let prop_ring_jitter_bounds =
+  QCheck.Test.make ~name:"jittered ring stays within hop bounds" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let p = Topology.ring ~rng ~jitter:0.2 ~m:8 ~hop_delay:1.0 () in
+      let ok = ref true in
+      for a = 0 to 7 do
+        for b = 0 to 7 do
+          if a <> b then begin
+            let d = Platform.delay p a b in
+            (* at most 4 hops on an 8-ring, each within [0.8, 1.2) *)
+            if d < 0.8 || d > 4. *. 1.2 then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "defensive copy" `Quick test_create_copies_input;
+          Alcotest.test_case "homogeneous" `Quick test_homogeneous;
+          Alcotest.test_case "single proc" `Quick test_single_proc;
+          Alcotest.test_case "asymmetric option" `Quick test_random_asymmetric_allowed;
+          quick prop_random_in_range;
+          quick prop_random_symmetric;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "ring" `Quick test_ring_delays;
+          Alcotest.test_case "grid" `Quick test_grid_delays;
+          Alcotest.test_case "star" `Quick test_star_delays;
+          Alcotest.test_case "of_links validation" `Quick test_of_links_validation;
+          Alcotest.test_case "shortest path" `Quick test_of_links_triangle_shortcut;
+          quick prop_ring_jitter_bounds;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(* Golden-value regression tests.
+
+   Every number here was produced by the current implementation on a
+   pinned seed and checked against the validators, the reference oracle
+   and the simulators.  They exist to catch *unintentional* behavioural
+   drift: if an edit changes any value, either the edit has a bug or the
+   change is intentional — in which case the expected values (and any
+   archived experiment outputs) must be regenerated together.
+
+   The tiny-chain values are additionally hand-derived in
+   test/test_schedule.ml. *)
+
+module Schedule = Ftsched_schedule.Schedule
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Ftbar = Ftsched_baseline.Ftbar
+module Heft = Ftsched_baseline.Heft
+module Cpop = Ftsched_baseline.Cpop
+module Workload = Ftsched_exp.Workload
+open Helpers
+
+let golden = Alcotest.(check (float 1e-6))
+
+(* One paper-workload instance, pinned: seed 2008, granularity 1.0,
+   index 0 — the first graph of every figure's g=1.0 point. *)
+let pinned_instance () =
+  Workload.instance Workload.paper ~master_seed:2008 ~granularity:1.0 ~index:0
+
+let test_instance_shape () =
+  let inst = pinned_instance () in
+  check_int "tasks" 135 (Instance.n_tasks inst);
+  check_int "procs" 20 (Instance.n_procs inst);
+  check_int "edges" 852 (Ftsched_dag.Dag.n_edges (Instance.dag inst))
+
+let test_ftsa_golden () =
+  let inst = pinned_instance () in
+  let s = Ftsa.schedule ~seed:2008 inst ~eps:2 in
+  golden "M*" 4629.011464 (Schedule.latency_lower_bound s);
+  golden "M" 5991.839780 (Schedule.latency_upper_bound s);
+  check_int "messages" 6342 (Schedule.inter_processor_messages s)
+
+let test_mc_golden () =
+  let inst = pinned_instance () in
+  let s = Mc_ftsa.schedule ~seed:2008 inst ~eps:2 in
+  golden "M*" 6161.288773 (Schedule.latency_lower_bound s);
+  golden "M" 6193.253678 (Schedule.latency_upper_bound s);
+  check_int "messages" 2126 (Schedule.inter_processor_messages s)
+
+let test_ftbar_golden () =
+  let inst = pinned_instance () in
+  let s = Ftbar.schedule ~seed:2008 inst ~npf:2 in
+  golden "M*" 5379.374497 (Schedule.latency_lower_bound s);
+  golden "M" 8674.520458 (Schedule.latency_upper_bound s)
+
+let test_fault_free_golden () =
+  let inst = pinned_instance () in
+  golden "FTSA ff" 2720.905673
+    (Schedule.latency_lower_bound (Ftsa.fault_free inst));
+  golden "HEFT" 2741.900591
+    (Schedule.latency_lower_bound (Heft.schedule inst));
+  golden "CPOP" 2948.755512
+    (Schedule.latency_lower_bound (Cpop.schedule inst))
+
+let () =
+  Alcotest.run "regression"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "pinned instance shape" `Quick test_instance_shape;
+          Alcotest.test_case "ftsa" `Quick test_ftsa_golden;
+          Alcotest.test_case "mc-ftsa" `Quick test_mc_golden;
+          Alcotest.test_case "ftbar" `Quick test_ftbar_golden;
+          Alcotest.test_case "fault-free trio" `Quick test_fault_free_golden;
+        ] );
+    ]

@@ -1,0 +1,490 @@
+(* Tests for Ftsched_schedule: comm plans, schedule accessors/bounds,
+   validators, Gantt rendering.
+
+   The hand-built schedule used below maps the tiny 3-task chain
+   (volumes 10, 20; mutual delay 0.5; exec [[2;4],[3;3],[5;1]]) with
+   eps = 1 exactly as FTSA would:
+
+     t0: P0 [0,2]               P1 [0,4]
+     t1: P0 [2,5]  (pess [9,12])  P1 [4,7]  (pess [7,10])
+     t2: P1 [7,8]  (pess [22,23]) P0 [5,10] (pess [20,25])
+
+   giving M* = 8 and M = 25. *)
+
+module Schedule = Ftsched_schedule.Schedule
+module Comm_plan = Ftsched_schedule.Comm_plan
+module Validate = Ftsched_schedule.Validate
+module Gantt = Ftsched_schedule.Gantt
+open Helpers
+
+let r ~task ~index ~proc ~s ~f ~ps ~pf =
+  {
+    Schedule.task;
+    index;
+    proc;
+    start = s;
+    finish = f;
+    pess_start = ps;
+    pess_finish = pf;
+  }
+
+let hand_replicas () =
+  [|
+    [| r ~task:0 ~index:0 ~proc:0 ~s:0. ~f:2. ~ps:0. ~pf:2.;
+       r ~task:0 ~index:1 ~proc:1 ~s:0. ~f:4. ~ps:0. ~pf:4. |];
+    [| r ~task:1 ~index:0 ~proc:0 ~s:2. ~f:5. ~ps:9. ~pf:12.;
+       r ~task:1 ~index:1 ~proc:1 ~s:4. ~f:7. ~ps:7. ~pf:10. |];
+    [| r ~task:2 ~index:0 ~proc:1 ~s:7. ~f:8. ~ps:22. ~pf:23.;
+       r ~task:2 ~index:1 ~proc:0 ~s:5. ~f:10. ~ps:20. ~pf:25. |];
+  |]
+
+let hand_schedule () =
+  Schedule.create ~instance:(tiny_instance ()) ~eps:1
+    ~replicas:(hand_replicas ()) ~comm:Comm_plan.All_to_all
+
+(* ------------------------------------------------------------------ *)
+(* Comm_plan                                                           *)
+
+let test_all_to_all_pairs () =
+  let pairs = Comm_plan.pairs_for Comm_plan.All_to_all ~eps:2 0 in
+  check_int "9 pairs" 9 (List.length pairs);
+  check_bool "contains 1->2" true
+    (List.exists
+       (fun p -> p.Comm_plan.src_replica = 1 && p.Comm_plan.dst_replica = 2)
+       pairs)
+
+let test_senders_to () =
+  let sel =
+    Comm_plan.Selected
+      [| [ { Comm_plan.src_replica = 0; dst_replica = 1 };
+           { Comm_plan.src_replica = 1; dst_replica = 0 } ] |]
+  in
+  Alcotest.(check (list int)) "selected sender" [ 1 ]
+    (Comm_plan.senders_to sel ~eps:1 0 ~dst_replica:0);
+  Alcotest.(check (list int)) "all-to-all senders" [ 0; 1 ]
+    (Comm_plan.senders_to Comm_plan.All_to_all ~eps:1 0 ~dst_replica:0)
+
+let test_is_one_to_one () =
+  let p s d = { Comm_plan.src_replica = s; dst_replica = d } in
+  check_bool "valid bijection" true
+    (Comm_plan.is_one_to_one [ p 0 1; p 1 0 ] ~eps:1);
+  check_bool "repeated source" false
+    (Comm_plan.is_one_to_one [ p 0 0; p 0 1 ] ~eps:1);
+  check_bool "repeated target" false
+    (Comm_plan.is_one_to_one [ p 0 0; p 1 0 ] ~eps:1);
+  check_bool "wrong cardinality" false
+    (Comm_plan.is_one_to_one [ p 0 0 ] ~eps:1);
+  check_bool "out of range" false
+    (Comm_plan.is_one_to_one [ p 0 0; p 1 5 ] ~eps:1)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule construction and accessors                                 *)
+
+let test_create_validation () =
+  let inst = tiny_instance () in
+  let reps = hand_replicas () in
+  Alcotest.check_raises "eps out of range"
+    (Invalid_argument "Schedule.create: eps out of range") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:2 ~replicas:reps
+                ~comm:Comm_plan.All_to_all));
+  let bad = hand_replicas () in
+  bad.(1) <- [| bad.(1).(0) |];
+  Alcotest.check_raises "wrong replica count"
+    (Invalid_argument "Schedule.create: wrong replica count") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:1 ~replicas:bad
+                ~comm:Comm_plan.All_to_all));
+  let mislabeled = hand_replicas () in
+  mislabeled.(0).(0) <- { (mislabeled.(0).(0)) with task = 2 } ;
+  Alcotest.check_raises "mislabelled"
+    (Invalid_argument "Schedule.create: replica mislabelled") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:1 ~replicas:mislabeled
+                ~comm:Comm_plan.All_to_all));
+  let bad_proc = hand_replicas () in
+  bad_proc.(0).(0) <- { (bad_proc.(0).(0)) with proc = 9 } ;
+  Alcotest.check_raises "bad processor"
+    (Invalid_argument "Schedule.create: bad processor") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:1 ~replicas:bad_proc
+                ~comm:Comm_plan.All_to_all));
+  let bad_dur = hand_replicas () in
+  bad_dur.(0).(0) <- { (bad_dur.(0).(0)) with finish = -1. } ;
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Schedule.create: negative duration") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:1 ~replicas:bad_dur
+                ~comm:Comm_plan.All_to_all));
+  Alcotest.check_raises "comm plan size"
+    (Invalid_argument "Schedule.create: comm plan edge count") (fun () ->
+      ignore (Schedule.create ~instance:inst ~eps:1 ~replicas:(hand_replicas ())
+                ~comm:(Comm_plan.Selected [||])))
+
+let test_accessors () =
+  let s = hand_schedule () in
+  check_int "eps" 1 (Schedule.eps s);
+  check_int "n_replicas" 2 (Schedule.n_replicas s);
+  check_int "proc of t2 replica 0" 1 (Schedule.proc_of s 2 0);
+  Alcotest.(check (array int)) "assigned procs t2" [| 1; 0 |]
+    (Schedule.assigned_procs s 2);
+  (match Schedule.replica_on s 1 ~proc:1 with
+  | Some rep -> check_int "replica_on finds index" 1 rep.Schedule.index
+  | None -> Alcotest.fail "replica_on missed");
+  check_bool "replica_on absent" true (Schedule.replica_on s 1 ~proc:5 = None)
+
+let test_mapping_matrix () =
+  let s = hand_schedule () in
+  let x = Schedule.mapping_matrix s in
+  check_bool "t0 on both" true (x.(0).(0) && x.(0).(1));
+  check_bool "exactly v rows" true (Array.length x = 3)
+
+let test_proc_timeline_sorted () =
+  let s = hand_schedule () in
+  let tl = Schedule.proc_timeline s 0 in
+  let starts = List.map (fun rep -> rep.Schedule.start) tl in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 0.; 2.; 5. ] starts
+
+let test_bounds () =
+  let s = hand_schedule () in
+  check_float "M*" 8. (Schedule.latency_lower_bound s);
+  check_float "M" 25. (Schedule.latency_upper_bound s)
+
+let test_busy_time () =
+  let s = hand_schedule () in
+  check_float "P0 busy 2+3+5" 10. (Schedule.busy_time s 0);
+  check_float "P1 busy 4+3+1" 8. (Schedule.busy_time s 1)
+
+let test_message_count_all_to_all () =
+  let s = hand_schedule () in
+  (* every receiver is colocated with a sender replica (procs {0,1} for
+     all tasks), so the intra-processor shortcut suppresses everything *)
+  check_int "all local" 0 (Schedule.inter_processor_messages s);
+  check_float "volume" 0. (Schedule.total_comm_volume s)
+
+let test_message_count_spread () =
+  (* Same chain but t1's replicas on disjoint procs from t0's: build a
+     4-processor platform variant. *)
+  let b = Ftsched_dag.Dag.Builder.create () in
+  let t0 = Ftsched_dag.Dag.Builder.add_task b in
+  let t1 = Ftsched_dag.Dag.Builder.add_task b in
+  Ftsched_dag.Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:10.;
+  let dag = Ftsched_dag.Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:4 ~unit_delay:1. in
+  let exec = [| [| 1.; 1.; 1.; 1. |]; [| 1.; 1.; 1.; 1. |] |] in
+  let inst = Instance.create ~dag ~platform ~exec in
+  let reps =
+    [|
+      [| r ~task:0 ~index:0 ~proc:0 ~s:0. ~f:1. ~ps:0. ~pf:1.;
+         r ~task:0 ~index:1 ~proc:1 ~s:0. ~f:1. ~ps:0. ~pf:1. |];
+      [| r ~task:1 ~index:0 ~proc:2 ~s:11. ~f:12. ~ps:11. ~pf:12.;
+         r ~task:1 ~index:1 ~proc:3 ~s:11. ~f:12. ~ps:11. ~pf:12. |];
+    |]
+  in
+  let s_all =
+    Schedule.create ~instance:inst ~eps:1 ~replicas:reps
+      ~comm:Comm_plan.All_to_all
+  in
+  check_int "4 cross messages" 4 (Schedule.inter_processor_messages s_all);
+  check_float "40 units" 40. (Schedule.total_comm_volume s_all);
+  let s_sel =
+    Schedule.create ~instance:inst ~eps:1 ~replicas:reps
+      ~comm:
+        (Comm_plan.Selected
+           [| [ { Comm_plan.src_replica = 0; dst_replica = 0 };
+                { Comm_plan.src_replica = 1; dst_replica = 1 } ] |])
+  in
+  check_int "2 selected messages" 2 (Schedule.inter_processor_messages s_sel);
+  assert_valid "selected" s_sel
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+
+let test_validate_ok () = assert_valid "hand schedule" (hand_schedule ())
+
+let test_validate_duplicate_proc () =
+  let reps = hand_replicas () in
+  reps.(0).(1) <- { (reps.(0).(1)) with proc = 0; finish = 2.; start = 0. } ;
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1 ~replicas:reps
+      ~comm:Comm_plan.All_to_all
+  in
+  let errs = Validate.distinct_replica_procs s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "distinct-procs") errs)
+
+let test_validate_overlap () =
+  let reps = hand_replicas () in
+  (* force t1's P0 replica to start before t0's P0 replica finishes *)
+  reps.(1).(0) <- { (reps.(1).(0)) with start = 1.; finish = 4. } ;
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1 ~replicas:reps
+      ~comm:Comm_plan.All_to_all
+  in
+  let errs = Validate.no_processor_overlap s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "no-overlap") errs)
+
+let test_validate_early_start () =
+  let reps = hand_replicas () in
+  (* t2 on P1 starting at 0 cannot have its inputs *)
+  reps.(2).(0) <- { (reps.(2).(0)) with start = 0.; finish = 1. } ;
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1 ~replicas:reps
+      ~comm:Comm_plan.All_to_all
+  in
+  let errs = Validate.data_feasible s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "arrival-opt") errs)
+
+let test_validate_wrong_duration () =
+  let reps = hand_replicas () in
+  reps.(0).(0) <- { (reps.(0).(0)) with finish = 3. } ;
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1 ~replicas:reps
+      ~comm:Comm_plan.All_to_all
+  in
+  let errs = Validate.data_feasible s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "duration") errs)
+
+let test_validate_selection_not_bijective () =
+  let sel =
+    Comm_plan.Selected
+      [|
+        [ { Comm_plan.src_replica = 0; dst_replica = 0 };
+          { Comm_plan.src_replica = 1; dst_replica = 0 } ];
+        [ { Comm_plan.src_replica = 0; dst_replica = 0 };
+          { Comm_plan.src_replica = 1; dst_replica = 1 } ];
+      |]
+  in
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1
+      ~replicas:(hand_replicas ()) ~comm:sel
+  in
+  let errs = Validate.robust_selection s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "one-to-one") errs)
+
+let test_validate_forced_internal () =
+  (* edge t0->t1: t0 replica 0 on P0 is colocated with t1 replica 0 on P0,
+     so sending to replica 1 instead violates the forced rule. *)
+  let sel =
+    Comm_plan.Selected
+      [|
+        [ { Comm_plan.src_replica = 0; dst_replica = 1 };
+          { Comm_plan.src_replica = 1; dst_replica = 0 } ];
+        [ { Comm_plan.src_replica = 0; dst_replica = 0 };
+          { Comm_plan.src_replica = 1; dst_replica = 1 } ];
+      |]
+  in
+  let s =
+    Schedule.create ~instance:(tiny_instance ()) ~eps:1
+      ~replicas:(hand_replicas ()) ~comm:sel
+  in
+  let errs = Validate.robust_selection s in
+  check_bool "caught" true
+    (List.exists (fun e -> e.Validate.check = "forced-internal") errs)
+
+let test_survives_hand () =
+  let s = hand_schedule () in
+  check_bool "no failure" true (Validate.survives s ~failed:[||]);
+  check_bool "P0 fails" true (Validate.survives s ~failed:[| 0 |]);
+  check_bool "P1 fails" true (Validate.survives s ~failed:[| 1 |]);
+  check_bool "both fail" false (Validate.survives s ~failed:[| 0; 1 |]);
+  check_bool "exhaustive eps=1" true (Validate.survives_all_subsets s)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+module Metrics = Ftsched_schedule.Metrics
+
+let test_metrics_cp_bound () =
+  (* fastest execution along the chain: 2 + 3 + 1 = 6 *)
+  check_float "cp bound" 6. (Metrics.critical_path_lower_bound (tiny_instance ()))
+
+let test_metrics_hand_values () =
+  let s = hand_schedule () in
+  check_float "slr 8/6" (8. /. 6.) (Metrics.slr s);
+  check_float "gslr 25/6" (25. /. 6.) (Metrics.guaranteed_slr s);
+  check_float "sequential 6" 6. (Metrics.sequential_time (tiny_instance ()));
+  check_float "speedup 6/8" 0.75 (Metrics.speedup s);
+  (* busy: P0 = 10, P1 = 8; horizon M* = 8 *)
+  check_float "utilization" ((10. +. 8.) /. (2. *. 8.)) (Metrics.avg_utilization s);
+  check_float "imbalance 10/9" (10. /. 9.) (Metrics.load_imbalance s);
+  check_float "inflation 18/6" 3. (Metrics.work_inflation s)
+
+let prop_metrics_sane =
+  QCheck.Test.make ~name:"metrics stay in sane ranges" ~count:40
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~m:6 () in
+      let s = Ftsched_core.Ftsa.schedule ~seed inst ~eps in
+      Metrics.slr s >= 1. -. 1e-9
+      && Metrics.guaranteed_slr s >= Metrics.slr s -. 1e-9
+      && Metrics.load_imbalance s >= 1. -. 1e-9
+      && Metrics.work_inflation s >= float_of_int (eps + 1) -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+module Serialize = Ftsched_schedule.Serialize
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+
+let same_schedule a b =
+  let ia = Schedule.instance a and ib = Schedule.instance b in
+  let va = Instance.n_tasks ia in
+  Instance.n_tasks ia = Instance.n_tasks ib
+  && Instance.n_procs ia = Instance.n_procs ib
+  && Schedule.eps a = Schedule.eps b
+  && List.for_all
+       (fun task ->
+         Array.for_all2
+           (fun (x : Schedule.replica) (y : Schedule.replica) -> x = y)
+           (Schedule.replicas a task) (Schedule.replicas b task))
+       (List.init va (fun i -> i))
+  && Schedule.comm a = Schedule.comm b
+
+let test_serialize_roundtrip_hand () =
+  let s = hand_schedule () in
+  let s' = Serialize.schedule_of_string (Serialize.schedule_to_string s) in
+  check_bool "identical" true (same_schedule s s');
+  assert_valid "parsed schedule" s'
+
+let test_serialize_instance_roundtrip () =
+  let inst = tiny_instance () in
+  let inst' = Serialize.instance_of_string (Serialize.instance_to_string inst) in
+  check_int "tasks" (Instance.n_tasks inst) (Instance.n_tasks inst');
+  check_float "exact float" (Instance.exec inst 2 1) (Instance.exec inst' 2 1);
+  check_float "delay" 0.5
+    (Ftsched_platform.Platform.delay (Instance.platform inst') 0 1);
+  check_float "volume"
+    (Ftsched_dag.Dag.edge_volume (Instance.dag inst) 1)
+    (Ftsched_dag.Dag.edge_volume (Instance.dag inst') 1)
+
+let prop_serialize_roundtrip_random =
+  QCheck.Test.make ~name:"serialization round-trips every scheduler output"
+    ~count:25
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:20 ~m:5 () in
+      List.for_all
+        (fun s ->
+          same_schedule s
+            (Serialize.schedule_of_string (Serialize.schedule_to_string s)))
+        [ Ftsa.schedule ~seed inst ~eps; Mc_ftsa.schedule ~seed inst ~eps ])
+
+let test_serialize_redundant_plan_roundtrip () =
+  (* plans with more than eps+1 pairs per edge must survive the format *)
+  let inst = tiny_instance () in
+  let s =
+    Mc_ftsa.schedule ~strategy:(Mc_ftsa.Redundant 2) inst ~eps:1
+  in
+  let s' = Serialize.schedule_of_string (Serialize.schedule_to_string s) in
+  check_bool "redundant roundtrip" true (same_schedule s s');
+  assert_valid "parsed redundant schedule" s'
+
+let test_serialize_file_roundtrip () =
+  let s = hand_schedule () in
+  let path = Filename.temp_file "ftsched" ".sched" in
+  Serialize.save_schedule s ~path;
+  let s' = Serialize.load_schedule ~path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (same_schedule s s')
+
+let test_serialize_rejects_garbage () =
+  check_bool "bad magic" true
+    (try
+       ignore (Serialize.schedule_of_string "not a schedule\n");
+       false
+     with Failure _ -> true);
+  check_bool "truncated" true
+    (try
+       ignore
+         (Serialize.schedule_of_string "ftsched v1\ninstance 2 2 0\nlabel a\n");
+       false
+     with Failure _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Gantt                                                               *)
+
+let test_gantt_render () =
+  let s = hand_schedule () in
+  let out = Gantt.render ~width:40 s in
+  check_bool "has P0 row" true (contains out "P0");
+  check_bool "has P1 row" true (contains out "P1");
+  check_bool "mentions horizon" true (contains out "horizon");
+  let listing = Gantt.render_listing s in
+  check_bool "listing has task 2" true (contains listing "task 2")
+
+let test_gantt_svg () =
+  let s = hand_schedule () in
+  let svg = Gantt.render_svg s in
+  check_bool "is svg" true (contains svg "<svg");
+  check_bool "closes svg" true (contains svg "</svg>");
+  check_bool "has rects" true (contains svg "<rect");
+  check_bool "labels procs" true (contains svg ">P1</text>");
+  (* six replicas -> six rect blocks *)
+  let rects =
+    List.length (String.split_on_char '\n' svg)
+    - List.length
+        (List.filter
+           (fun l -> not (contains l "<rect"))
+           (String.split_on_char '\n' svg))
+  in
+  check_int "one rect per replica" 6 rects
+
+let () =
+  Alcotest.run "schedule"
+    [
+      ( "comm-plan",
+        [
+          Alcotest.test_case "all-to-all pairs" `Quick test_all_to_all_pairs;
+          Alcotest.test_case "senders_to" `Quick test_senders_to;
+          Alcotest.test_case "is_one_to_one" `Quick test_is_one_to_one;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "mapping matrix" `Quick test_mapping_matrix;
+          Alcotest.test_case "timeline sorted" `Quick test_proc_timeline_sorted;
+          Alcotest.test_case "bounds M*/M" `Quick test_bounds;
+          Alcotest.test_case "busy time" `Quick test_busy_time;
+          Alcotest.test_case "messages: intra shortcut" `Quick
+            test_message_count_all_to_all;
+          Alcotest.test_case "messages: spread procs" `Quick
+            test_message_count_spread;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "hand schedule ok" `Quick test_validate_ok;
+          Alcotest.test_case "duplicate proc" `Quick test_validate_duplicate_proc;
+          Alcotest.test_case "overlap" `Quick test_validate_overlap;
+          Alcotest.test_case "early start" `Quick test_validate_early_start;
+          Alcotest.test_case "wrong duration" `Quick test_validate_wrong_duration;
+          Alcotest.test_case "selection not bijective" `Quick
+            test_validate_selection_not_bijective;
+          Alcotest.test_case "forced internal rule" `Quick
+            test_validate_forced_internal;
+          Alcotest.test_case "survives" `Quick test_survives_hand;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "cp bound" `Quick test_metrics_cp_bound;
+          Alcotest.test_case "hand values" `Quick test_metrics_hand_values;
+          quick prop_metrics_sane;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "hand roundtrip" `Quick test_serialize_roundtrip_hand;
+          Alcotest.test_case "instance roundtrip" `Quick
+            test_serialize_instance_roundtrip;
+          Alcotest.test_case "redundant plan roundtrip" `Quick
+            test_serialize_redundant_plan_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          quick prop_serialize_roundtrip_random;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "render" `Quick test_gantt_render;
+          Alcotest.test_case "svg" `Quick test_gantt_svg;
+        ] );
+    ]

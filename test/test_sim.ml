@@ -1,0 +1,501 @@
+(* Tests for Ftsched_sim: scenarios, the crash executor, the event-driven
+   simulator — including the cross-validation of the two independent
+   execution engines and the documented MC-FTSA end-to-end gap. *)
+
+module Scenario = Ftsched_sim.Scenario
+module Crash_exec = Ftsched_sim.Crash_exec
+module Event_sim = Ftsched_sim.Event_sim
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Ftbar = Ftsched_baseline.Ftbar
+module Schedule = Ftsched_schedule.Schedule
+module Validate = Ftsched_schedule.Validate
+module Rng = Ftsched_util.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+
+let test_scenario_of_list () =
+  let s = Scenario.of_list [ 3; 1 ] in
+  Alcotest.(check (array int)) "kept" [| 3; 1 |] s.Scenario.failed;
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Scenario.of_list: duplicate processor") (fun () ->
+      ignore (Scenario.of_list [ 1; 1 ]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Scenario.of_list: negative processor") (fun () ->
+      ignore (Scenario.of_list [ -1 ]))
+
+let prop_scenario_random_distinct =
+  QCheck.Test.make ~name:"random scenarios are distinct subsets" ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 0 6))
+    (fun (seed, count) ->
+      let rng = Rng.create ~seed in
+      let s = Scenario.random rng ~m:8 ~count in
+      Array.length s.Scenario.failed = count
+      && Array.for_all (fun p -> p >= 0 && p < 8) s.Scenario.failed
+      && List.length (List.sort_uniq compare (Array.to_list s.Scenario.failed))
+         = count)
+
+let test_all_of_size_counts () =
+  (* C(5,2) = 10 *)
+  check_int "C(5,2)" 10 (List.length (Scenario.all_of_size ~m:5 ~count:2));
+  check_int "C(4,0)" 1 (List.length (Scenario.all_of_size ~m:4 ~count:0));
+  check_int "C(4,4)" 1 (List.length (Scenario.all_of_size ~m:4 ~count:4))
+
+let test_random_timed () =
+  let rng = Rng.create ~seed:3 in
+  let timed = Scenario.random_timed rng ~m:6 ~count:3 ~horizon:10. in
+  check_int "count" 3 (List.length timed);
+  List.iter
+    (fun { Scenario.proc; at } ->
+      check_bool "proc range" true (proc >= 0 && proc < 6);
+      check_bool "time range" true (at >= 0. && at < 10.))
+    timed
+
+(* ------------------------------------------------------------------ *)
+(* Crash executor                                                      *)
+
+let prop_no_failure_matches_lower_bound =
+  QCheck.Test.make
+    ~name:"crash(∅) achieves exactly M* for FTSA/MC/FTBAR" ~count:25
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~m:6 () in
+      List.for_all
+        (fun s ->
+          let l = Crash_exec.latency_exn s Scenario.none in
+          Float.abs (l -. Schedule.latency_lower_bound s) < 1e-6)
+        [
+          Ftsa.schedule ~seed inst ~eps;
+          Mc_ftsa.schedule ~seed inst ~eps;
+          Ftbar.schedule ~seed inst ~npf:eps;
+        ])
+
+let prop_crash_latency_within_bounds =
+  QCheck.Test.make
+    ~name:"FTSA crash latency within [M*, M] for every eps-subset" ~count:15
+    QCheck.(pair (int_range 1 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      let s = Ftsa.schedule ~seed inst ~eps in
+      let lb = Schedule.latency_lower_bound s in
+      let ub = Schedule.latency_upper_bound s in
+      List.for_all
+        (fun sc ->
+          let l = Crash_exec.latency_exn s sc in
+          l >= lb -. 1e-6 && l <= ub +. 1e-6)
+        (Scenario.all_of_size ~m:5 ~count:eps))
+
+let prop_strict_equals_reroute_for_all_to_all =
+  QCheck.Test.make
+    ~name:"strict and reroute agree on all-to-all plans" ~count:15
+    QCheck.(pair (int_range 1 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      let s = Ftsa.schedule ~seed inst ~eps in
+      List.for_all
+        (fun sc ->
+          let a = Crash_exec.latency_exn ~policy:Crash_exec.Strict s sc in
+          let b = Crash_exec.latency_exn ~policy:Crash_exec.Reroute s sc in
+          Float.abs (a -. b) < 1e-9)
+        (Scenario.all_of_size ~m:5 ~count:eps))
+
+let prop_reroute_never_defeated =
+  QCheck.Test.make
+    ~name:"reroute policy always delivers MC-FTSA under <= eps failures"
+    ~count:15
+    QCheck.(pair (int_range 1 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      let s = Mc_ftsa.schedule ~seed inst ~eps in
+      List.for_all
+        (fun sc ->
+          (Crash_exec.run ~policy:Crash_exec.Reroute s sc).Crash_exec.latency
+          <> None)
+        (Scenario.all_of_size ~m:5 ~count:eps))
+
+let test_defeated_beyond_eps () =
+  (* failing the processors of all replicas of some task defeats the
+     schedule (that requires eps+1 > eps failures, as Theorem 4.1 says) *)
+  let inst = random_instance ~seed:17 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let victim = Scenario.of_list (Array.to_list (Schedule.assigned_procs s 0)) in
+  let r = Crash_exec.run s victim in
+  check_bool "defeated" true (r.Crash_exec.latency = None);
+  check_bool "latency_exn raises" true
+    (try
+       ignore (Crash_exec.latency_exn s victim);
+       false
+     with Failure _ -> true)
+
+let test_outcome_classification () =
+  let inst = tiny_instance () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let r = Crash_exec.run s (Scenario.of_list [ 0 ]) in
+  (* replicas on P0 are Dead, replicas on P1 Completed *)
+  Array.iteri
+    (fun task row ->
+      Array.iteri
+        (fun k outcome ->
+          let rep = Schedule.replica s task k in
+          match outcome with
+          | Crash_exec.Dead -> check_int "dead on P0" 0 rep.Schedule.proc
+          | Crash_exec.Completed _ -> check_int "alive on P1" 1 rep.Schedule.proc
+          | Crash_exec.Starved -> Alcotest.fail "nothing starves here")
+        row)
+    r.Crash_exec.outcomes
+
+let test_crash_serializes_on_survivor () =
+  (* killing P0 in the tiny chain forces everything onto P1:
+     t0 [0,4], t1 [4,7], t2 [7,8] -> latency 8 *)
+  let inst = tiny_instance () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  check_float "latency on P1" 8. (Crash_exec.latency_exn s (Scenario.of_list [ 0 ]))
+
+(* The documented gap: the paper's MC-FTSA selection survives per edge
+   (Prop. 4.3) yet fails end-to-end under the strict policy. *)
+let test_mc_strict_gap_counterexample () =
+  let inst = random_instance ~seed:42 ~n_tasks:60 ~m:8 () in
+  let s = Mc_ftsa.schedule ~seed:42 inst ~eps:2 in
+  (* the per-edge structure of Prop 4.3 holds … *)
+  check_int "no structural errors" 0 (List.length (Validate.robust_selection s));
+  (* … yet some 2-failure scenario starves a whole task *)
+  check_bool "end-to-end survival fails" false (Validate.survives_all_subsets s);
+  let defeated =
+    List.exists
+      (fun sc ->
+        (Crash_exec.run ~policy:Crash_exec.Strict s sc).Crash_exec.latency = None)
+      (Scenario.all_of_size ~m:8 ~count:2)
+  in
+  check_bool "strict execution defeated" true defeated
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven simulator                                              *)
+
+let prop_event_sim_agrees_with_crash_exec =
+  QCheck.Test.make
+    ~name:"event simulator replicates crash executor (strict)" ~count:15
+    QCheck.(pair (int_range 1 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun sc ->
+              let a =
+                (Crash_exec.run ~policy:Crash_exec.Strict s sc).Crash_exec.latency
+              in
+              let b = (Event_sim.run_crash s sc).Event_sim.latency in
+              match (a, b) with
+              | None, None -> true
+              | Some x, Some y -> Float.abs (x -. y) < 1e-6
+              | _ -> false)
+            (Scenario.all_of_size ~m:5 ~count:eps))
+        [ Ftsa.schedule ~seed inst ~eps; Mc_ftsa.schedule ~seed inst ~eps ])
+
+let test_event_sim_no_failure () =
+  let inst = random_instance ~seed:21 () in
+  let s = Ftsa.schedule inst ~eps:2 in
+  let r = Event_sim.run s ~fail_times:(Array.make 6 infinity) in
+  (match r.Event_sim.latency with
+  | Some l -> check_float "M*" (Schedule.latency_lower_bound s) l
+  | None -> Alcotest.fail "no failures cannot defeat");
+  check_bool "processed events" true (r.Event_sim.events_processed > 0)
+
+let test_event_sim_late_failure_harmless () =
+  let inst = random_instance ~seed:22 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let horizon = Schedule.latency_upper_bound s +. 1. in
+  let r = Event_sim.run_timed s [ { Scenario.proc = 0; at = horizon } ] in
+  match r.Event_sim.latency with
+  | Some l -> check_float "failure after completion" (Schedule.latency_lower_bound s) l
+  | None -> Alcotest.fail "late failure cannot defeat"
+
+let test_event_sim_mid_failure_bounded () =
+  let inst = random_instance ~seed:23 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let lb = Schedule.latency_lower_bound s in
+  let ub = Schedule.latency_upper_bound s in
+  (* fail one processor at various instants: result stays within bounds *)
+  List.iter
+    (fun frac ->
+      let at = frac *. ub in
+      let r = Event_sim.run_timed s [ { Scenario.proc = 1; at } ] in
+      match r.Event_sim.latency with
+      | Some l ->
+          check_bool "within [M*, M]" true (l >= lb -. 1e-6 && l <= ub +. 1e-6)
+      | None -> Alcotest.fail "single failure cannot defeat eps=1")
+    [ 0.; 0.25; 0.5; 0.75 ]
+
+let test_event_sim_timed_vs_crash_at_zero () =
+  let inst = random_instance ~seed:24 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:2 in
+  let sc = Scenario.of_list [ 0; 3 ] in
+  let a = (Event_sim.run_crash s sc).Event_sim.latency in
+  let b = (Crash_exec.run s sc).Crash_exec.latency in
+  match (a, b) with
+  | Some x, Some y -> check_float "same" y x
+  | _ -> Alcotest.fail "both should deliver"
+
+(* ------------------------------------------------------------------ *)
+(* Worst-case analysis                                                 *)
+
+module Worst_case = Ftsched_sim.Worst_case
+
+let test_worst_case_report () =
+  let inst = random_instance ~seed:40 ~n_tasks:25 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:2 in
+  let r = Worst_case.analyze s ~count:2 in
+  check_int "C(5,2) scenarios" 10 r.Worst_case.scenarios;
+  check_int "never defeated" 0 r.Worst_case.defeated;
+  check_bool "best <= mean <= worst" true
+    (r.Worst_case.best <= r.Worst_case.mean +. 1e-9
+    && r.Worst_case.mean <= r.Worst_case.worst +. 1e-9);
+  check_bool "worst within guarantee" true
+    (r.Worst_case.worst <= Schedule.latency_upper_bound s +. 1e-6);
+  check_bool "best at least M*" true
+    (r.Worst_case.best >= Schedule.latency_lower_bound s -. 1e-6);
+  (* the named worst scenario reproduces the worst latency *)
+  check_bool "worst scenario consistent" true
+    (Float.abs
+       (Crash_exec.latency_exn s r.Worst_case.worst_scenario
+       -. r.Worst_case.worst)
+    < 1e-9)
+
+let test_worst_case_tightness () =
+  let inst = random_instance ~seed:41 ~n_tasks:25 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let t = Worst_case.bound_tightness s in
+  check_bool "in (0,1]" true (t > 0. && t <= 1. +. 1e-9)
+
+let test_worst_case_counts_defeats () =
+  let inst = random_instance ~seed:42 ~n_tasks:30 ~m:5 () in
+  let s = Mc_ftsa.schedule ~seed:42 inst ~eps:2 in
+  let r = Worst_case.analyze ~policy:Crash_exec.Strict s ~count:2 in
+  check_bool "strict MC-FTSA loses scenarios" true (r.Worst_case.defeated > 0)
+
+let test_worst_case_guard () =
+  let inst = random_instance ~seed:43 ~m:6 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  Alcotest.check_raises "count range"
+    (Invalid_argument "Worst_case.analyze: count") (fun () ->
+      ignore (Worst_case.analyze s ~count:9))
+
+(* ------------------------------------------------------------------ *)
+(* Network contention models (the paper's §7 future work)              *)
+
+let no_failures m = Array.make m infinity
+
+let prop_one_port_never_faster =
+  QCheck.Test.make ~name:"one-port latency >= contention-free latency"
+    ~count:25
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~m:6 () in
+      List.for_all
+        (fun s ->
+          let lat network =
+            match (Event_sim.run ~network s ~fail_times:(no_failures 6)).Event_sim.latency with
+            | Some l -> l
+            | None -> infinity
+          in
+          lat (Event_sim.Sender_ports 1) >= lat Event_sim.Contention_free -. 1e-6)
+        [ Ftsa.schedule ~seed inst ~eps; Mc_ftsa.schedule ~seed inst ~eps ])
+
+let test_ports_must_be_positive () =
+  let inst = random_instance ~seed:26 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  Alcotest.check_raises "zero ports"
+    (Invalid_argument "Event_sim.run: ports must be positive") (fun () ->
+      ignore
+        (Event_sim.run ~network:(Event_sim.Sender_ports 0) s
+           ~fail_times:(no_failures 6)))
+
+let test_intra_messages_bypass_ports () =
+  (* single processor: everything is local, ports are irrelevant *)
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:100.;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:1 ~unit_delay:1. in
+  let inst = Instance.create ~dag ~platform ~exec:[| [| 2. |]; [| 3. |] |] in
+  let s = Ftsa.schedule inst ~eps:0 in
+  let lat network =
+    match (Event_sim.run ~network s ~fail_times:[| infinity |]).Event_sim.latency with
+    | Some l -> l
+    | None -> nan
+  in
+  check_float "local chain unaffected" (lat Event_sim.Contention_free)
+    (lat (Event_sim.Sender_ports 1));
+  check_float "is 5" 5. (lat (Event_sim.Sender_ports 1))
+
+let test_one_port_serializes_fanout () =
+  (* one source feeding two distant sinks: under one-port the two
+     messages serialize, under contention-free they overlap. *)
+  let b = Dag.Builder.create () in
+  let src = Dag.Builder.add_task b in
+  let s1 = Dag.Builder.add_task b in
+  let s2 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src ~dst:s1 ~volume:10.;
+  Dag.Builder.add_edge b ~src ~dst:s2 ~volume:10.;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:3 ~unit_delay:1. in
+  let exec = [| [| 1.; 50.; 50. |]; [| 50.; 1.; 50. |]; [| 50.; 50.; 1. |] |] in
+  let inst = Instance.create ~dag ~platform ~exec in
+  let s = Ftsa.schedule inst ~eps:0 in
+  (* src on P0 [0,1]; sinks on P1/P2; messages take 10 *)
+  let lat network =
+    match (Event_sim.run ~network s ~fail_times:(no_failures 3)).Event_sim.latency with
+    | Some l -> l
+    | None -> nan
+  in
+  check_float "contention-free: 1+10+1" 12. (lat Event_sim.Contention_free);
+  check_float "one-port: second message waits" 22.
+    (lat (Event_sim.Sender_ports 1));
+  check_float "two ports restore overlap" 12.
+    (lat (Event_sim.Sender_ports 2))
+
+let prop_duplex_dominates_sender_ports =
+  QCheck.Test.make
+    ~name:"duplex >= sender-only >= contention-free latency" ~count:20
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~m:6 () in
+      let s = Ftsa.schedule ~seed inst ~eps in
+      let lat network =
+        match (Event_sim.run ~network s ~fail_times:(no_failures 6)).Event_sim.latency with
+        | Some l -> l
+        | None -> infinity
+      in
+      let free = lat Event_sim.Contention_free in
+      let send = lat (Event_sim.Sender_ports 2) in
+      let duplex = lat (Event_sim.Duplex_ports 2) in
+      duplex >= send -. 1e-6 && send >= free -. 1e-6)
+
+let test_duplex_unlimited_equals_free () =
+  let inst = random_instance ~seed:27 ~m:5 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let lat network =
+    match (Event_sim.run ~network s ~fail_times:(no_failures 5)).Event_sim.latency with
+    | Some l -> l
+    | None -> nan
+  in
+  check_float "unbounded duplex = contention-free"
+    (lat Event_sim.Contention_free)
+    (lat (Event_sim.Duplex_ports 100_000))
+
+let test_mc_wins_under_one_port () =
+  (* the paper's conjecture: with contention, MC-FTSA beats FTSA *)
+  let total_ftsa = ref 0. and total_mc = ref 0. in
+  for seed = 0 to 5 do
+    let inst = random_instance ~seed ~n_tasks:60 ~m:10 () in
+    let lat s =
+      match
+        (Event_sim.run ~network:(Event_sim.Sender_ports 1) s
+           ~fail_times:(no_failures 10))
+          .Event_sim.latency
+      with
+      | Some l -> l
+      | None -> Alcotest.fail "no-failure run defeated"
+    in
+    total_ftsa := !total_ftsa +. lat (Ftsa.schedule ~seed inst ~eps:2);
+    total_mc := !total_mc +. lat (Mc_ftsa.schedule ~seed inst ~eps:2)
+  done;
+  check_bool "MC-FTSA faster on average under one-port" true
+    (!total_mc < !total_ftsa)
+
+let test_ports_and_failures_combined () =
+  (* contention + crashes together: the event simulator must still
+     deliver all-to-all schedules under <= eps failures, at a latency at
+     least the contention-free crash latency *)
+  let inst = random_instance ~seed:28 ~n_tasks:30 ~m:6 () in
+  let s = Ftsa.schedule ~seed:28 inst ~eps:2 in
+  let rng = Rng.create ~seed:5 in
+  for _ = 1 to 5 do
+    let sc = Scenario.random rng ~m:6 ~count:2 in
+    let free = (Event_sim.run_crash s sc).Event_sim.latency in
+    let ported =
+      (Event_sim.run_crash ~network:(Event_sim.Sender_ports 1) s sc)
+        .Event_sim.latency
+    in
+    match (free, ported) with
+    | Some a, Some b -> check_bool "ports only slow things down" true (b >= a -. 1e-6)
+    | None, _ -> Alcotest.fail "contention-free replay defeated"
+    | Some _, None ->
+        (* possible: a queued transfer can be cut off by a sender's death
+           under the port model even though the instantaneous-send model
+           delivered it — then another replica must carry the task, and
+           with all senders contended the schedule may legitimately fail
+           only if more than eps chains break, which a crash at t=0
+           cannot cause for all-to-all plans *)
+        Alcotest.fail "one-port replay defeated under <= eps crashes"
+  done
+
+let test_event_sim_bad_fail_times () =
+  let inst = random_instance ~seed:25 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  Alcotest.check_raises "wrong size"
+    (Invalid_argument "Event_sim.run: fail_times") (fun () ->
+      ignore (Event_sim.run s ~fail_times:[| 0. |]))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "of_list" `Quick test_scenario_of_list;
+          Alcotest.test_case "all_of_size" `Quick test_all_of_size_counts;
+          Alcotest.test_case "random timed" `Quick test_random_timed;
+          quick prop_scenario_random_distinct;
+        ] );
+      ( "crash-exec",
+        [
+          quick prop_no_failure_matches_lower_bound;
+          quick prop_crash_latency_within_bounds;
+          quick prop_strict_equals_reroute_for_all_to_all;
+          quick prop_reroute_never_defeated;
+          Alcotest.test_case "defeated beyond eps" `Quick test_defeated_beyond_eps;
+          Alcotest.test_case "outcomes" `Quick test_outcome_classification;
+          Alcotest.test_case "serializes on survivor" `Quick
+            test_crash_serializes_on_survivor;
+          Alcotest.test_case "MC strict gap (paper finding)" `Quick
+            test_mc_strict_gap_counterexample;
+        ] );
+      ( "event-sim",
+        [
+          quick prop_event_sim_agrees_with_crash_exec;
+          Alcotest.test_case "no failure = M*" `Quick test_event_sim_no_failure;
+          Alcotest.test_case "late failure harmless" `Quick
+            test_event_sim_late_failure_harmless;
+          Alcotest.test_case "mid failure bounded" `Quick
+            test_event_sim_mid_failure_bounded;
+          Alcotest.test_case "timed vs crash-at-zero" `Quick
+            test_event_sim_timed_vs_crash_at_zero;
+          Alcotest.test_case "bad fail_times" `Quick test_event_sim_bad_fail_times;
+        ] );
+      ( "worst-case",
+        [
+          Alcotest.test_case "report" `Quick test_worst_case_report;
+          Alcotest.test_case "tightness" `Quick test_worst_case_tightness;
+          Alcotest.test_case "counts defeats" `Quick test_worst_case_counts_defeats;
+          Alcotest.test_case "guard" `Quick test_worst_case_guard;
+        ] );
+      ( "network-models",
+        [
+          quick prop_one_port_never_faster;
+          Alcotest.test_case "ports positive" `Quick test_ports_must_be_positive;
+          Alcotest.test_case "intra bypasses ports" `Quick
+            test_intra_messages_bypass_ports;
+          Alcotest.test_case "one-port serializes fan-out" `Quick
+            test_one_port_serializes_fanout;
+          quick prop_duplex_dominates_sender_ports;
+          Alcotest.test_case "unbounded duplex = free" `Quick
+            test_duplex_unlimited_equals_free;
+          Alcotest.test_case "ports + failures combined" `Quick
+            test_ports_and_failures_combined;
+          Alcotest.test_case "MC wins under one-port (conjecture)" `Slow
+            test_mc_wins_under_one_port;
+        ] );
+    ]

@@ -1,0 +1,365 @@
+(* Tests for Ftsched_util: Rng, Stats, Float_utils, Table. *)
+
+module Rng = Ftsched_util.Rng
+module Stats = Ftsched_util.Stats
+module F = Ftsched_util.Float_utils
+module Table = Ftsched_util.Table
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  (* advancing the copy does not affect the original *)
+  ignore (Rng.bits64 b);
+  let a2 = Rng.bits64 a and b2 = Rng.bits64 b in
+  check_bool "streams decoupled after copy"
+    true
+    (a2 <> b2 (* b is one draw ahead *))
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:9 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check_bool "split stream differs" true (!same < 4)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Rng.int in [0,n)" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let g = Rng.create ~seed in
+      let x = Rng.int g n in
+      x >= 0 && x < n)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int_in inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_bound 100))
+    (fun (seed, lo, span) ->
+      let hi = lo + span in
+      let g = Rng.create ~seed in
+      let x = Rng.int_in g lo hi in
+      x >= lo && x <= hi)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float_in bounds" ~count:500
+    QCheck.(pair small_int (pair (float_bound_exclusive 100.) (float_bound_exclusive 100.)))
+    (fun (seed, (a, b)) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      QCheck.assume (lo < hi);
+      let g = Rng.create ~seed in
+      let x = Rng.float_in g lo hi in
+      x >= lo && x < hi)
+
+let test_rng_uniformity () =
+  (* Coarse chi-square-free sanity check on bucket counts. *)
+  let g = Rng.create ~seed:77 in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let i = Rng.int g 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 1700 || c > 2300 then
+        Alcotest.failf "bucket %d has suspicious count %d" i c)
+    buckets
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"Rng.shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let g = Rng.create ~seed in
+      let a = Array.of_list l in
+      Rng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"Rng.sample_distinct distinct and in range" ~count:300
+    QCheck.(triple small_int (int_bound 30) (int_bound 30))
+    (fun (seed, a, b) ->
+      let k = min a b and n = max a b in
+      QCheck.assume (n > 0);
+      let g = Rng.create ~seed in
+      let s = Rng.sample_distinct g ~k ~n in
+      Array.length s = k
+      && Array.for_all (fun x -> x >= 0 && x < n) s
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k)
+
+let test_sample_distinct_full () =
+  let g = Rng.create ~seed:3 in
+  let s = Rng.sample_distinct g ~k:8 ~n:8 in
+  Alcotest.(check (list int)) "permutation of 0..7"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare (Array.to_list s))
+
+let test_bernoulli_extremes () =
+  let g = Rng.create ~seed:4 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never true" false (Rng.bernoulli g 0.)
+  done;
+  for _ = 1 to 100 do
+    check_bool "p=1 always true" true (Rng.bernoulli g 1.)
+  done
+
+let test_exponential_mean () =
+  let g = Rng.create ~seed:8 in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential g ~mean:2.5 in
+    check_bool "exponential positive" true (x >= 0.);
+    total := !total +. x
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean within 5%" true (Float.abs (mean -. 2.5) < 0.125)
+
+let test_pick () =
+  let g = Rng.create ~seed:12 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    check_bool "pick member" true (Array.mem (Rng.pick g a) a)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_summarize_known () =
+  let s = Stats.summarize [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_int "n" 8 s.Stats.n;
+  check_float "mean" 5.0 s.Stats.mean;
+  check_float_loose "stddev" 2.13809 s.Stats.stddev;
+  check_float "min" 2. s.Stats.min;
+  check_float "max" 9. s.Stats.max;
+  check_float "median" 4.5 s.Stats.median
+
+let test_summarize_singleton () =
+  let s = Stats.summarize [| 42. |] in
+  check_float "mean" 42. s.Stats.mean;
+  check_float "stddev" 0. s.Stats.stddev;
+  check_float "stderr" 0. s.Stats.stderr;
+  check_float "median" 42. s.Stats.median
+
+let test_stddev_constant () =
+  check_float "constant stddev" 0. (Stats.stddev [| 3.; 3.; 3.; 3. |])
+
+let test_percentile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "p0" 1. (Stats.percentile xs 0.);
+  check_float "p100" 4. (Stats.percentile xs 100.);
+  check_float "p50 interpolated" 2.5 (Stats.percentile xs 50.);
+  check_float "p25" 1.75 (Stats.percentile xs 25.)
+
+let test_median_odd () =
+  check_float "odd median" 3. (Stats.median [| 5.; 1.; 3. |])
+
+let test_geometric_mean () =
+  check_float "geomean" 4. (Stats.geometric_mean [| 2.; 8. |]);
+  check_float "geomean of equal" 5. (Stats.geometric_mean [| 5.; 5.; 5. |])
+
+let test_ci95 () =
+  let s = Stats.summarize (Array.make 100 1.) in
+  check_float "ci of constants" 0. (Stats.ci95_halfwidth s)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"Stats.mean between min and max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Float_utils                                                         *)
+
+let test_approx_equal () =
+  check_bool "exact" true (F.approx_equal 1.0 1.0);
+  check_bool "close" true (F.approx_equal 1.0 (1.0 +. 1e-12));
+  check_bool "far" false (F.approx_equal 1.0 1.1);
+  check_bool "relative scale" true
+    (F.approx_equal 1e12 (1e12 +. 1.));
+  check_bool "custom eps" true (F.approx_equal ~eps:0.2 1.0 1.1)
+
+let test_approx_le () =
+  check_bool "lt" true (F.approx_le 1.0 2.0);
+  check_bool "eq-ish" true (F.approx_le (1.0 +. 1e-12) 1.0);
+  check_bool "gt" false (F.approx_le 2.0 1.0)
+
+let test_clamp () =
+  check_float "below" 0. (F.clamp ~lo:0. ~hi:1. (-5.));
+  check_float "above" 1. (F.clamp ~lo:0. ~hi:1. 5.);
+  check_float "inside" 0.5 (F.clamp ~lo:0. ~hi:1. 0.5)
+
+let test_array_folds () =
+  check_float "max" 9. (F.max_array [| 1.; 9.; 3. |]);
+  check_float "min" 1. (F.min_array [| 1.; 9.; 3. |]);
+  check_float "sum" 13. (F.sum [| 1.; 9.; 3. |])
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+
+let test_table_arity () =
+  let t = Table.create ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_rows_in_order () =
+  let t = Table.create ~columns:[ "x" ] in
+  Table.add_row t [ "first" ];
+  Table.add_row t [ "second" ];
+  check_int "count" 2 (Table.row_count t);
+  let s = Table.to_csv t in
+  Alcotest.(check string) "csv order" "x\nfirst\nsecond\n" s
+
+let test_table_csv_escaping () =
+  let t = Table.create ~columns:[ "c" ] in
+  Table.add_row t [ "a,b" ];
+  Table.add_row t [ "say \"hi\"" ];
+  Table.add_row t [ "line\nbreak" ];
+  let s = Table.to_csv t in
+  check_bool "comma quoted" true (contains s "\"a,b\"");
+  check_bool "quote doubled" true (contains s "\"say \"\"hi\"\"\"");
+  check_bool "newline quoted" true (contains s "\"line\nbreak\"")
+
+let test_table_alignment () =
+  let t = Table.create ~columns:[ "name"; "v" ] in
+  Table.add_row t [ "longer-name"; "1" ];
+  let s = Table.to_string t in
+  (* all lines have equal width *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length lines in
+  match widths with
+  | w :: rest -> List.iter (fun w' -> check_int "aligned" w w') rest
+  | [] -> Alcotest.fail "empty render"
+
+let test_table_float_row () =
+  let t = Table.create ~columns:[ "label"; "a"; "b" ] in
+  let t = Table.add_float_row t "r" [ 1.5; 2.25 ] in
+  let csv = Table.to_csv t in
+  check_bool "default fmt" true (contains csv "1.500")
+
+let test_table_save_csv () =
+  let t = Table.create ~columns:[ "a" ] in
+  Table.add_row t [ "1" ];
+  let path = Filename.temp_file "ftsched" ".csv" in
+  Table.save_csv t ~path;
+  let ic = open_in path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" (Table.to_csv t) content
+
+(* ------------------------------------------------------------------ *)
+(* Gnuplot                                                             *)
+
+module Gnuplot = Ftsched_util.Gnuplot
+
+let sample_table () =
+  let t = Table.create ~columns:[ "granularity"; "FTSA"; "FTBAR" ] in
+  Table.add_row t [ "0.2"; "10.5"; "12.0" ];
+  Table.add_row t [ "0.4"; "20.0"; "25.5" ];
+  t
+
+let test_gnuplot_data () =
+  let d = Gnuplot.data_of_table (sample_table ()) in
+  check_bool "header comment" true (contains d "# granularity FTSA FTBAR");
+  check_bool "row" true (contains d "0.2 10.5 12.0")
+
+let test_gnuplot_script () =
+  let s =
+    Gnuplot.script_of_table ~title:"Fig" ~xlabel:"g" ~ylabel:"latency"
+      ~dat_file:"x.dat" ~out_file:"x.png" (sample_table ())
+  in
+  check_bool "terminal" true (contains s "set terminal pngcairo");
+  check_bool "two series" true
+    (contains s "using 1:2 with linespoints title 'FTSA'"
+    && contains s "using 1:3 with linespoints title 'FTBAR'");
+  check_bool "labels" true (contains s "set xlabel 'g'")
+
+let test_gnuplot_save () =
+  let base = Filename.temp_file "ftsched" "" in
+  Gnuplot.save (sample_table ()) ~basename:base;
+  check_bool "dat exists" true (Sys.file_exists (base ^ ".dat"));
+  check_bool "gp exists" true (Sys.file_exists (base ^ ".gp"));
+  Sys.remove (base ^ ".dat");
+  Sys.remove (base ^ ".gp");
+  Sys.remove base
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "sample_distinct full" `Quick test_sample_distinct_full;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "pick membership" `Quick test_pick;
+          quick prop_int_in_range;
+          quick prop_int_in_bounds;
+          quick prop_float_in_bounds;
+          quick prop_shuffle_permutation;
+          quick prop_sample_distinct;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summarize known" `Quick test_summarize_known;
+          Alcotest.test_case "summarize singleton" `Quick test_summarize_singleton;
+          Alcotest.test_case "stddev constant" `Quick test_stddev_constant;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "median odd" `Quick test_median_odd;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "ci95 of constants" `Quick test_ci95;
+          quick prop_mean_bounds;
+        ] );
+      ( "float-utils",
+        [
+          Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+          Alcotest.test_case "approx_le" `Quick test_approx_le;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "array folds" `Quick test_array_folds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "row order" `Quick test_table_rows_in_order;
+          Alcotest.test_case "csv escaping" `Quick test_table_csv_escaping;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "float row" `Quick test_table_float_row;
+          Alcotest.test_case "save csv" `Quick test_table_save_csv;
+        ] );
+      ( "gnuplot",
+        [
+          Alcotest.test_case "data block" `Quick test_gnuplot_data;
+          Alcotest.test_case "script" `Quick test_gnuplot_script;
+          Alcotest.test_case "save" `Quick test_gnuplot_save;
+        ] );
+    ]

@@ -3,7 +3,7 @@
    Usage: dune exec bench/main.exe [-- target ...]
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
-   rftsa reliability micro all (default: all).
+   rftsa reliability recovery micro all (default: all).
    By default the figure sweeps use the reduced "quick" workload (8 graphs
    per point) so the whole harness finishes in a couple of minutes; set
    FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
@@ -100,6 +100,20 @@ let run_reliability () =
     "Probability the application completes when every processor fails \
      independently (m=%d).\n" spec.Workload.n_procs;
   show "reliability" (Figures.reliability_ablation ~spec ~p_fail:0.1 ())
+
+let run_recovery () =
+  section "Ablation A5: online failure detection and recovery (eps=2, g=1.0)";
+  Printf.printf
+    "Exponential fault-injection campaign; intensity is the expected number \
+     of failures per processor over the static FTSA horizon, delta the \
+     detection latency as a fraction of that horizon.\n";
+  let p = Figures.recovery_ablation ~spec ~eps:2 () in
+  Printf.printf "-- A5(a): campaign defeat rates and recovered latency --\n";
+  show "recovery_campaign" p.Figures.campaign;
+  Printf.printf
+    "-- A5(b): exactly-eps failures (Finding 1 regime; recovery must reach \
+     defeat rate 0) --\n";
+  show "recovery_exact_eps" p.Figures.exact_eps
 
 let run_claims () =
   section "Self-check: the paper's qualitative claims as assertions";
@@ -201,5 +215,6 @@ let () =
   if want "procs" then run_procs ();
   if want "rftsa" then run_rftsa ();
   if want "reliability" then run_reliability ();
+  if want "recovery" then run_recovery ();
   if want "micro" then run_micro ();
   Printf.printf "\nDone.\n"

@@ -32,6 +32,7 @@ module Heft = Ftsched_baseline.Heft
 module Scenario = Ftsched_sim.Scenario
 module Crash_exec = Ftsched_sim.Crash_exec
 module Event_sim = Ftsched_sim.Event_sim
+module Recovery = Ftsched_recovery.Recovery
 module Workload = Ftsched_exp.Workload
 module Figures = Ftsched_exp.Figures
 
@@ -302,8 +303,31 @@ let simulate_cmd =
             "Exhaustively replay every subset of --eps failed processors and \
              report the extremes and the tightness of the bound M.")
   in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Enable the online recovery runtime: failures are detected \
+             --delta after they occur and lost work is re-mapped onto \
+             surviving processors.")
+  in
+  let delta =
+    Arg.(
+      value & opt float 0.
+      & info [ "delta" ] ~docv:"D"
+          ~doc:"Failure detection latency for --recover (default 0).")
+  in
+  let rounds =
+    Arg.(
+      value & opt (some int) None
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            "Maximum re-injections per task for --recover (default: the \
+             number of processors).")
+  in
   let run kind n m eps granularity seed algo fail crashes timed strict ports
-      worst =
+      worst recover delta rounds =
     let inst = make_instance ~kind ~seed ~n ~m ~granularity in
     let s = run_algo algo ~seed inst ~eps in
     Format.printf "%a@." Schedule.pp_summary s;
@@ -331,7 +355,7 @@ let simulate_cmd =
       | Some k -> Event_sim.Sender_ports k
       | None -> Event_sim.Contention_free
     in
-    if timed || ports <> None then begin
+    if recover || timed || ports <> None then begin
       let horizon = Schedule.latency_upper_bound s in
       let t =
         if timed then
@@ -347,11 +371,25 @@ let simulate_cmd =
         (fun { Scenario.proc; at } ->
           Format.printf "P%d fails at %.4g@." proc at)
         t;
+      if recover then begin
+        let o = Recovery.run_timed ~network ~delta ?rounds s t in
+        (match o.Recovery.result.Event_sim.latency with
+        | Some l -> Format.printf "achieved latency (with recovery): %.6g@." l
+        | None ->
+            Format.printf "application NOT completed; degraded outcome:@.");
+        Format.printf "%a@." Ftsched_schedule.Metrics.pp_degraded
+          o.Recovery.degraded;
+        Format.printf "injections=%d kills=%d detected-failures=%d events=%d@."
+          o.Recovery.injections o.Recovery.kills o.Recovery.detected_failures
+          o.Recovery.result.Event_sim.events_processed
+      end
+      else begin
       let r = Event_sim.run_timed ~network s t in
       (match r.Event_sim.latency with
       | Some l -> Format.printf "achieved latency: %.6g@." l
       | None -> Format.printf "schedule DEFEATED by the scenario@.");
       Format.printf "events processed: %d@." r.Event_sim.events_processed
+      end
     end
     else begin
       Format.printf "scenario: %a@." Scenario.pp scenario;
@@ -368,7 +406,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Replay a schedule under failures")
     Term.(
       const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
-      $ seed_arg $ algo_arg $ fail $ crashes $ timed $ strict $ ports $ worst)
+      $ seed_arg $ algo_arg $ fail $ crashes $ timed $ strict $ ports $ worst
+      $ recover $ delta $ rounds)
 
 (* ------------------------------------------------------------------ *)
 (* inspect                                                             *)
@@ -519,12 +558,13 @@ let experiment_cmd =
                          ("claims", `Claims);
                          ("procs", `Procs);
                          ("rftsa", `Rftsa);
-                         ("reliability", `Reliability) ])
+                         ("reliability", `Reliability);
+                         ("recovery", `Recov) ])
         `F1
       & info [] ~docv:"WHAT"
           ~doc:
             "fig1 | fig2 | fig3 | fig4 | table1 | contention | redundancy | \
-             claims | procs | rftsa | reliability")
+             claims | procs | rftsa | reliability | recovery")
   in
   let full =
     Arg.(
@@ -580,6 +620,10 @@ let experiment_cmd =
     | `Reliability ->
         Table.print
           (Figures.reliability_ablation ~spec ~master_seed:seed ~p_fail:0.1 ())
+    | `Recov ->
+        let p = Figures.recovery_ablation ~spec ~master_seed:seed ~eps:2 () in
+        Table.print p.Figures.campaign;
+        Table.print p.Figures.exact_eps
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
     Term.(const run $ what $ full $ graphs $ seed_arg)

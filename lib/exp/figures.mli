@@ -116,6 +116,39 @@ val rftsa_ablation :
     and Monte-Carlo mission reliability (the [alpha = 0] row is FTSA's
     processor choice). *)
 
+type recovery_panels = {
+  campaign : Ftsched_util.Table.t;
+      (** exponential fault-injection campaign: one row per (failure
+          intensity, detection latency) pair with strict defeat rates for
+          static FTSA, static MC-FTSA, MC-FTSA + recovery and the
+          unreplicated schedule + recovery, plus the recovered latency
+          and the completed-task fraction of the unreplicated runs *)
+  exact_eps : Ftsched_util.Table.t;
+      (** exactly-ε panel: one row per detection latency under scenarios
+          with exactly ε failing processors — the regime where Theorem
+          4.1 guarantees FTSA completes but the strict MC-FTSA cascade
+          collapses (Finding 1); with recovery the defeat rate must be
+          exactly zero *)
+}
+
+val recovery_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?scenarios_per_graph:int ->
+  ?eps:int ->
+  ?intensities:float list ->
+  ?delta_factors:float list ->
+  unit ->
+  recovery_panels
+(** Beyond the paper (A5): the online failure detection and recovery
+    runtime of {!Ftsched_recovery.Recovery}.  Failure times are drawn
+    from per-processor exponential laws with rate [intensity / horizon]
+    (so each intensity is the expected number of failures per processor
+    over the static FTSA horizon, [Schedule.latency_upper_bound]);
+    detection latency is [delta_factor *. horizon].  Latencies are
+    normalized by the instance's mean per-edge communication cost and
+    averaged over completed runs only. *)
+
 val redundancy_ablation :
   ?spec:Workload.spec ->
   ?master_seed:int ->

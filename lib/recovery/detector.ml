@@ -1,0 +1,32 @@
+type t = {
+  delta : float;
+  fail_times : float array;
+  instants : (float * int list) list;
+}
+
+let create ~fail_times ~delta =
+  if delta < 0. || Float.is_nan delta then invalid_arg "Detector.create: delta";
+  let timed = ref [] in
+  Array.iteri
+    (fun p f -> if f < infinity then timed := (f +. delta, p) :: !timed)
+    fail_times;
+  let sorted = List.sort compare !timed in
+  (* group simultaneous detections into one instant *)
+  let instants =
+    List.fold_left
+      (fun acc (at, p) ->
+        match acc with
+        | (at', ps) :: rest when at' = at -> (at', ps @ [ p ]) :: rest
+        | _ -> (at, [ p ]) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  { delta; fail_times = Array.copy fail_times; instants }
+
+let delta t = t.delta
+let instants t = t.instants
+
+let known_dead t ~now p =
+  t.fail_times.(p) < infinity && t.fail_times.(p) +. t.delta <= now
+
+let n_failures t = List.length (List.concat_map snd t.instants)

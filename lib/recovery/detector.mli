@@ -1,0 +1,29 @@
+(** Failure detector with configurable detection latency.
+
+    The fail-stop model of the paper assumes failures are eventually
+    known; a real detector (heartbeats, timeouts) only learns of a death
+    some time after it happens.  This module turns ground-truth fail
+    instants into the {e knowledge} timeline of a detector with constant
+    detection latency [δ]: a processor dying at [f] is known dead from
+    [f + δ] on.  Between [f] and [f + δ] the rest of the system keeps
+    sending it messages and cannot react — that window is exactly what
+    the recovery executor pays for. *)
+
+type t
+
+val create : fail_times:float array -> delta:float -> t
+(** [fail_times.(p) = infinity] means processor [p] never fails.
+    Raises [Invalid_argument] if [delta < 0]. *)
+
+val delta : t -> float
+
+val instants : t -> (float * int list) list
+(** Detection instants in ascending order; each carries the processors
+    first known dead at that instant (simultaneous detections are
+    grouped). *)
+
+val known_dead : t -> now:float -> int -> bool
+(** Is the processor known dead at time [now]?  ([now >= fail + delta].) *)
+
+val n_failures : t -> int
+(** Number of processors that eventually fail. *)

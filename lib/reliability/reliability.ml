@@ -110,12 +110,9 @@ let mission rng s ?network ?rates ~rate ~trials () =
   let rate_of p = match rates with Some r -> r.(p) | None -> rate in
   let successes = ref 0 in
   let latency_sum = ref 0. in
+  let rates = Array.init m rate_of in
   for _ = 1 to trials do
-    let fail_times =
-      Array.init m (fun p ->
-          let r = rate_of p in
-          if r = 0. then infinity else Rng.exponential rng ~mean:(1. /. r))
-    in
+    let fail_times = Scenario.exponential rng ~rates in
     match (Event_sim.run ?network s ~fail_times).Event_sim.latency with
     | Some l ->
         incr successes;

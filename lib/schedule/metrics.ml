@@ -53,6 +53,53 @@ let work_inflation s =
   let ideal = sequential_time (Schedule.instance s) in
   total /. ideal
 
+type degraded = {
+  completed_tasks : int;
+  total_tasks : int;
+  completed_sinks : int list;
+  total_sinks : int;
+  partial_latency : float option;
+  complete : bool;
+}
+
+let degraded_of_run g ~first_finish =
+  let v = Dag.n_tasks g in
+  let completed_tasks = ref 0 in
+  for t = 0 to v - 1 do
+    if first_finish t < infinity then incr completed_tasks
+  done;
+  let sinks = Dag.exits g in
+  let completed_sinks =
+    List.filter (fun t -> first_finish t < infinity) sinks
+  in
+  let partial_latency =
+    match completed_sinks with
+    | [] -> None
+    | _ ->
+        Some
+          (List.fold_left
+             (fun acc t -> Float.max acc (first_finish t))
+             0. completed_sinks)
+  in
+  {
+    completed_tasks = !completed_tasks;
+    total_tasks = v;
+    completed_sinks;
+    total_sinks = List.length sinks;
+    partial_latency;
+    complete = !completed_tasks = v;
+  }
+
+let pp_degraded ppf d =
+  Format.fprintf ppf "tasks %d/%d, sinks %d/%d%a" d.completed_tasks
+    d.total_tasks
+    (List.length d.completed_sinks)
+    d.total_sinks
+    (fun ppf -> function
+      | Some l -> Format.fprintf ppf ", partial latency %.3f" l
+      | None -> ())
+    d.partial_latency
+
 let pp ppf s =
   Format.fprintf ppf
     "slr=%.3f gslr=%.3f speedup=%.3f util=%.3f imbalance=%.3f inflation=%.3f"

@@ -38,5 +38,30 @@ val work_inflation : Schedule.t -> float
     single-copy work [Σ_t min_p E(t,p)]: captures both the [ε+1]-fold
     replication and any slow-processor placements. *)
 
+(** {2 Degraded-mode metrics}
+
+    Beyond [ε] failures no guarantee remains, but an online recovery run
+    (see [Ftsched_recovery]) still completes a subset of the graph.  These
+    metrics describe that subset instead of collapsing to
+    [latency = None]. *)
+
+type degraded = {
+  completed_tasks : int;
+  total_tasks : int;
+  completed_sinks : int list;  (** exit tasks with a completed replica *)
+  total_sinks : int;
+  partial_latency : float option;
+      (** latest first-completion over completed sinks; [None] when no
+          sink completed.  Equals the achieved latency when [complete]. *)
+  complete : bool;  (** all tasks completed — the non-degraded case *)
+}
+
+val degraded_of_run :
+  Ftsched_dag.Dag.t -> first_finish:(Ftsched_dag.Dag.task -> float) -> degraded
+(** [first_finish t] is the earliest completion instant of any replica of
+    [t], or [infinity] if no replica completed. *)
+
+val pp_degraded : Format.formatter -> degraded -> unit
+
 val pp : Format.formatter -> Schedule.t -> unit
 (** One-line rendering of all metrics. *)

@@ -197,10 +197,37 @@ let run ?(policy = Strict) s scenario =
   in
   { latency; outcomes }
 
-let latency_exn ?policy s scenario =
-  match (run ?policy s scenario).latency with
-  | Some l -> l
+type defeat = { task : int; scenario : Scenario.t }
+
+exception Defeated of defeat
+
+let () =
+  Printexc.register_printer (function
+    | Defeated { task; scenario } ->
+        Some
+          (Format.asprintf "Crash_exec.Defeated: task %d lost under %a" task
+             Scenario.pp scenario)
+    | _ -> None)
+
+let latency_result ?policy s scenario =
+  let t = run ?policy s scenario in
+  match t.latency with
+  | Some l -> Ok l
   | None ->
-      failwith
-        (Format.asprintf "Crash_exec: schedule defeated by %a" Scenario.pp
-           scenario)
+      let lost = ref (-1) in
+      Array.iteri
+        (fun task outs ->
+          if
+            !lost < 0
+            && not
+                 (Array.exists
+                    (function Completed _ -> true | Starved | Dead -> false)
+                    outs)
+          then lost := task)
+        t.outcomes;
+      Error { task = !lost; scenario }
+
+let latency_exn ?policy s scenario =
+  match latency_result ?policy s scenario with
+  | Ok l -> l
+  | Error d -> raise (Defeated d)

@@ -49,7 +49,20 @@ type t = {
 val run : ?policy:policy -> Ftsched_schedule.Schedule.t -> Scenario.t -> t
 (** Default policy is [Strict]. *)
 
+type defeat = { task : int; scenario : Scenario.t }
+(** [task] is the first (lowest-id) task with no completed replica. *)
+
+exception Defeated of defeat
+
+val latency_result :
+  ?policy:policy ->
+  Ftsched_schedule.Schedule.t ->
+  Scenario.t ->
+  (float, defeat) result
+(** Achieved latency, or a structured account of the defeat — the figure
+    harness reports these instead of swallowing a generic [Failure]. *)
+
 val latency_exn :
   ?policy:policy -> Ftsched_schedule.Schedule.t -> Scenario.t -> float
-(** Achieved latency; raises [Failure] if the scenario defeated the
+(** Achieved latency; raises {!Defeated} if the scenario defeated the
     schedule. *)

@@ -41,291 +41,474 @@ type replica_state =
   | Lost_replica
 
 type rstate = {
+  proc : int;
   mutable state : replica_state;
   satisfied_at : float array;  (* per in-edge position; infinity = not yet *)
   pending_senders : int array;  (* per in-edge position *)
 }
 
-let run ?(network = Contention_free) s ~fail_times =
-  let inst = Schedule.instance s in
-  let g = Instance.dag inst in
-  let pl = Instance.platform inst in
-  let eps = Schedule.eps s in
-  let plan = Schedule.comm s in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
-  if Array.length fail_times <> m then invalid_arg "Event_sim.run: fail_times";
-  let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
-  let edge_pos_of = Hashtbl.create 64 in
-  Array.iteri
-    (fun t edges ->
-      Array.iteri (fun pos e -> Hashtbl.replace edge_pos_of (t, e) pos) edges)
-    in_edges;
-  let rs =
-    Array.init v (fun t ->
-        Array.init (eps + 1) (fun k ->
-            let ne = Array.length in_edges.(t) in
-            let pending =
-              Array.init ne (fun pos ->
-                  let e = in_edges.(t).(pos) in
-                  List.length (Comm_plan.senders_to plan ~eps e ~dst_replica:k))
-            in
-            ignore k;
-            {
-              state = Waiting;
-              satisfied_at = Array.make ne infinity;
-              pending_senders = pending;
-            }))
-  in
-  (* Per-processor planned queues and availability. *)
-  let queues =
-    Array.init m (fun p ->
-        ref (List.map (fun (r : Schedule.replica) -> (r.task, r.index))
-               (Schedule.proc_timeline s p)))
-  in
-  let free_at = Array.make m 0. in
-  (* Outgoing-port free instants per processor (empty = contention-free).
-     Messages grab the earliest-free port FIFO in production order. *)
-  let make_ports k =
-    if k <= 0 then invalid_arg "Event_sim.run: ports must be positive";
-    Array.init m (fun _ -> Array.make k 0.)
-  in
-  let ports =
-    match network with
-    | Contention_free -> [||]
-    | Sender_ports k | Duplex_ports k -> make_ports k
-  in
-  (* incoming ports, only under the duplex (telephone) model *)
-  let recv_ports =
-    match network with
-    | Contention_free | Sender_ports _ -> [||]
-    | Duplex_ports k -> make_ports k
-  in
-  let heap = ref Heap.empty in
-  let seq = ref 0 in
-  let events = ref 0 in
-  let push at kind =
-    incr seq;
-    heap := Heap.insert { Event.at; seq = !seq; kind } !heap
-  in
-  (* Losing a replica cascades: every plan receiver loses one potential
-     sender; an input with no arrival and no pending sender is dead, and
-     kills its (still waiting) receiver. *)
-  let dirty_procs = Queue.create () in
-  let rec lose task k =
-    let st = rs.(task).(k) in
+(* A runtime subscription: replica [sub_rep] of [sub_dst] waits on input
+   position [sub_pos] for the completion of the subscribed-to source
+   replica.  Subscriptions are how injected (recovery) replicas receive
+   their inputs; plan messages cover only the static grid. *)
+type sub = { sub_dst : int; sub_rep : int; sub_pos : int; sub_edge : Dag.edge }
+
+module Engine = struct
+  type source =
+    | Resend of { arrival : float }
+    | On_completion of { src_task : int; src_rep : int }
+
+  type t = {
+    s : Schedule.t;
+    network : network_model;
+    fail_times : float array;
+    g : Dag.t;
+    pl : Platform.t;
+    inst : Instance.t;
+    eps : int;
+    plan : Comm_plan.t;
+    v : int;
+    m : int;
+    in_edges : Dag.edge array array;
+    edge_pos_of : (int * int, int) Hashtbl.t;
+    mutable reps : rstate array array;  (* per task; entries 0..eps static *)
+    queues : (int * int) list ref array;  (* (task, k) FIFO per processor *)
+    free_at : float array;
+    ports : float array array;
+    recv_ports : float array array;
+    mutable heap : Heap.t;
+    mutable seq : int;
+    mutable events : int;
+    dirty : int Queue.t;
+    subs : (int * int, sub list) Hashtbl.t;
+    mutable now : float;
+  }
+
+  let push eng at kind =
+    eng.seq <- eng.seq + 1;
+    eng.heap <- Heap.insert { Event.at; seq = eng.seq; kind } eng.heap
+
+  (* Losing a replica cascades: every plan receiver (and runtime
+     subscriber) loses one potential sender; an input with no arrival and
+     no pending sender is dead, and kills its (still waiting) receiver. *)
+  let rec lose eng task k =
+    let st = eng.reps.(task).(k) in
     match st.state with
     | Lost_replica | Done _ -> ()
     | Waiting | Running _ ->
         st.state <- Lost_replica;
-        let r = Schedule.replica s task k in
-        Queue.add r.proc dirty_procs;
+        Queue.add st.proc eng.dirty;
+        if k <= eng.eps then
+          List.iter
+            (fun e ->
+              let _, dst = Dag.edge_endpoints eng.g e in
+              List.iter
+                (fun (pair : Comm_plan.pair) ->
+                  if pair.src_replica = k then begin
+                    let pos = Hashtbl.find eng.edge_pos_of (dst, e) in
+                    let dst_st = eng.reps.(dst).(pair.dst_replica) in
+                    dst_st.pending_senders.(pos) <-
+                      dst_st.pending_senders.(pos) - 1;
+                    if
+                      dst_st.pending_senders.(pos) = 0
+                      && dst_st.satisfied_at.(pos) = infinity
+                    then lose eng dst pair.dst_replica
+                  end)
+                (Comm_plan.pairs_for eng.plan ~eps:eng.eps e))
+            (Dag.out_edges eng.g task);
         List.iter
-          (fun e ->
-            let _, dst = Dag.edge_endpoints g e in
-            List.iter
-              (fun (pair : Comm_plan.pair) ->
-                if pair.src_replica = k then begin
-                  let pos = Hashtbl.find edge_pos_of (dst, e) in
-                  let dst_st = rs.(dst).(pair.dst_replica) in
-                  dst_st.pending_senders.(pos) <-
-                    dst_st.pending_senders.(pos) - 1;
-                  if
-                    dst_st.pending_senders.(pos) = 0
-                    && dst_st.satisfied_at.(pos) = infinity
-                  then lose dst pair.dst_replica
-                end)
-              (Comm_plan.pairs_for plan ~eps e))
-          (Dag.out_edges g task)
-  in
-  let try_advance p =
+          (fun sub ->
+            let dst_st = eng.reps.(sub.sub_dst).(sub.sub_rep) in
+            dst_st.pending_senders.(sub.sub_pos) <-
+              dst_st.pending_senders.(sub.sub_pos) - 1;
+            if
+              dst_st.pending_senders.(sub.sub_pos) = 0
+              && dst_st.satisfied_at.(sub.sub_pos) = infinity
+            then lose eng sub.sub_dst sub.sub_rep)
+          (Option.value ~default:[] (Hashtbl.find_opt eng.subs (task, k)))
+
+  let try_advance eng p =
     let continue_p = ref true in
     while !continue_p do
-      match !(queues.(p)) with
+      match !(eng.queues.(p)) with
       | [] -> continue_p := false
       | (task, k) :: rest -> (
-          let st = rs.(task).(k) in
+          let st = eng.reps.(task).(k) in
           match st.state with
-          | Done _ ->
-              queues.(p) := rest
-          | Lost_replica ->
-              queues.(p) := rest
+          | Done _ -> eng.queues.(p) := rest
+          | Lost_replica -> eng.queues.(p) := rest
           | Running _ -> continue_p := false
           | Waiting ->
               if Array.for_all (fun a -> a < infinity) st.satisfied_at then begin
                 let inputs_ready =
                   Array.fold_left Float.max 0. st.satisfied_at
                 in
-                let start = Float.max inputs_ready free_at.(p) in
-                let finish = start +. Instance.exec inst task p in
-                if start >= fail_times.(p) || finish > fail_times.(p) then begin
-                  lose task k;
+                let start = Float.max inputs_ready eng.free_at.(p) in
+                let finish = start +. Instance.exec eng.inst task p in
+                if start >= eng.fail_times.(p) || finish > eng.fail_times.(p)
+                then begin
+                  lose eng task k;
                   (* A replica cut down mid-run still occupied the
                      processor until the crash instant; without this the
                      next queued replica could start inside the busy
                      window. *)
-                  if start < fail_times.(p) then free_at.(p) <- fail_times.(p);
-                  queues.(p) := rest
+                  if start < eng.fail_times.(p) then
+                    eng.free_at.(p) <- eng.fail_times.(p);
+                  eng.queues.(p) := rest
                 end
                 else begin
                   st.state <- Running { start; finish };
-                  push finish (Completion { task; k });
+                  push eng finish (Completion { task; k });
                   continue_p := false
                 end
               end
               else continue_p := false)
     done
-  in
-  let drain_dirty () =
-    while not (Queue.is_empty dirty_procs) do
-      try_advance (Queue.pop dirty_procs)
+
+  let drain_dirty eng =
+    while not (Queue.is_empty eng.dirty) do
+      try_advance eng (Queue.pop eng.dirty)
     done
-  in
-  (* Processors whose planned head is an entry replica can start at t=0;
-     dead-at-0 processors immediately lose their whole queue. *)
-  for p = 0 to m - 1 do
-    try_advance p;
-    drain_dirty ()
-  done;
-  let continue_sim = ref true in
-  while !continue_sim do
-    match Heap.pop_min !heap with
-    | None -> continue_sim := false
-    | Some (ev, rest) -> (
-        heap := rest;
-        incr events;
-        match ev.kind with
-        | Arrival { task; k; edge_pos } ->
-            let st = rs.(task).(k) in
-            (match st.state with
-            | Waiting ->
-                if st.satisfied_at.(edge_pos) = infinity then
-                  st.satisfied_at.(edge_pos) <- ev.at;
-                let r = Schedule.replica s task k in
-                try_advance r.proc
-            | Running _ | Done _ | Lost_replica -> ());
-            drain_dirty ()
-        | Completion { task; k } ->
-            let st = rs.(task).(k) in
-            (match st.state with
-            | Running { start; finish } ->
-                st.state <- Done { start; finish };
-                let r = Schedule.replica s task k in
-                free_at.(r.proc) <- finish;
-                (* Emit one message per retained plan pair originating at
-                   this replica.  Under a port model a non-local message
-                   must wait for a free outgoing port, and dies with the
-                   sender if the transfer has not finished by the
-                   sender's failure instant; a dropped message costs the
-                   receiver one potential sender. *)
-                List.iter
-                  (fun e ->
-                    let _, dst = Dag.edge_endpoints g e in
-                    let vol = Dag.edge_volume g e in
-                    List.iter
-                      (fun (pair : Comm_plan.pair) ->
-                        if pair.src_replica = k then begin
-                          let dr = Schedule.replica s dst pair.dst_replica in
-                          let w = vol *. Platform.delay pl r.proc dr.proc in
-                          let edge_pos = Hashtbl.find edge_pos_of (dst, e) in
-                          let arrival_event at =
-                            push at
-                              (Arrival { task = dst; k = pair.dst_replica; edge_pos })
-                          in
-                          if w = 0. || network = Contention_free then
-                            arrival_event (finish +. w)
-                          else begin
-                            let min_idx port_free =
-                              let best = ref 0 in
-                              Array.iteri
-                                (fun i t -> if t < port_free.(!best) then best := i)
-                                port_free;
-                              !best
-                            in
-                            let send_free = ports.(r.proc) in
-                            let si = min_idx send_free in
-                            let depart =
-                              match network with
-                              | Duplex_ports _ ->
-                                  let recv_free = recv_ports.(dr.proc) in
-                                  let ri = min_idx recv_free in
-                                  Float.max finish
-                                    (Float.max send_free.(si) recv_free.(ri))
-                              | Contention_free | Sender_ports _ ->
-                                  Float.max finish send_free.(si)
-                            in
-                            if depart +. w <= fail_times.(r.proc) then begin
-                              send_free.(si) <- depart +. w;
-                              (match network with
-                              | Duplex_ports _ ->
-                                  let recv_free = recv_ports.(dr.proc) in
-                                  recv_free.(min_idx recv_free) <- depart +. w
-                              | Contention_free | Sender_ports _ -> ());
-                              arrival_event (depart +. w)
-                            end
-                            else begin
-                              (* transfer cut off by the sender's death *)
-                              let dst_st = rs.(dst).(pair.dst_replica) in
-                              dst_st.pending_senders.(edge_pos) <-
-                                dst_st.pending_senders.(edge_pos) - 1;
-                              if
-                                dst_st.pending_senders.(edge_pos) = 0
-                                && dst_st.satisfied_at.(edge_pos) = infinity
-                              then begin
-                                match dst_st.state with
-                                | Waiting -> lose dst pair.dst_replica
-                                | Running _ | Done _ | Lost_replica -> ()
-                              end
-                            end
-                          end
-                        end)
-                      (Comm_plan.pairs_for plan ~eps e))
-                  (Dag.out_edges g task);
-                try_advance r.proc;
-                drain_dirty ()
-            | Waiting | Done _ | Lost_replica ->
-                (* A completion event for a replica that was lost in the
-                   meantime cannot happen: losses only strike waiting
-                   replicas or processors already checked at start. *)
-                assert false))
-  done;
-  (* Anything still waiting after the heap drains can never run. *)
-  Array.iteri
-    (fun _t row ->
-      Array.iter
-        (fun st -> match st.state with Waiting | Running _ -> st.state <- Lost_replica | _ -> ())
-        row)
-    rs;
-  let outcomes =
-    Array.map
-      (Array.map (fun st ->
-           match st.state with
-           | Done { start; finish } -> Completed { start; finish }
-           | Waiting | Running _ | Lost_replica -> Lost))
-      rs
-  in
-  let all_tasks_ok =
-    Array.for_all
-      (Array.exists (function Completed _ -> true | Lost -> false))
-      outcomes
-  in
-  let latency =
-    if not all_tasks_ok then None
-    else
-      Some
-        (List.fold_left
-           (fun acc e ->
-             let first =
-               Array.fold_left
-                 (fun best o ->
-                   match o with
-                   | Completed { finish; _ } -> Float.min best finish
-                   | Lost -> best)
-                 infinity outcomes.(e)
-             in
-             Float.max acc first)
-           0. (Dag.exits g))
-  in
-  { latency; outcomes; events_processed = !events }
+
+  let create ?(network = Contention_free) s ~fail_times =
+    let inst = Schedule.instance s in
+    let g = Instance.dag inst in
+    let pl = Instance.platform inst in
+    let eps = Schedule.eps s in
+    let plan = Schedule.comm s in
+    let v = Dag.n_tasks g and m = Instance.n_procs inst in
+    if Array.length fail_times <> m then invalid_arg "Event_sim.run: fail_times";
+    let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
+    let edge_pos_of = Hashtbl.create 64 in
+    Array.iteri
+      (fun t edges ->
+        Array.iteri (fun pos e -> Hashtbl.replace edge_pos_of (t, e) pos) edges)
+      in_edges;
+    let reps =
+      Array.init v (fun t ->
+          Array.init (eps + 1) (fun k ->
+              let ne = Array.length in_edges.(t) in
+              let pending =
+                Array.init ne (fun pos ->
+                    let e = in_edges.(t).(pos) in
+                    List.length (Comm_plan.senders_to plan ~eps e ~dst_replica:k))
+              in
+              {
+                proc = (Schedule.replica s t k).Schedule.proc;
+                state = Waiting;
+                satisfied_at = Array.make ne infinity;
+                pending_senders = pending;
+              }))
+    in
+    (* Per-processor planned queues and availability. *)
+    let queues =
+      Array.init m (fun p ->
+          ref (List.map (fun (r : Schedule.replica) -> (r.task, r.index))
+                 (Schedule.proc_timeline s p)))
+    in
+    (* Outgoing-port free instants per processor (empty = contention-free).
+       Messages grab the earliest-free port FIFO in production order. *)
+    let make_ports k =
+      if k <= 0 then invalid_arg "Event_sim.run: ports must be positive";
+      Array.init m (fun _ -> Array.make k 0.)
+    in
+    let ports =
+      match network with
+      | Contention_free -> [||]
+      | Sender_ports k | Duplex_ports k -> make_ports k
+    in
+    (* incoming ports, only under the duplex (telephone) model *)
+    let recv_ports =
+      match network with
+      | Contention_free | Sender_ports _ -> [||]
+      | Duplex_ports k -> make_ports k
+    in
+    let eng =
+      {
+        s; network; fail_times; g; pl; inst; eps; plan; v; m;
+        in_edges; edge_pos_of; reps; queues;
+        free_at = Array.make m 0.;
+        ports; recv_ports;
+        heap = Heap.empty;
+        seq = 0;
+        events = 0;
+        dirty = Queue.create ();
+        subs = Hashtbl.create 16;
+        now = 0.;
+      }
+    in
+    (* Processors whose planned head is an entry replica can start at t=0;
+       dead-at-0 processors immediately lose their whole queue. *)
+    for p = 0 to m - 1 do
+      try_advance eng p;
+      drain_dirty eng
+    done;
+    eng
+
+  (* One message to deliver: input position [pos] of replica [dk] of task
+     [dst] hosted on [dproc], carrying [vol] units. *)
+  let emit eng ~src_proc ~finish ~dst ~dk ~pos ~dproc ~vol =
+    let w = vol *. Platform.delay eng.pl src_proc dproc in
+    let arrival_event at = push eng at (Arrival { task = dst; k = dk; edge_pos = pos }) in
+    if w = 0. || eng.network = Contention_free then arrival_event (finish +. w)
+    else begin
+      let min_idx port_free =
+        let best = ref 0 in
+        Array.iteri
+          (fun i t -> if t < port_free.(!best) then best := i)
+          port_free;
+        !best
+      in
+      let send_free = eng.ports.(src_proc) in
+      let si = min_idx send_free in
+      let depart =
+        match eng.network with
+        | Duplex_ports _ ->
+            let recv_free = eng.recv_ports.(dproc) in
+            let ri = min_idx recv_free in
+            Float.max finish (Float.max send_free.(si) recv_free.(ri))
+        | Contention_free | Sender_ports _ -> Float.max finish send_free.(si)
+      in
+      if depart +. w <= eng.fail_times.(src_proc) then begin
+        send_free.(si) <- depart +. w;
+        (match eng.network with
+        | Duplex_ports _ ->
+            let recv_free = eng.recv_ports.(dproc) in
+            recv_free.(min_idx recv_free) <- depart +. w
+        | Contention_free | Sender_ports _ -> ());
+        arrival_event (depart +. w)
+      end
+      else begin
+        (* transfer cut off by the sender's death *)
+        let dst_st = eng.reps.(dst).(dk) in
+        dst_st.pending_senders.(pos) <- dst_st.pending_senders.(pos) - 1;
+        if
+          dst_st.pending_senders.(pos) = 0
+          && dst_st.satisfied_at.(pos) = infinity
+        then begin
+          match dst_st.state with
+          | Waiting -> lose eng dst dk
+          | Running _ | Done _ | Lost_replica -> ()
+        end
+      end
+    end
+
+  let process eng (ev : Event.t) =
+    eng.events <- eng.events + 1;
+    eng.now <- ev.at;
+    match ev.kind with
+    | Arrival { task; k; edge_pos } ->
+        let st = eng.reps.(task).(k) in
+        (match st.state with
+        | Waiting ->
+            if st.satisfied_at.(edge_pos) = infinity then
+              st.satisfied_at.(edge_pos) <- ev.at;
+            try_advance eng st.proc
+        | Running _ | Done _ | Lost_replica -> ());
+        drain_dirty eng
+    | Completion { task; k } ->
+        let st = eng.reps.(task).(k) in
+        (match st.state with
+        | Running { start; finish } ->
+            st.state <- Done { start; finish };
+            eng.free_at.(st.proc) <- finish;
+            (* Emit one message per retained plan pair originating at this
+               replica (static replicas only), plus one per runtime
+               subscription.  Under a port model a non-local message must
+               wait for a free outgoing port, and dies with the sender if
+               the transfer has not finished by the sender's failure
+               instant; a dropped message costs the receiver one potential
+               sender. *)
+            if k <= eng.eps then
+              List.iter
+                (fun e ->
+                  let _, dst = Dag.edge_endpoints eng.g e in
+                  let vol = Dag.edge_volume eng.g e in
+                  List.iter
+                    (fun (pair : Comm_plan.pair) ->
+                      if pair.src_replica = k then
+                        emit eng ~src_proc:st.proc ~finish ~dst
+                          ~dk:pair.dst_replica
+                          ~pos:(Hashtbl.find eng.edge_pos_of (dst, e))
+                          ~dproc:eng.reps.(dst).(pair.dst_replica).proc ~vol)
+                    (Comm_plan.pairs_for eng.plan ~eps:eng.eps e))
+                (Dag.out_edges eng.g task);
+            List.iter
+              (fun sub ->
+                emit eng ~src_proc:st.proc ~finish ~dst:sub.sub_dst
+                  ~dk:sub.sub_rep ~pos:sub.sub_pos
+                  ~dproc:eng.reps.(sub.sub_dst).(sub.sub_rep).proc
+                  ~vol:(Dag.edge_volume eng.g sub.sub_edge))
+              (Option.value ~default:[] (Hashtbl.find_opt eng.subs (task, k)));
+            try_advance eng st.proc;
+            drain_dirty eng
+        | Waiting | Done _ | Lost_replica ->
+            (* A completion event for a replica that was lost in the
+               meantime cannot happen: losses only strike waiting replicas
+               or processors already checked at start. *)
+            assert false)
+
+  let advance_until eng horizon =
+    let continue_sim = ref true in
+    while !continue_sim do
+      match Heap.find_min eng.heap with
+      | Some ev when ev.Event.at <= horizon -> (
+          match Heap.pop_min eng.heap with
+          | Some (ev, rest) ->
+              eng.heap <- rest;
+              process eng ev
+          | None -> assert false)
+      | Some _ | None -> continue_sim := false
+    done;
+    if horizon > eng.now && horizon < infinity then eng.now <- horizon
+
+  let drain eng =
+    let continue_sim = ref true in
+    while !continue_sim do
+      match Heap.pop_min eng.heap with
+      | None -> continue_sim := false
+      | Some (ev, rest) ->
+          eng.heap <- rest;
+          process eng ev
+    done
+
+  let now eng = eng.now
+  let events_processed eng = eng.events
+  let n_replicas eng task = Array.length eng.reps.(task)
+  let replica_state eng ~task ~rep = eng.reps.(task).(rep).state
+  let replica_proc eng ~task ~rep = eng.reps.(task).(rep).proc
+  let free_at eng p = eng.free_at.(p)
+
+  let input_satisfied eng ~task ~rep ~pos =
+    eng.reps.(task).(rep).satisfied_at.(pos) < infinity
+
+  let kill_replica eng ~task ~rep =
+    match eng.reps.(task).(rep).state with
+    | Waiting ->
+        (* The kill is a decision taken at virtual time [now]; whatever
+           was queued behind the killed replica only becomes runnable
+           now, not retroactively. *)
+        let p = eng.reps.(task).(rep).proc in
+        if eng.free_at.(p) < eng.now then eng.free_at.(p) <- eng.now;
+        lose eng task rep;
+        drain_dirty eng
+    | Running _ -> invalid_arg "Event_sim.Engine.kill_replica: running replica"
+    | Done _ | Lost_replica -> ()
+
+  let inject eng ~task ~proc ~inputs =
+    if task < 0 || task >= eng.v then invalid_arg "Event_sim.Engine.inject: task";
+    if proc < 0 || proc >= eng.m then invalid_arg "Event_sim.Engine.inject: proc";
+    let ne = Array.length eng.in_edges.(task) in
+    if Array.length inputs <> ne then
+      invalid_arg "Event_sim.Engine.inject: one source list per in-edge";
+    let k = Array.length eng.reps.(task) in
+    let st =
+      {
+        proc;
+        state = Waiting;
+        satisfied_at = Array.make ne infinity;
+        pending_senders = Array.make ne 0;
+      }
+    in
+    (* Validate and register sources before publishing the replica: a
+       malformed call must not leave a half-subscribed ghost behind. *)
+    let subs_to_add = ref [] in
+    let resends = ref [] in
+    Array.iteri
+      (fun pos sources ->
+        if sources = [] then
+          invalid_arg "Event_sim.Engine.inject: input with no source";
+        let e = eng.in_edges.(task).(pos) in
+        let esrc, _ = Dag.edge_endpoints eng.g e in
+        List.iter
+          (fun src ->
+            st.pending_senders.(pos) <- st.pending_senders.(pos) + 1;
+            match src with
+            | Resend { arrival } ->
+                if arrival < eng.now then
+                  invalid_arg "Event_sim.Engine.inject: arrival in the past";
+                if arrival < infinity then resends := (arrival, pos) :: !resends
+            | On_completion { src_task; src_rep } ->
+                if src_task <> esrc then
+                  invalid_arg "Event_sim.Engine.inject: source task mismatch";
+                if src_rep < 0 || src_rep >= Array.length eng.reps.(src_task)
+                then invalid_arg "Event_sim.Engine.inject: source replica";
+                (match eng.reps.(src_task).(src_rep).state with
+                | Waiting | Running _ -> ()
+                | Done _ ->
+                    invalid_arg
+                      "Event_sim.Engine.inject: source already completed \
+                       (use Resend)"
+                | Lost_replica ->
+                    invalid_arg "Event_sim.Engine.inject: lost source");
+                subs_to_add :=
+                  ( (src_task, src_rep),
+                    { sub_dst = task; sub_rep = k; sub_pos = pos; sub_edge = e }
+                  )
+                  :: !subs_to_add)
+          sources)
+      inputs;
+    eng.reps.(task) <- Array.append eng.reps.(task) [| st |];
+    List.iter
+      (fun (key, sub) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt eng.subs key) in
+        Hashtbl.replace eng.subs key (sub :: prev))
+      !subs_to_add;
+    List.iter
+      (fun (arrival, pos) ->
+        push eng arrival (Arrival { task; k; edge_pos = pos }))
+      !resends;
+    eng.queues.(proc) := !(eng.queues.(proc)) @ [ (task, k) ];
+    (* An injection decided at virtual time [now] cannot start earlier
+       than [now], even on an idle processor.  Bumping the availability is
+       safe: every event up to [now] is processed, so nothing else queued
+       on [proc] could legally start before [now] either. *)
+    if eng.free_at.(proc) < eng.now then eng.free_at.(proc) <- eng.now;
+    Queue.add proc eng.dirty;
+    drain_dirty eng;
+    k
+
+  (* Anything not completed when the event heap has drained can never
+     run; report it as lost.  (After [drain] no replica is [Running]: a
+     running replica always has a pending completion event.) *)
+  let result eng =
+    let outcomes =
+      Array.map
+        (Array.map (fun st ->
+             match st.state with
+             | Done { start; finish } -> Completed { start; finish }
+             | Waiting | Running _ | Lost_replica -> Lost))
+        eng.reps
+    in
+    let all_tasks_ok =
+      Array.for_all
+        (Array.exists (function Completed _ -> true | Lost -> false))
+        outcomes
+    in
+    let latency =
+      if not all_tasks_ok then None
+      else
+        Some
+          (List.fold_left
+             (fun acc e ->
+               let first =
+                 Array.fold_left
+                   (fun best o ->
+                     match o with
+                     | Completed { finish; _ } -> Float.min best finish
+                     | Lost -> best)
+                   infinity outcomes.(e)
+               in
+               Float.max acc first)
+             0. (Dag.exits eng.g))
+    in
+    { latency; outcomes; events_processed = eng.events }
+end
+
+let run ?network s ~fail_times =
+  let eng = Engine.create ?network s ~fail_times in
+  Engine.drain eng;
+  Engine.result eng
 
 let run_timed ?network s timed =
   let m = Instance.n_procs (Schedule.instance s) in

@@ -51,6 +51,89 @@ type result = {
   events_processed : int;  (** simulator effort, for the curious *)
 }
 
+type replica_state =
+  | Waiting
+  | Running of { start : float; finish : float }
+  | Done of { start : float; finish : float }
+  | Lost_replica
+
+(** Stateful simulation engine.
+
+    [run] below is a thin wrapper: create, drain, read the result.  The
+    engine is exposed so that an online controller (see
+    [Ftsched_recovery]) can interleave simulation with decisions: advance
+    virtual time to a failure-detection instant, inspect replica states,
+    kill doomed replicas and inject replacement replicas on surviving
+    processors, then resume.
+
+    Injected replicas are appended after the static replicas [0..eps] of
+    their task, execute at the tail of their processor's FIFO queue, and
+    receive each input either as a re-sent copy with a known arrival time
+    ([Resend], for sources that already completed) or as a subscription to
+    a not-yet-finished source replica ([On_completion], delivering a
+    message with the usual communication cost and sender-death cut-off
+    when that source completes). *)
+module Engine : sig
+  type t
+
+  type source =
+    | Resend of { arrival : float }
+        (** a copy of the input reaches the injected replica at [arrival]
+            (the caller prices the transfer; the engine trusts it).  An
+            [infinity] arrival models a re-send that is physically cut off
+            (e.g. the holder is dead but the controller does not know
+            yet): it counts as a potential sender that never delivers.
+            Finite arrivals must not lie in the past. *)
+    | On_completion of { src_task : int; src_rep : int }
+        (** deliver when that replica of the predecessor task completes;
+            invalid if it is already [Done] (use [Resend]) or lost *)
+
+  val create :
+    ?network:network_model ->
+    Ftsched_schedule.Schedule.t ->
+    fail_times:float array ->
+    t
+
+  val advance_until : t -> float -> unit
+  (** Process every pending event with timestamp [<= horizon]; virtual
+      time ends at [max horizon (last event processed)] (an infinite
+      horizon leaves time at the last event). *)
+
+  val drain : t -> unit
+  (** Process all remaining events. *)
+
+  val now : t -> float
+  val events_processed : t -> int
+
+  val n_replicas : t -> int -> int
+  (** Static [eps + 1] plus any injected replicas of the task. *)
+
+  val replica_state : t -> task:int -> rep:int -> replica_state
+  val replica_proc : t -> task:int -> rep:int -> int
+
+  val input_satisfied : t -> task:int -> rep:int -> pos:int -> bool
+  (** Has a copy of in-edge [pos] (position in [Dag.in_edges] order)
+      already arrived at this replica? *)
+
+  val free_at : t -> int -> float
+  (** Instant from which the processor can start its next replica. *)
+
+  val kill_replica : t -> task:int -> rep:int -> unit
+  (** Lose a [Waiting] replica now, cascading as usual.  No-op on [Done]
+      or already-lost replicas; invalid on a [Running] one (a running
+      replica can only be cut down by its processor's death). *)
+
+  val inject : t -> task:int -> proc:int -> inputs:source list array -> int
+  (** Add a replica of [task] at the tail of [proc]'s queue.  [inputs]
+      has one non-empty source list per in-edge of the task (in
+      [Dag.in_edges] order).  Returns the new replica index.  The engine
+      does not check [proc] against [fail_times]: re-mapping onto a
+      dead-but-undetected processor is a legitimate (and costly) move. *)
+
+  val result : t -> result
+  (** Call after [drain]; replicas not [Done] are reported [Lost]. *)
+end
+
 val run :
   ?network:network_model ->
   Ftsched_schedule.Schedule.t ->

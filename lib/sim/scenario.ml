@@ -38,6 +38,28 @@ let random_timed rng ~m ~count ~horizon =
   Array.to_list
     (Array.map (fun proc -> { proc; at = Rng.float_in rng 0. horizon }) procs)
 
+let exponential rng ~rates =
+  let m = Array.length rates in
+  let fail_times = Array.make m infinity in
+  (* One draw per processor with a positive rate, in processor order —
+     rate-0 processors consume no randomness, so adding reliable
+     processors to a platform does not shift the stream of the others. *)
+  for p = 0 to m - 1 do
+    let r = rates.(p) in
+    if r < 0. then invalid_arg "Scenario.exponential: negative rate";
+    if r > 0. then fail_times.(p) <- Rng.exponential rng ~mean:(1. /. r)
+  done;
+  fail_times
+
+let exponential_timed rng ~rates ~horizon =
+  if horizon < 0. then invalid_arg "Scenario.exponential_timed";
+  let fail_times = exponential rng ~rates in
+  List.filter_map
+    (fun proc ->
+      let at = fail_times.(proc) in
+      if at < horizon then Some { proc; at } else None)
+    (List.init (Array.length rates) (fun p -> p))
+
 let pp ppf t =
   Format.fprintf ppf "failed{%s}"
     (String.concat "," (Array.to_list (Array.map string_of_int t.failed)))

@@ -28,4 +28,15 @@ val random_timed :
 (** [count] distinct processors, each failing at a uniform time in
     [0, horizon). *)
 
+val exponential : Ftsched_util.Rng.t -> rates:float array -> float array
+(** Per-processor fail instants drawn from exponential laws:
+    [fail_times.(p) ~ Exp(rates.(p))], with [infinity] (and no draw, so
+    streams stay aligned across platform variants) when [rates.(p) = 0].
+    The result feeds [Event_sim.run ~fail_times] directly. *)
+
+val exponential_timed :
+  Ftsched_util.Rng.t -> rates:float array -> horizon:float -> timed list
+(** Same draws as {!exponential}, keeping only failures striking before
+    [horizon]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -123,11 +123,16 @@ let test_defeated_beyond_eps () =
   let victim = Scenario.of_list (Array.to_list (Schedule.assigned_procs s 0)) in
   let r = Crash_exec.run s victim in
   check_bool "defeated" true (r.Crash_exec.latency = None);
-  check_bool "latency_exn raises" true
+  check_bool "latency_exn raises typed defeat" true
     (try
        ignore (Crash_exec.latency_exn s victim);
        false
-     with Failure _ -> true)
+     with Crash_exec.Defeated { task; scenario } ->
+       task = 0 && scenario == victim);
+  (match Crash_exec.latency_result s victim with
+  | Ok _ -> Alcotest.fail "latency_result must report the defeat"
+  | Error { Crash_exec.task; _ } ->
+      check_int "first wholly-lost task" 0 task)
 
 let test_outcome_classification () =
   let inst = tiny_instance () in

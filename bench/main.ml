@@ -3,7 +3,9 @@
    Usage: dune exec bench/main.exe [-- target ...]
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
-   rftsa reliability recovery micro all (default: all).
+   rftsa reliability recovery linkloss adversary micro smoke all
+   (default: all; "smoke" is a CI-sized sanity pass over the hot
+   simulation paths and is not part of "all").
    By default the figure sweeps use the reduced "quick" workload (8 graphs
    per point) so the whole harness finishes in a couple of minutes; set
    FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
@@ -115,6 +117,67 @@ let run_recovery () =
      defeat rate 0) --\n";
   show "recovery_exact_eps" p.Figures.exact_eps
 
+let run_linkloss () =
+  section "Ablation A6: link failures and retransmission (eps=2, g=1.0)";
+  Printf.printf
+    "No processor dies; every inter-processor message is lost independently \
+     with the row's probability. FTSA's (eps+1)^2 messaging vs MC-FTSA's \
+     one-to-one plan, retransmission off/on, plus MC-FTSA under recovery.\n";
+  show "linkloss" (Figures.link_loss_ablation ~spec ~eps:2 ())
+
+let run_adversary () =
+  section "Adversarial timed worst-case search (eps=2, g=1.0)";
+  Printf.printf
+    "Certified-or-empirical worst over death instants, vs the untimed \
+     exhaustive worst; one FTSA and one MC-FTSA (strict) schedule per row.\n";
+  let module Adversary = Ftsched_sim.Adversary in
+  let table =
+    Table.create
+      ~columns:[ "algo"; "verdict"; "untimed worst"; "timed worst"; "evals" ]
+  in
+  let fmt_outcome = function
+    | Adversary.Defeated -> "defeated"
+    | Adversary.Latency l -> Printf.sprintf "%.1f" l
+  in
+  List.iter
+    (fun (name, schedule) ->
+      let inst = Workload.instance spec ~master_seed:2008 ~granularity:1.0 ~index:0 in
+      let s = schedule inst in
+      let r = Adversary.search ~links:1 s ~count:2 in
+      Table.add_row table
+        [
+          name;
+          (match r.Adversary.verdict with
+          | Adversary.Certified -> "certified"
+          | Adversary.Empirical -> "empirical");
+          fmt_outcome r.Adversary.untimed_worst;
+          fmt_outcome r.Adversary.worst;
+          string_of_int r.Adversary.evaluations;
+        ])
+    [
+      ("ftsa", fun inst -> Ftsched_core.Ftsa.schedule inst ~eps:2);
+      ("mc-ftsa", fun inst -> Ftsched_core.Mc_ftsa.schedule inst ~eps:2);
+    ];
+  show "adversary" table
+
+(* CI-sized sanity pass: exercises the hot simulation paths (event engine
+   with contention, the lossy channel with retransmission, recovery, the
+   adversary search) on a 2-graph workload in a few seconds, so engine
+   regressions are caught on every PR without paying for a full run. *)
+let run_smoke () =
+  section "Smoke (CI): hot simulation paths on a reduced workload";
+  let spec2 = Workload.with_graphs_per_point spec 2 in
+  show "smoke_contention"
+    (Figures.contention_ablation ~spec:spec2 ~eps:2 ~ports:[ 1 ] ());
+  show "smoke_linkloss"
+    (Figures.link_loss_ablation ~spec:spec2 ~scenarios_per_graph:2 ~eps:2
+       ~losses:[ 0.05; 0.3 ] ());
+  let p =
+    Figures.recovery_ablation ~spec:spec2 ~scenarios_per_graph:2 ~eps:2
+      ~intensities:[ 0.15 ] ~delta_factors:[ 0.02 ] ()
+  in
+  show "smoke_recovery" p.Figures.campaign
+
 let run_claims () =
   section "Self-check: the paper's qualitative claims as assertions";
   let verdicts = Ftsched_exp.Claims.verify ~spec () in
@@ -203,7 +266,7 @@ let () =
     | _ :: (_ :: _ as rest) -> rest
     | _ -> [ "all" ]
   in
-  let want t = List.mem t args || List.mem "all" args in
+  let want t = List.mem t args || (List.mem "all" args && t <> "smoke") in
   if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
   if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
   if want "fig3" then run_figure ~id:"3" ~eps:5 ~crash_counts:[ 0; 2; 5 ];
@@ -216,5 +279,8 @@ let () =
   if want "rftsa" then run_rftsa ();
   if want "reliability" then run_reliability ();
   if want "recovery" then run_recovery ();
+  if want "linkloss" then run_linkloss ();
+  if want "adversary" then run_adversary ();
+  if want "smoke" then run_smoke ();
   if want "micro" then run_micro ();
   Printf.printf "\nDone.\n"

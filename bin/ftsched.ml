@@ -39,6 +39,45 @@ module Figures = Ftsched_exp.Figures
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
+(* Validating converters: malformed values die as cmdliner usage errors
+   instead of surfacing as Invalid_argument exceptions from deep inside a
+   library call. *)
+let conv_of_float ~docv ~check ~msg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when check v -> Ok v
+    | Some _ -> Error (`Msg msg)
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected a number" s))
+  in
+  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let prob_conv =
+  conv_of_float ~docv:"P"
+    ~check:(fun v -> v >= 0. && v <= 1.)
+    ~msg:"expected a probability in [0, 1]"
+
+let nonneg_float_conv =
+  conv_of_float ~docv:"D" ~check:(fun v -> v >= 0.)
+    ~msg:"expected a non-negative number"
+
+let int_conv_of ~docv ~check ~msg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when check v -> Ok v
+    | Some _ -> Error (`Msg msg)
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%d" v)
+
+let pos_int_conv =
+  int_conv_of ~docv:"N" ~check:(fun v -> v > 0)
+    ~msg:"expected a positive integer"
+
+let nonneg_int_conv =
+  int_conv_of ~docv:"N" ~check:(fun v -> v >= 0)
+    ~msg:"expected a non-negative integer"
+
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
@@ -314,35 +353,87 @@ let simulate_cmd =
   in
   let delta =
     Arg.(
-      value & opt float 0.
+      value & opt nonneg_float_conv 0.
       & info [ "delta" ] ~docv:"D"
           ~doc:"Failure detection latency for --recover (default 0).")
   in
   let rounds =
     Arg.(
-      value & opt (some int) None
+      value & opt (some pos_int_conv) None
       & info [ "rounds" ] ~docv:"R"
           ~doc:
             "Maximum re-injections per task for --recover (default: the \
              number of processors).")
   in
+  let loss =
+    Arg.(
+      value & opt prob_conv 0.
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Per-message loss probability in [0,1]; implies the \
+             event-driven simulator.")
+  in
+  let retries =
+    Arg.(
+      value & opt nonneg_int_conv 3
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Retransmissions per lost message before it is declared \
+             permanently lost (default 3).")
+  in
+  let adversary =
+    Arg.(
+      value & flag
+      & info [ "adversary" ]
+          ~doc:
+            "Search for the worst timed failure scenario (death instants, \
+             optionally --links dropped links) instead of sampling; prints \
+             a replayable witness.")
+  in
+  let links =
+    Arg.(
+      value & opt nonneg_int_conv 0
+      & info [ "links" ] ~docv:"K"
+          ~doc:"Link blackouts the --adversary may spend (default 0).")
+  in
   let run kind n m eps granularity seed algo fail crashes timed strict ports
-      worst recover delta rounds =
+      worst recover delta rounds loss retries adversary links =
     let inst = make_instance ~kind ~seed ~n ~m ~granularity in
     let s = run_algo algo ~seed inst ~eps in
     Format.printf "%a@." Schedule.pp_summary s;
+    let faults =
+      if loss = 0. then Scenario.reliable
+      else Scenario.lossy ~loss ~retries ~seed:(seed + 3) ()
+    in
     if worst then begin
       let module Worst_case = Ftsched_sim.Worst_case in
       let policy = if strict then Crash_exec.Strict else Crash_exec.Reroute in
       let r = Worst_case.analyze ~policy s ~count:eps in
-      Format.printf
-        "worst case over %d scenarios: best=%.6g mean=%.6g worst=%.6g \
-         (defeated: %d)@."
-        r.Worst_case.scenarios r.Worst_case.best r.Worst_case.mean
-        r.Worst_case.worst r.Worst_case.defeated;
-      Format.printf "worst scenario: %a  bound tightness worst/M = %.4f@."
-        Scenario.pp r.Worst_case.worst_scenario
-        (r.Worst_case.worst /. Schedule.latency_upper_bound s)
+      let sampled = if r.Worst_case.sampled then " (sampled)" else "" in
+      match r.Worst_case.stats with
+      | None ->
+          Format.printf "worst case: all %d scenarios%s defeated@."
+            r.Worst_case.scenarios sampled
+      | Some st ->
+          Format.printf
+            "worst case over %d scenarios%s: best=%.6g mean=%.6g worst=%.6g \
+             (defeated: %d)@."
+            r.Worst_case.scenarios sampled st.Worst_case.best
+            st.Worst_case.mean st.Worst_case.worst r.Worst_case.defeated;
+          Format.printf "worst scenario: %a  bound tightness worst/M = %.4f@."
+            Scenario.pp st.Worst_case.worst_scenario
+            (st.Worst_case.worst /. Schedule.latency_upper_bound s)
+    end;
+    if adversary then begin
+      let module Adversary = Ftsched_sim.Adversary in
+      let r = Adversary.search ~faults ~links ~seed s ~count:eps in
+      Format.printf "adversary (%s, %d evaluations): %a (untimed worst: %a)@."
+        (match r.Adversary.verdict with
+        | Adversary.Certified -> "certified"
+        | Adversary.Empirical -> "empirical")
+        r.Adversary.evaluations Adversary.pp_outcome r.Adversary.worst
+        Adversary.pp_outcome r.Adversary.untimed_worst;
+      Format.printf "witness: %a@." Adversary.pp_witness r.Adversary.witness
     end;
     let rng = Rng.create ~seed:(seed + 1) in
     let scenario =
@@ -355,7 +446,7 @@ let simulate_cmd =
       | Some k -> Event_sim.Sender_ports k
       | None -> Event_sim.Contention_free
     in
-    if recover || timed || ports <> None then begin
+    if recover || timed || ports <> None || loss > 0. then begin
       let horizon = Schedule.latency_upper_bound s in
       let t =
         if timed then
@@ -372,7 +463,7 @@ let simulate_cmd =
           Format.printf "P%d fails at %.4g@." proc at)
         t;
       if recover then begin
-        let o = Recovery.run_timed ~network ~delta ?rounds s t in
+        let o = Recovery.run_timed ~network ~faults ~delta ?rounds s t in
         (match o.Recovery.result.Event_sim.latency with
         | Some l -> Format.printf "achieved latency (with recovery): %.6g@." l
         | None ->
@@ -384,10 +475,13 @@ let simulate_cmd =
           o.Recovery.result.Event_sim.events_processed
       end
       else begin
-      let r = Event_sim.run_timed ~network s t in
+      let r = Event_sim.run_timed ~network ~faults s t in
       (match r.Event_sim.latency with
       | Some l -> Format.printf "achieved latency: %.6g@." l
       | None -> Format.printf "schedule DEFEATED by the scenario@.");
+      if loss > 0. then
+        Format.printf "retransmissions: %d  permanently lost messages: %d@."
+          r.Event_sim.retransmissions r.Event_sim.lost_messages;
       Format.printf "events processed: %d@." r.Event_sim.events_processed
       end
     end
@@ -407,7 +501,7 @@ let simulate_cmd =
     Term.(
       const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
       $ seed_arg $ algo_arg $ fail $ crashes $ timed $ strict $ ports $ worst
-      $ recover $ delta $ rounds)
+      $ recover $ delta $ rounds $ loss $ retries $ adversary $ links)
 
 (* ------------------------------------------------------------------ *)
 (* inspect                                                             *)
@@ -559,12 +653,13 @@ let experiment_cmd =
                          ("procs", `Procs);
                          ("rftsa", `Rftsa);
                          ("reliability", `Reliability);
-                         ("recovery", `Recov) ])
+                         ("recovery", `Recov);
+                         ("linkloss", `Linkloss) ])
         `F1
       & info [] ~docv:"WHAT"
           ~doc:
             "fig1 | fig2 | fig3 | fig4 | table1 | contention | redundancy | \
-             claims | procs | rftsa | reliability | recovery")
+             claims | procs | rftsa | reliability | recovery | linkloss")
   in
   let full =
     Arg.(
@@ -624,6 +719,8 @@ let experiment_cmd =
         let p = Figures.recovery_ablation ~spec ~master_seed:seed ~eps:2 () in
         Table.print p.Figures.campaign;
         Table.print p.Figures.exact_eps
+    | `Linkloss ->
+        Table.print (Figures.link_loss_ablation ~spec ~master_seed:seed ~eps:2 ())
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
     Term.(const run $ what $ full $ graphs $ seed_arg)

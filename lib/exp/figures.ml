@@ -546,6 +546,112 @@ let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
     delta_factors;
   { campaign; exact_eps }
 
+(* A6: link failures and retransmission.  No processor ever dies here —
+   every inter-processor message is lost independently with the row's
+   probability, and the question is how much protection FTSA's redundant
+   (ε+1)² messaging buys over MC-FTSA's pruned one-to-one plan, first
+   with the retransmission protocol off (retries = 0), then with it on,
+   and finally with the PR-1 recovery runtime repairing MC-FTSA's
+   starvation on top. *)
+let link_loss_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
+    ?(scenarios_per_graph = 5) ?(eps = 2)
+    ?(losses = [ 0.02; 0.05; 0.1; 0.2; 0.4 ]) ?(retries = 3) () =
+  let module Esim = Ftsched_sim.Event_sim in
+  let module Scenario = Ftsched_sim.Scenario in
+  let module Recovery = Ftsched_recovery.Recovery in
+  let module Metrics = Ftsched_schedule.Metrics in
+  let granularity = 1.0 in
+  let graphs = spec.Workload.graphs_per_point in
+  let prepared =
+    List.init graphs (fun index ->
+        let inst = Workload.instance spec ~master_seed ~granularity ~index in
+        let seed = master_seed + (31 * index) in
+        let s_ftsa = Ftsa.schedule ~seed inst ~eps in
+        let s_mc = Mc_ftsa.schedule ~seed inst ~eps in
+        (inst, seed, s_ftsa, s_mc, Runner.mean_edge_comm inst))
+  in
+  let first_finish_of (r : Esim.result) t =
+    Array.fold_left
+      (fun best o ->
+        match o with
+        | Esim.Completed { finish; _ } -> Float.min best finish
+        | Esim.Lost -> best)
+      infinity r.Esim.outcomes.(t)
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          "loss"; "FTSA dft noRT"; "MC dft noRT"; "MC tasks% noRT";
+          "FTSA dft RT"; "MC dft RT"; "MC retrans"; "MC+rec dft";
+          "MC+rec lat";
+        ]
+  in
+  List.iter
+    (fun loss ->
+      let trials = ref 0 in
+      let ftsa_nort = ref 0
+      and mc_nort = ref 0
+      and ftsa_rt = ref 0
+      and mc_rt = ref 0
+      and mcr_defeats = ref 0 in
+      let mc_tasks = ref 0. in
+      let retrans = ref 0 in
+      let mcr_lat = ref 0. and mcr_done = ref 0 in
+      List.iter
+        (fun (inst, seed, s_ftsa, s_mc, norm) ->
+          let m = Instance.n_procs inst in
+          let fail_times = Array.make m infinity in
+          let g = Instance.dag inst in
+          for k = 1 to scenarios_per_graph do
+            incr trials;
+            (* The same fault seed across variants pairs the comparison;
+               the draws still diverge with the message count. *)
+            let fseed = seed + (101 * k) in
+            let no_rt = Scenario.lossy ~loss ~retries:0 ~seed:fseed () in
+            let rt = Scenario.lossy ~loss ~retries ~seed:fseed () in
+            let defeated (r : Esim.result) = r.Esim.latency = None in
+            if defeated (Esim.run ~faults:no_rt s_ftsa ~fail_times) then
+              incr ftsa_nort;
+            let r_mc = Esim.run ~faults:no_rt s_mc ~fail_times in
+            if defeated r_mc then incr mc_nort;
+            let d =
+              Metrics.degraded_of_run g ~first_finish:(first_finish_of r_mc)
+            in
+            mc_tasks :=
+              !mc_tasks
+              +. float_of_int d.Metrics.completed_tasks
+                 /. float_of_int d.Metrics.total_tasks;
+            if defeated (Esim.run ~faults:rt s_ftsa ~fail_times) then
+              incr ftsa_rt;
+            let r_mc_rt = Esim.run ~faults:rt s_mc ~fail_times in
+            if defeated r_mc_rt then incr mc_rt;
+            retrans := !retrans + r_mc_rt.Esim.retransmissions;
+            let o = Recovery.run ~faults:rt s_mc ~fail_times in
+            match o.Recovery.result.Esim.latency with
+            | Some l ->
+                incr mcr_done;
+                mcr_lat := !mcr_lat +. (l /. norm)
+            | None -> incr mcr_defeats
+          done)
+        prepared;
+      let rate n = float_of_int !n /. float_of_int !trials in
+      Table.add_row table
+        [
+          Printf.sprintf "%.2f" loss;
+          fmt3 (rate ftsa_nort);
+          fmt3 (rate mc_nort);
+          fmt_pct (100. *. !mc_tasks /. float_of_int !trials);
+          fmt3 (rate ftsa_rt);
+          fmt3 (rate mc_rt);
+          Printf.sprintf "%.1f" (float_of_int !retrans /. float_of_int !trials);
+          fmt3 (rate mcr_defeats);
+          (if !mcr_done = 0 then "-"
+           else fmt3 (!mcr_lat /. float_of_int !mcr_done));
+        ])
+    losses;
+  table
+
 let time_once f =
   let t0 = Sys.time () in
   ignore (Sys.opaque_identity (f ()));

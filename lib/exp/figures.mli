@@ -149,6 +149,28 @@ val recovery_ablation :
     normalized by the instance's mean per-edge communication cost and
     averaged over completed runs only. *)
 
+val link_loss_ablation :
+  ?spec:Workload.spec ->
+  ?master_seed:int ->
+  ?scenarios_per_graph:int ->
+  ?eps:int ->
+  ?losses:float list ->
+  ?retries:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (A6): link failures and retransmission.  No
+    processor dies; every inter-processor message is lost independently
+    with the row's probability (and re-sent up to [retries] times in the
+    RT columns).  One row per loss rate: defeat rates for FTSA's
+    redundant (ε+1)² messaging vs MC-FTSA's one-to-one plan with
+    retransmission off ([noRT], retries = 0) and on ([RT]), the
+    completed-task fraction of the defeated static MC runs, the mean
+    retransmission count, and MC-FTSA under the recovery runtime (whose
+    controller-priced re-sends stay reliable, so it should drive defeats
+    to zero).  The headline claim: MC's defeat rate exceeds FTSA's at
+    every loss rate with retransmission off, and the gap narrows with it
+    on. *)
+
 val redundancy_ablation :
   ?spec:Workload.spec ->
   ?master_seed:int ->

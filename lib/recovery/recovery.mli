@@ -57,6 +57,7 @@ type outcome = {
 
 val run :
   ?network:Event_sim.network_model ->
+  ?faults:Ftsched_sim.Scenario.comm_faults ->
   ?delta:float ->
   ?rounds:int ->
   Ftsched_schedule.Schedule.t ->
@@ -65,10 +66,15 @@ val run :
 (** [delta] defaults to [0.] (instant detection); [rounds] defaults to
     the platform size.  With the default budget and at least one
     processor alive at the end, the run always completes every task
-    (defeat is impossible — see the property tests). *)
+    (defeat is impossible — see the property tests).  [faults] (default
+    reliable) subjects {e planned} messages and [On_completion]
+    re-wirings to the communication-fault model; recovery's own
+    [Resend]s are priced by the controller and stay reliable, so
+    recovery remains an effective answer to message loss. *)
 
 val run_timed :
   ?network:Event_sim.network_model ->
+  ?faults:Ftsched_sim.Scenario.comm_faults ->
   ?delta:float ->
   ?rounds:int ->
   Ftsched_schedule.Schedule.t ->

@@ -53,6 +53,25 @@ let work_inflation s =
   let ideal = sequential_time (Schedule.instance s) in
   total /. ideal
 
+let inter_processor_links s =
+  let inst = Schedule.instance s in
+  let g = Instance.dag inst in
+  let eps = Schedule.eps s in
+  let plan = Schedule.comm s in
+  let vols = Hashtbl.create 64 in
+  Dag.iter_edges g (fun e ~src ~dst ~volume ->
+      List.iter
+        (fun (pair : Comm_plan.pair) ->
+          let sp = (Schedule.replica s src pair.src_replica).Schedule.proc in
+          let dp = (Schedule.replica s dst pair.dst_replica).Schedule.proc in
+          if sp <> dp then
+            let prev = Option.value ~default:0. (Hashtbl.find_opt vols (sp, dp)) in
+            Hashtbl.replace vols (sp, dp) (prev +. volume))
+        (Comm_plan.pairs_for plan ~eps e));
+  Hashtbl.fold (fun link vol acc -> (link, vol) :: acc) vols []
+  |> List.sort (fun (l1, v1) (l2, v2) ->
+         match compare v2 v1 with 0 -> compare l1 l2 | c -> c)
+
 type degraded = {
   completed_tasks : int;
   total_tasks : int;

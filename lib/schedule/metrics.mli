@@ -38,6 +38,13 @@ val work_inflation : Schedule.t -> float
     single-copy work [Σ_t min_p E(t,p)]: captures both the [ε+1]-fold
     replication and any slow-processor placements. *)
 
+val inter_processor_links : Schedule.t -> ((int * int) * float) list
+(** Distinct directed processor pairs [(src, dst)] that carry at least
+    one planned inter-processor message, with the total data volume
+    crossing each link, heaviest first (ties broken by pair order).
+    This is the candidate set a link adversary ([Ftsched_sim.Adversary])
+    attacks. *)
+
 (** {2 Degraded-mode metrics}
 
     Beyond [ε] failures no guarantee remains, but an online recovery run

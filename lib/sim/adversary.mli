@@ -1,0 +1,88 @@
+(** Adversarial timed worst-case search.
+
+    {!Worst_case} enumerates {e untimed} adversaries — subsets of
+    processors dead from time 0.  The timed fault space is much richer:
+    a processor dying {e mid-replica} wastes all the work invested in it,
+    and a link dropping its messages starves receivers that replication
+    alone would have saved.  Random sampling of that space systematically
+    underestimates the worst case (PISA, Coleman & Krishnamachari 2024),
+    so this module searches it deliberately:
+
+    + {b untimed sweep} — every [count]-subset dying at t = 0, exhaustive
+      while [C(m, count) <= exhaustive_limit].  This covers exactly the
+      scenario set {!Worst_case.analyze} enumerates (under strict
+      semantics, which {!Event_sim} implements), so the final answer is
+      certified at least as bad as the untimed worst;
+    + {b timed refinement} — greedy coordinate ascent over death
+      instants, one processor at a time, drawing candidates from the
+      replica intervals of the reference run (midpoints: cut a replica
+      mid-run), plus randomized restarts at random instants;
+    + {b link drops} — greedily add the permanent link blackout (from
+      the volume-ranked candidates of
+      [Metrics.inter_processor_links]) that damages the incumbent
+      scenario most, up to [links] drops.
+
+    The result carries a {!witness} that {!replay} re-executes exactly —
+    the search is deterministic for a given [seed]. *)
+
+type outcome = Defeated | Latency of float
+(** [Defeated] — some task completes on no replica — is worse than any
+    finite latency. *)
+
+type witness = {
+  deaths : Scenario.timed list;  (** which processor dies when *)
+  dropped_links : (int * int) list;
+      (** directed links under permanent blackout *)
+}
+
+type verdict =
+  | Certified
+      (** the untimed sweep was exhaustive: [worst] is at least as bad as
+          {!Worst_case.analyze}'s worst over the same subsets *)
+  | Empirical  (** subset space too large — sweep was sampled *)
+
+type report = {
+  verdict : verdict;
+  worst : outcome;
+  witness : witness;  (** replaying it reproduces [worst] *)
+  untimed_worst : outcome;
+      (** worst over the t = 0 sweep alone — the gap to [worst] is what
+          timing and link attacks bought the adversary *)
+  evaluations : int;  (** simulator runs spent *)
+}
+
+val search :
+  ?network:Event_sim.network_model ->
+  ?faults:Scenario.comm_faults ->
+  ?links:int ->
+  ?restarts:int ->
+  ?seed:int ->
+  ?exhaustive_limit:int ->
+  ?max_link_candidates:int ->
+  Ftsched_schedule.Schedule.t ->
+  count:int ->
+  report
+(** [search s ~count] looks for the worst timed scenario with exactly
+    [count] processor deaths and at most [links] (default 0) link
+    blackouts.  [faults] (default {!Scenario.reliable}) is the ambient
+    communication-fault environment the adversary operates in.
+    [restarts] (default 6) bounds the randomized restarts;
+    [exhaustive_limit] (default 2000) the subset count still swept
+    exhaustively.  Raises [Invalid_argument] on a [count] outside
+    [[0, m]] or negative [links]. *)
+
+val replay :
+  ?network:Event_sim.network_model ->
+  ?faults:Scenario.comm_faults ->
+  Ftsched_schedule.Schedule.t ->
+  witness ->
+  Event_sim.result
+(** Re-execute a witness under the same ambient [network]/[faults] it was
+    found with.  Raises [Invalid_argument] if the witness names a
+    processor the platform does not have. *)
+
+val worse : outcome -> outcome -> bool
+(** [worse a b] — is [a] strictly worse for the schedule than [b]? *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_witness : Format.formatter -> witness -> unit

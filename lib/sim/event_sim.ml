@@ -3,6 +3,7 @@ module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Schedule = Ftsched_schedule.Schedule
 module Comm_plan = Ftsched_schedule.Comm_plan
+module Rng = Ftsched_util.Rng
 
 type network_model =
   | Contention_free
@@ -17,6 +18,8 @@ type result = {
   latency : float option;
   outcomes : outcome array array;
   events_processed : int;
+  retransmissions : int;
+  lost_messages : int;
 }
 
 type event_kind =
@@ -61,6 +64,11 @@ module Engine = struct
   type t = {
     s : Schedule.t;
     network : network_model;
+    faults : Scenario.comm_faults;
+    frng : Rng.t;  (* loss-draw stream; untouched when faults are reliable *)
+    fault_free : bool;
+    mutable retransmissions : int;
+    mutable lost_messages : int;
     fail_times : float array;
     g : Dag.t;
     pl : Platform.t;
@@ -170,7 +178,8 @@ module Engine = struct
       try_advance eng (Queue.pop eng.dirty)
     done
 
-  let create ?(network = Contention_free) s ~fail_times =
+  let create ?(network = Contention_free) ?(faults = Scenario.reliable) s
+      ~fail_times =
     let inst = Schedule.instance s in
     let g = Instance.dag inst in
     let pl = Instance.platform inst in
@@ -178,6 +187,15 @@ module Engine = struct
     let plan = Schedule.comm s in
     let v = Dag.n_tasks g and m = Instance.n_procs inst in
     if Array.length fail_times <> m then invalid_arg "Event_sim.run: fail_times";
+    if not (faults.Scenario.loss >= 0. && faults.Scenario.loss <= 1.) then
+      invalid_arg "Event_sim.run: loss probability outside [0, 1]";
+    if faults.Scenario.retries < 0 then
+      invalid_arg "Event_sim.run: negative retries";
+    List.iter
+      (fun (o : Scenario.outage) ->
+        if o.link_src >= m || o.link_dst >= m then
+          invalid_arg "Event_sim.run: outage names an unknown processor")
+      faults.Scenario.outages;
     let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
     let edge_pos_of = Hashtbl.create 64 in
     Array.iteri
@@ -225,7 +243,12 @@ module Engine = struct
     in
     let eng =
       {
-        s; network; fail_times; g; pl; inst; eps; plan; v; m;
+        s; network; faults;
+        frng = Rng.create ~seed:faults.Scenario.seed;
+        fault_free = Scenario.is_reliable faults;
+        retransmissions = 0;
+        lost_messages = 0;
+        fail_times; g; pl; inst; eps; plan; v; m;
         in_edges; edge_pos_of; reps; queues;
         free_at = Array.make m 0.;
         ports; recv_ports;
@@ -250,7 +273,60 @@ module Engine = struct
   let emit eng ~src_proc ~finish ~dst ~dk ~pos ~dproc ~vol =
     let w = vol *. Platform.delay eng.pl src_proc dproc in
     let arrival_event at = push eng at (Arrival { task = dst; k = dk; edge_pos = pos }) in
-    if w = 0. || eng.network = Contention_free then arrival_event (finish +. w)
+    let drop () =
+      let dst_st = eng.reps.(dst).(dk) in
+      dst_st.pending_senders.(pos) <- dst_st.pending_senders.(pos) - 1;
+      if
+        dst_st.pending_senders.(pos) = 0
+        && dst_st.satisfied_at.(pos) = infinity
+      then begin
+        match dst_st.state with
+        | Waiting -> lose eng dst dk
+        | Running _ | Done _ | Lost_replica -> ()
+      end
+    in
+    (* The lossy channel.  Attempt [i] departs at [depart] and would
+       arrive [w] later; a per-attempt Bernoulli draw or an outage window
+       on the (src_proc, dproc) link claims it.  The sender notices at an
+       ack timeout of [rtt_factor *. w] after departure — doubled on each
+       attempt, exponential backoff — and retries, never past its own
+       death, up to [retries] times.  A message that exhausts its retries
+       is declared permanently lost and feeds the same starvation
+       accounting as a sender death.  Retries bypass the port booking:
+       the plan priced one transfer per message, and charging ports for
+       adversarial re-sends would let a fault perturb fault-free traffic
+       ordering (same simplification as the recovery layer's re-sends). *)
+    let rec attempt i depart =
+      let arrival = depart +. w in
+      let f = eng.faults in
+      if
+        Rng.bernoulli eng.frng f.Scenario.loss
+        || Scenario.in_outage f ~src:src_proc ~dst:dproc ~at:arrival
+      then
+        if i >= f.Scenario.retries then begin
+          eng.lost_messages <- eng.lost_messages + 1;
+          drop ()
+        end
+        else begin
+          let timeout = f.Scenario.rtt_factor *. w *. ldexp 1. i in
+          let redepart = depart +. timeout in
+          if redepart > eng.fail_times.(src_proc) then begin
+            (* the sender dies before it can re-send *)
+            eng.lost_messages <- eng.lost_messages + 1;
+            drop ()
+          end
+          else begin
+            eng.retransmissions <- eng.retransmissions + 1;
+            attempt (i + 1) redepart
+          end
+        end
+      else arrival_event arrival
+    in
+    let deliver depart =
+      if eng.fault_free then arrival_event (depart +. w) else attempt 0 depart
+    in
+    if w = 0. then arrival_event (finish +. w)
+    else if eng.network = Contention_free then deliver finish
     else begin
       let min_idx port_free =
         let best = ref 0 in
@@ -276,21 +352,11 @@ module Engine = struct
             let recv_free = eng.recv_ports.(dproc) in
             recv_free.(min_idx recv_free) <- depart +. w
         | Contention_free | Sender_ports _ -> ());
-        arrival_event (depart +. w)
+        deliver depart
       end
-      else begin
+      else
         (* transfer cut off by the sender's death *)
-        let dst_st = eng.reps.(dst).(dk) in
-        dst_st.pending_senders.(pos) <- dst_st.pending_senders.(pos) - 1;
-        if
-          dst_st.pending_senders.(pos) = 0
-          && dst_st.satisfied_at.(pos) = infinity
-        then begin
-          match dst_st.state with
-          | Waiting -> lose eng dst dk
-          | Running _ | Done _ | Lost_replica -> ()
-        end
-      end
+        drop ()
     end
 
   let process eng (ev : Event.t) =
@@ -502,15 +568,21 @@ module Engine = struct
                Float.max acc first)
              0. (Dag.exits eng.g))
     in
-    { latency; outcomes; events_processed = eng.events }
+    {
+      latency;
+      outcomes;
+      events_processed = eng.events;
+      retransmissions = eng.retransmissions;
+      lost_messages = eng.lost_messages;
+    }
 end
 
-let run ?network s ~fail_times =
-  let eng = Engine.create ?network s ~fail_times in
+let run ?network ?faults s ~fail_times =
+  let eng = Engine.create ?network ?faults s ~fail_times in
   Engine.drain eng;
   Engine.result eng
 
-let run_timed ?network s timed =
+let run_timed ?network ?faults s timed =
   let m = Instance.n_procs (Schedule.instance s) in
   let fail_times = Array.make m infinity in
   List.iter
@@ -518,10 +590,10 @@ let run_timed ?network s timed =
       if proc < 0 || proc >= m then invalid_arg "Event_sim.run_timed";
       fail_times.(proc) <- Float.min fail_times.(proc) at)
     timed;
-  run ?network s ~fail_times
+  run ?network ?faults s ~fail_times
 
-let run_crash ?network s scenario =
+let run_crash ?network ?faults s scenario =
   let m = Instance.n_procs (Schedule.instance s) in
   let fail_times = Array.make m infinity in
   Array.iter (fun p -> fail_times.(p) <- 0.) scenario.Scenario.failed;
-  run ?network s ~fail_times
+  run ?network ?faults s ~fail_times

@@ -19,7 +19,22 @@
 
     With [fail_times.(p) = 0] for a set of processors this reproduces the
     {!Crash_exec} semantics exactly — the test suite checks that the two
-    independent implementations agree. *)
+    independent implementations agree.
+
+    {b Communication faults.}  With [~faults] (see
+    {!Scenario.comm_faults}) links are no longer reliable: each
+    inter-processor transfer attempt is lost with probability [loss] or
+    when its arrival instant falls inside an outage window of its link.
+    The sender runs a retransmission protocol — it notices a lost attempt
+    at an ack timeout of [rtt_factor *. w] after departure ([w] the
+    message's nominal transfer time), doubling the timeout on every
+    retry (exponential backoff), and gives up after [retries] retries or
+    at its own death, at which point the message is permanently lost and
+    the receiver loses one potential sender, feeding the usual
+    starvation cascade.  Intra-processor copies ([w = 0]) never fail.
+    With [Scenario.reliable] (the default) the engine takes the exact
+    unfaulted code path and draws no randomness, so results are
+    bit-for-bit identical to runs without the [~faults] argument. *)
 
 type network_model =
   | Contention_free
@@ -49,6 +64,11 @@ type result = {
           or [None] when some task never completes anywhere. *)
   outcomes : outcome array array;  (** per task, per replica *)
   events_processed : int;  (** simulator effort, for the curious *)
+  retransmissions : int;
+      (** message attempts re-sent after a loss (0 without [~faults]) *)
+  lost_messages : int;
+      (** messages permanently lost — retries exhausted or sender died
+          before it could re-send *)
 }
 
 type replica_state =
@@ -90,9 +110,13 @@ module Engine : sig
 
   val create :
     ?network:network_model ->
+    ?faults:Scenario.comm_faults ->
     Ftsched_schedule.Schedule.t ->
     fail_times:float array ->
     t
+  (** Raises [Invalid_argument] on a malformed [fail_times] length, a
+      loss probability outside [[0, 1]], negative retries, or an outage
+      naming a processor the platform does not have. *)
 
   val advance_until : t -> float -> unit
   (** Process every pending event with timestamp [<= horizon]; virtual
@@ -136,20 +160,26 @@ end
 
 val run :
   ?network:network_model ->
+  ?faults:Scenario.comm_faults ->
   Ftsched_schedule.Schedule.t ->
   fail_times:float array ->
   result
 (** [fail_times] has one entry per processor.  [network] defaults to
-    [Contention_free]. *)
+    [Contention_free]; [faults] to {!Scenario.reliable}. *)
 
 val run_timed :
   ?network:network_model ->
+  ?faults:Scenario.comm_faults ->
   Ftsched_schedule.Schedule.t ->
   Scenario.timed list ->
   result
 (** Convenience wrapper building [fail_times] from a timed scenario. *)
 
 val run_crash :
-  ?network:network_model -> Ftsched_schedule.Schedule.t -> Scenario.t -> result
+  ?network:network_model ->
+  ?faults:Scenario.comm_faults ->
+  Ftsched_schedule.Schedule.t ->
+  Scenario.t ->
+  result
 (** All scenario processors dead from time 0 — comparable with
     {!Crash_exec.run}. *)

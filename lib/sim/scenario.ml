@@ -63,3 +63,49 @@ let exponential_timed rng ~rates ~horizon =
 let pp ppf t =
   Format.fprintf ppf "failed{%s}"
     (String.concat "," (Array.to_list (Array.map string_of_int t.failed)))
+
+type outage = { link_src : int; link_dst : int; from_t : float; until_t : float }
+
+type comm_faults = {
+  loss : float;
+  outages : outage list;
+  retries : int;
+  rtt_factor : float;
+  seed : int;
+}
+
+let outage ~src ~dst ~from_t ~until_t =
+  if src < 0 || dst < 0 then invalid_arg "Scenario.outage: negative processor";
+  if src = dst then invalid_arg "Scenario.outage: intra-processor link";
+  if from_t < 0. || until_t < from_t || Float.is_nan from_t then
+    invalid_arg "Scenario.outage: window";
+  { link_src = src; link_dst = dst; from_t; until_t }
+
+let blackout ~src ~dst = outage ~src ~dst ~from_t:0. ~until_t:infinity
+
+let reliable =
+  { loss = 0.; outages = []; retries = 0; rtt_factor = 2.; seed = 0 }
+
+let lossy ?(loss = 0.) ?(outages = []) ?(retries = 3) ?(rtt_factor = 2.)
+    ?(seed = 0) () =
+  if not (loss >= 0. && loss <= 1.) then
+    invalid_arg "Scenario.lossy: loss probability outside [0, 1]";
+  if retries < 0 then invalid_arg "Scenario.lossy: negative retries";
+  if not (rtt_factor >= 1.) then invalid_arg "Scenario.lossy: rtt_factor < 1";
+  { loss; outages; retries; rtt_factor; seed }
+
+let is_reliable f = f.loss = 0. && f.outages = []
+
+let in_outage f ~src ~dst ~at =
+  List.exists
+    (fun o ->
+      o.link_src = src && o.link_dst = dst && o.from_t <= at && at < o.until_t)
+    f.outages
+
+let pp_comm_faults ppf f =
+  Format.fprintf ppf "loss=%g retries=%d rtt=%g" f.loss f.retries f.rtt_factor;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf " outage(%d->%d)[%g,%g)" o.link_src o.link_dst
+        o.from_t o.until_t)
+    f.outages

@@ -1,13 +1,19 @@
 module Schedule = Ftsched_schedule.Schedule
 module Instance = Ftsched_model.Instance
+module Rng = Ftsched_util.Rng
 
-type report = {
-  scenarios : int;
+type stats = {
   best : float;
   worst : float;
   worst_scenario : Scenario.t;
   mean : float;
+}
+
+type report = {
+  scenarios : int;
   defeated : int;
+  sampled : bool;
+  stats : stats option;
 }
 
 let choose m k =
@@ -16,11 +22,22 @@ let choose m k =
   in
   if k < 0 || k > m then 0 else go 1 m k
 
-let analyze ?policy s ~count =
+let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0) s
+    ~count =
   let m = Instance.n_procs (Schedule.instance s) in
   if count < 0 || count > m then invalid_arg "Worst_case.analyze: count";
-  if choose m count > 200_000 then
-    invalid_arg "Worst_case.analyze: too many scenarios";
+  if sample_limit < 1 then invalid_arg "Worst_case.analyze: sample_limit";
+  if samples < 1 then invalid_arg "Worst_case.analyze: samples";
+  let scenario_list, sampled =
+    if choose m count <= sample_limit then
+      (Scenario.all_of_size ~m ~count, false)
+    else begin
+      (* Too many subsets to enumerate: fall back to seeded uniform
+         sampling (with replacement, so a scenario can repeat). *)
+      let rng = Rng.create ~seed in
+      (List.init samples (fun _ -> Scenario.random rng ~m ~count), true)
+    end
+  in
   let best = ref infinity
   and worst = ref neg_infinity
   and worst_scenario = ref Scenario.none
@@ -41,26 +58,21 @@ let analyze ?policy s ~count =
             worst := l;
             worst_scenario := sc
           end)
-    (Scenario.all_of_size ~m ~count);
-  if !delivered = 0 then
-    {
-      scenarios = !scenarios;
-      best = nan;
-      worst = nan;
-      worst_scenario = !worst_scenario;
-      mean = nan;
-      defeated = !defeated;
-    }
-  else
-    {
-      scenarios = !scenarios;
-      best = !best;
-      worst = !worst;
-      worst_scenario = !worst_scenario;
-      mean = !total /. float_of_int !delivered;
-      defeated = !defeated;
-    }
+    scenario_list;
+  let stats =
+    if !delivered = 0 then None
+    else
+      Some
+        {
+          best = !best;
+          worst = !worst;
+          worst_scenario = !worst_scenario;
+          mean = !total /. float_of_int !delivered;
+        }
+  in
+  { scenarios = !scenarios; defeated = !defeated; sampled; stats }
 
 let bound_tightness ?policy s =
-  let r = analyze ?policy s ~count:(Schedule.eps s) in
-  r.worst /. Schedule.latency_upper_bound s
+  match (analyze ?policy s ~count:(Schedule.eps s)).stats with
+  | None -> None
+  | Some st -> Some (st.worst /. Schedule.latency_upper_bound s)

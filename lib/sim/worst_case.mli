@@ -1,33 +1,49 @@
-(** Exhaustive worst-case analysis of a schedule under failures.
+(** Worst-case analysis of a schedule under untimed failures.
 
     [M] (eq. 4) upper-bounds the latency under any ε failures, but how
-    tight is it?  This module replays the schedule against {e every}
-    subset of exactly [count] failed processors and reports the extremes —
-    an oracle the heuristic's bound can be measured against, and a
-    debugging tool that names the adversarial scenario. *)
+    tight is it?  This module replays the schedule against subsets of
+    exactly [count] failed processors — every subset when [C(m, count)]
+    is small enough, a seeded uniform sample beyond that — and reports
+    the extremes: an oracle the heuristic's bound can be measured
+    against, and a debugging tool that names the adversarial scenario.
+    For {e timed} adversaries (failures striking mid-run, links
+    dropping) see {!Adversary}. *)
 
-type report = {
-  scenarios : int;  (** C(m, count) *)
+type stats = {
   best : float;  (** smallest achieved latency *)
   worst : float;  (** largest achieved latency *)
   worst_scenario : Scenario.t;
-  mean : float;
+  mean : float;  (** over scenarios that delivered a latency *)
+}
+
+type report = {
+  scenarios : int;  (** scenarios evaluated *)
   defeated : int;  (** scenarios with no achievable latency *)
+  sampled : bool;
+      (** [true] when [C(m, count)] exceeded [sample_limit] and the
+          scenarios were sampled (with replacement) instead of
+          enumerated — the extremes are then empirical, not certified *)
+  stats : stats option;
+      (** [None] when every evaluated scenario was defeated *)
 }
 
 val analyze :
   ?policy:Crash_exec.policy ->
+  ?sample_limit:int ->
+  ?samples:int ->
+  ?seed:int ->
   Ftsched_schedule.Schedule.t ->
   count:int ->
   report
-(** [analyze s ~count] enumerates every failure subset of exactly [count]
-    processors (use with small [C(m, count)]).  Defeated scenarios are
-    counted and excluded from the latency extremes; if every scenario is
-    defeated the latency fields are [nan].  Raises [Invalid_argument]
-    when more than 200,000 scenarios would be enumerated. *)
+(** [analyze s ~count] evaluates failure subsets of exactly [count]
+    processors: exhaustively while [C(m, count) <= sample_limit]
+    (default 200,000), otherwise [samples] (default 20,000) seeded
+    uniform draws with the report flagged [sampled].  Defeated scenarios
+    are counted and excluded from the latency extremes.  Raises
+    [Invalid_argument] on a [count] outside [[0, m]]. *)
 
 val bound_tightness :
-  ?policy:Crash_exec.policy -> Ftsched_schedule.Schedule.t -> float
+  ?policy:Crash_exec.policy -> Ftsched_schedule.Schedule.t -> float option
 (** [worst achieved latency under exactly ε failures / M] — in [(0, 1]]
     for schedules whose guarantee holds; the closer to 1, the tighter
-    equation (4). *)
+    equation (4).  [None] when every ε-subset is defeated. *)

@@ -1,0 +1,183 @@
+(* Tests for Ftsched_sim.Adversary: the timed worst-case search must
+   dominate the untimed Worst_case sweep, certify small subset spaces,
+   produce replayable witnesses, and find link attacks when allowed. *)
+
+module Scenario = Ftsched_sim.Scenario
+module Event_sim = Ftsched_sim.Event_sim
+module Worst_case = Ftsched_sim.Worst_case
+module Adversary = Ftsched_sim.Adversary
+module Crash_exec = Ftsched_sim.Crash_exec
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+module Schedule = Ftsched_schedule.Schedule
+open Helpers
+
+let quick = QCheck_alcotest.to_alcotest
+
+(* [a] at least as bad as [b] (with tolerance for equal latencies). *)
+let at_least_as_bad a b =
+  match (a, b) with
+  | Adversary.Defeated, _ -> true
+  | Adversary.Latency _, Adversary.Defeated -> false
+  | Adversary.Latency la, Adversary.Latency lb -> la >= lb -. 1e-6
+
+let untimed_worst_outcome s ~count =
+  let r = Worst_case.analyze ~policy:Crash_exec.Strict s ~count in
+  match r.Worst_case.stats with
+  | None -> Adversary.Defeated
+  | Some st ->
+      if r.Worst_case.defeated > 0 then Adversary.Defeated
+      else Adversary.Latency st.Worst_case.worst
+
+(* ------------------------------------------------------------------ *)
+
+let test_search_dominates_untimed () =
+  let inst = random_instance ~seed:31 ~n_tasks:20 ~m:4 () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun count ->
+          let rep = Adversary.search ~seed:11 s ~count in
+          check_bool "certified (C(4,count) tiny)" true
+            (rep.Adversary.verdict = Adversary.Certified);
+          let untimed = untimed_worst_outcome s ~count in
+          check_bool "timed worst >= untimed worst" true
+            (at_least_as_bad rep.Adversary.worst untimed);
+          check_bool "reported untimed sweep >= Worst_case too" true
+            (at_least_as_bad rep.Adversary.untimed_worst untimed);
+          check_bool "spent some evaluations" true
+            (rep.Adversary.evaluations > 0))
+        [ 0; 1; 2 ])
+    [ Ftsa.schedule inst ~eps:2; Mc_ftsa.schedule inst ~eps:2 ]
+
+let test_witness_replays_exactly () =
+  let inst = random_instance ~seed:77 ~n_tasks:25 ~m:5 () in
+  List.iter
+    (fun s ->
+      let rep = Adversary.search ~seed:3 ~restarts:4 s ~count:2 in
+      let r = Adversary.replay s rep.Adversary.witness in
+      let replayed =
+        match r.Event_sim.latency with
+        | None -> Adversary.Defeated
+        | Some l -> Adversary.Latency l
+      in
+      check_bool "replay reproduces the reported worst" true
+        (replayed = rep.Adversary.worst))
+    [ Ftsa.schedule inst ~eps:1; Mc_ftsa.schedule inst ~eps:1 ]
+
+let test_zero_count_is_fault_free () =
+  let s = Ftsa.schedule (tiny_instance ()) ~eps:1 in
+  let rep = Adversary.search s ~count:0 in
+  check_bool "nobody dies" true (rep.Adversary.witness.Adversary.deaths = []);
+  (match rep.Adversary.worst with
+  | Adversary.Latency l ->
+      check_float "fault-free latency" (Schedule.latency_lower_bound s) l
+  | Adversary.Defeated -> Alcotest.fail "fault-free run cannot be defeated");
+  check_bool "certified" true (rep.Adversary.verdict = Adversary.Certified)
+
+(* A 2-task chain forced across the machine: the single inter-processor
+   link carries the only message, so one link drop (with no retries in
+   the ambient faults) defeats the schedule even with zero deaths. *)
+let test_link_attack_defeats_chain () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:10.;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:1. in
+  let inst =
+    Instance.create ~dag ~platform ~exec:[| [| 1.; 50. |]; [| 50.; 1. |] |]
+  in
+  let s = Ftsa.schedule inst ~eps:0 in
+  let faults = Scenario.lossy ~retries:0 () in
+  let rep = Adversary.search ~faults ~links:1 s ~count:0 in
+  check_bool "link drop defeats the chain" true
+    (rep.Adversary.worst = Adversary.Defeated);
+  check_int "one dropped link in the witness" 1
+    (List.length rep.Adversary.witness.Adversary.dropped_links);
+  (* the witness must replay to the same defeat *)
+  let r = Adversary.replay ~faults s rep.Adversary.witness in
+  check_bool "replayed defeat" true (r.Event_sim.latency = None);
+  (* without the link budget the chain survives *)
+  let rep0 = Adversary.search ~faults ~links:0 s ~count:0 in
+  check_bool "no links, no defeat" true
+    (rep0.Adversary.worst <> Adversary.Defeated)
+
+let test_timed_attack_no_better_needed () =
+  (* under strict semantics with all-to-all messaging, dying at t = 0 is
+     already the worst time to die, so the certified answer equals the
+     untimed worst on FTSA schedules *)
+  let inst = random_instance ~seed:5 ~n_tasks:20 ~m:4 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let rep = Adversary.search ~seed:2 s ~count:1 in
+  check_bool "t=0 sweep found it" true
+    (at_least_as_bad rep.Adversary.untimed_worst rep.Adversary.worst
+    || rep.Adversary.worst = Adversary.Defeated)
+
+let test_search_guards () =
+  let s = Ftsa.schedule (tiny_instance ()) ~eps:1 in
+  Alcotest.check_raises "count too large"
+    (Invalid_argument "Adversary.search: count") (fun () ->
+      ignore (Adversary.search s ~count:3));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Adversary.search: count") (fun () ->
+      ignore (Adversary.search s ~count:(-1)));
+  Alcotest.check_raises "negative links"
+    (Invalid_argument "Adversary.search: links") (fun () ->
+      ignore (Adversary.search s ~links:(-1) ~count:1))
+
+let test_replay_guards () =
+  let s = Ftsa.schedule (tiny_instance ()) ~eps:1 in
+  Alcotest.check_raises "unknown processor"
+    (Invalid_argument "Adversary.replay: processor") (fun () ->
+      ignore
+        (Adversary.replay s
+           {
+             Adversary.deaths = [ { Scenario.proc = 7; at = 0. } ];
+             dropped_links = [];
+           }));
+  Alcotest.check_raises "unknown link"
+    (Invalid_argument "Adversary.replay: link") (fun () ->
+      ignore
+        (Adversary.replay s
+           { Adversary.deaths = []; dropped_links = [ (0, 9) ] }))
+
+let test_search_deterministic () =
+  let inst = random_instance ~seed:13 ~n_tasks:20 ~m:4 () in
+  let s = Mc_ftsa.schedule inst ~eps:1 in
+  let r1 = Adversary.search ~seed:42 ~restarts:3 s ~count:1 in
+  let r2 = Adversary.search ~seed:42 ~restarts:3 s ~count:1 in
+  check_bool "same worst" true (r1.Adversary.worst = r2.Adversary.worst);
+  check_bool "same witness" true (r1.Adversary.witness = r2.Adversary.witness)
+
+let prop_search_dominates_untimed =
+  QCheck.Test.make ~name:"timed search >= untimed Worst_case on MC-FTSA"
+    ~count:10
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let inst = random_instance ~seed ~n_tasks:15 ~m:4 () in
+      let s = Mc_ftsa.schedule ~seed inst ~eps:1 in
+      let rep = Adversary.search ~seed s ~count:1 in
+      at_least_as_bad rep.Adversary.worst (untimed_worst_outcome s ~count:1))
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "dominates untimed sweep" `Quick
+            test_search_dominates_untimed;
+          Alcotest.test_case "witness replays exactly" `Quick
+            test_witness_replays_exactly;
+          Alcotest.test_case "count 0 = fault-free" `Quick
+            test_zero_count_is_fault_free;
+          Alcotest.test_case "link attack defeats chain" `Quick
+            test_link_attack_defeats_chain;
+          Alcotest.test_case "t=0 certified on FTSA" `Quick
+            test_timed_attack_no_better_needed;
+          Alcotest.test_case "deterministic" `Quick test_search_deterministic;
+          Alcotest.test_case "search guards" `Quick test_search_guards;
+          Alcotest.test_case "replay guards" `Quick test_replay_guards;
+          quick prop_search_dominates_untimed;
+        ] );
+    ]

@@ -157,6 +157,25 @@ let test_mc_defeated_but_recovery_completes () =
   check_bool "recovery reports a latency" true
     (o.Recovery.result.Event_sim.latency <> None)
 
+(* Link failures: with loss = 1 and no retries every planned message is
+   lost, so any static cross-processor schedule is defeated — but the
+   recovery runtime's controller-priced re-sends stay reliable, so it
+   still completes the graph instead of hanging. *)
+let test_static_lost_but_recovery_completes_under_loss () =
+  let inst = random_instance ~seed:9 ~n_tasks:30 ~m:5 () in
+  let s = Mc_ftsa.schedule ~seed:9 inst ~eps:1 in
+  let faults = Scenario.lossy ~loss:1. ~retries:0 ~seed:1 () in
+  let fail_times = Array.make 5 infinity in
+  let static = Event_sim.run ~faults s ~fail_times in
+  check_bool "static MC-FTSA defeated by total loss" true
+    (static.Event_sim.latency = None);
+  check_bool "losses counted" true (static.Event_sim.lost_messages > 0);
+  let o = Recovery.run ~faults s ~fail_times in
+  check_bool "recovery completes under total loss" true
+    o.Recovery.degraded.Metrics.complete;
+  check_bool "recovery reports a latency" true
+    (o.Recovery.result.Event_sim.latency <> None)
+
 (* Beyond eps failures: no exception, graceful degradation with partial
    metrics. *)
 let test_degrades_beyond_eps_without_raising () =
@@ -288,6 +307,8 @@ let () =
             test_recovery_agrees_with_reroute_within_eps;
           Alcotest.test_case "MC defeated, recovery completes (regression)"
             `Quick test_mc_defeated_but_recovery_completes;
+          Alcotest.test_case "static lost, recovery completes under loss"
+            `Quick test_static_lost_but_recovery_completes_under_loss;
           Alcotest.test_case "degrades gracefully beyond eps" `Quick
             test_degrades_beyond_eps_without_raising;
           Alcotest.test_case "degradation monotone in survivors" `Quick

@@ -52,6 +52,43 @@ let test_ftbar_golden () =
   golden "M*" 5379.374497 (Schedule.latency_lower_bound s);
   golden "M" 8674.520458 (Schedule.latency_upper_bound s)
 
+(* Zero-loss communication faults must reproduce the plain event-driven
+   latencies bit-for-bit: [Scenario.lossy ()] (loss 0, no outages) is
+   detected as reliable and takes the exact unfaulted emit path, drawing
+   nothing from the fault RNG. Exact float equality, no tolerance. *)
+let test_zero_loss_bit_for_bit () =
+  let inst = pinned_instance () in
+  let m = Instance.n_procs inst in
+  let faults = Ftsched_sim.Scenario.lossy () in
+  List.iter
+    (fun (name, s) ->
+      List.iter
+        (fun (net_name, network) ->
+          let fail_times = Array.make m infinity in
+          let plain = Ftsched_sim.Event_sim.run ~network s ~fail_times in
+          let faulted =
+            Ftsched_sim.Event_sim.run ~network ~faults s ~fail_times
+          in
+          check_bool
+            (Printf.sprintf "%s/%s latency bit-for-bit" name net_name)
+            true
+            (plain.Ftsched_sim.Event_sim.latency
+            = faulted.Ftsched_sim.Event_sim.latency);
+          check_int
+            (Printf.sprintf "%s/%s no retransmissions" name net_name)
+            0 faulted.Ftsched_sim.Event_sim.retransmissions;
+          check_int
+            (Printf.sprintf "%s/%s no losses" name net_name)
+            0 faulted.Ftsched_sim.Event_sim.lost_messages)
+        [
+          ("free", Ftsched_sim.Event_sim.Contention_free);
+          ("one-port", Ftsched_sim.Event_sim.Sender_ports 1);
+        ])
+    [
+      ("ftsa", Ftsa.schedule ~seed:2008 inst ~eps:2);
+      ("mc-ftsa", Mc_ftsa.schedule ~seed:2008 inst ~eps:2);
+    ]
+
 let test_fault_free_golden () =
   let inst = pinned_instance () in
   golden "FTSA ff" 2720.905673
@@ -71,5 +108,7 @@ let () =
           Alcotest.test_case "mc-ftsa" `Quick test_mc_golden;
           Alcotest.test_case "ftbar" `Quick test_ftbar_golden;
           Alcotest.test_case "fault-free trio" `Quick test_fault_free_golden;
+          Alcotest.test_case "zero loss bit-for-bit" `Quick
+            test_zero_loss_bit_for_bit;
         ] );
     ]

@@ -77,6 +77,26 @@ let test_is_one_to_one () =
   check_bool "out of range" false
     (Comm_plan.is_one_to_one [ p 0 0; p 1 5 ] ~eps:1)
 
+let test_is_one_to_one_edge_cases () =
+  let p s d = { Comm_plan.src_replica = s; dst_replica = d } in
+  (* a duplicated pair has the right length but repeats both endpoints *)
+  check_bool "duplicate pair" false
+    (Comm_plan.is_one_to_one [ p 0 1; p 0 1 ] ~eps:1);
+  check_bool "negative source" false
+    (Comm_plan.is_one_to_one [ p (-1) 0; p 1 1 ] ~eps:1);
+  check_bool "negative target" false
+    (Comm_plan.is_one_to_one [ p 0 (-1); p 1 1 ] ~eps:1);
+  check_bool "source out of range" false
+    (Comm_plan.is_one_to_one [ p 2 0; p 1 1 ] ~eps:1);
+  check_bool "empty list" false (Comm_plan.is_one_to_one [] ~eps:1);
+  (* eps = 0: the only bijection on one replica *)
+  check_bool "singleton identity" true
+    (Comm_plan.is_one_to_one [ p 0 0 ] ~eps:0);
+  check_bool "empty at eps 0" false (Comm_plan.is_one_to_one [] ~eps:0);
+  (* a 3-cycle is a perfectly good bijection, no need for the identity *)
+  check_bool "3-cycle" true
+    (Comm_plan.is_one_to_one [ p 0 1; p 1 2; p 2 0 ] ~eps:2)
+
 (* ------------------------------------------------------------------ *)
 (* Schedule construction and accessors                                 *)
 
@@ -438,6 +458,8 @@ let () =
           Alcotest.test_case "all-to-all pairs" `Quick test_all_to_all_pairs;
           Alcotest.test_case "senders_to" `Quick test_senders_to;
           Alcotest.test_case "is_one_to_one" `Quick test_is_one_to_one;
+          Alcotest.test_case "is_one_to_one edge cases" `Quick
+            test_is_one_to_one_edge_cases;
         ] );
       ( "schedule",
         [

@@ -248,37 +248,70 @@ let test_event_sim_timed_vs_crash_at_zero () =
 
 module Worst_case = Ftsched_sim.Worst_case
 
+let stats_exn (r : Worst_case.report) =
+  match r.Worst_case.stats with
+  | Some st -> st
+  | None -> Alcotest.fail "expected at least one delivered scenario"
+
 let test_worst_case_report () =
   let inst = random_instance ~seed:40 ~n_tasks:25 ~m:5 () in
   let s = Ftsa.schedule inst ~eps:2 in
   let r = Worst_case.analyze s ~count:2 in
   check_int "C(5,2) scenarios" 10 r.Worst_case.scenarios;
   check_int "never defeated" 0 r.Worst_case.defeated;
+  check_bool "exhaustive" false r.Worst_case.sampled;
+  let st = stats_exn r in
   check_bool "best <= mean <= worst" true
-    (r.Worst_case.best <= r.Worst_case.mean +. 1e-9
-    && r.Worst_case.mean <= r.Worst_case.worst +. 1e-9);
+    (st.Worst_case.best <= st.Worst_case.mean +. 1e-9
+    && st.Worst_case.mean <= st.Worst_case.worst +. 1e-9);
   check_bool "worst within guarantee" true
-    (r.Worst_case.worst <= Schedule.latency_upper_bound s +. 1e-6);
+    (st.Worst_case.worst <= Schedule.latency_upper_bound s +. 1e-6);
   check_bool "best at least M*" true
-    (r.Worst_case.best >= Schedule.latency_lower_bound s -. 1e-6);
+    (st.Worst_case.best >= Schedule.latency_lower_bound s -. 1e-6);
   (* the named worst scenario reproduces the worst latency *)
   check_bool "worst scenario consistent" true
     (Float.abs
-       (Crash_exec.latency_exn s r.Worst_case.worst_scenario
-       -. r.Worst_case.worst)
+       (Crash_exec.latency_exn s st.Worst_case.worst_scenario
+       -. st.Worst_case.worst)
     < 1e-9)
 
 let test_worst_case_tightness () =
   let inst = random_instance ~seed:41 ~n_tasks:25 ~m:5 () in
   let s = Ftsa.schedule inst ~eps:1 in
-  let t = Worst_case.bound_tightness s in
-  check_bool "in (0,1]" true (t > 0. && t <= 1. +. 1e-9)
+  match Worst_case.bound_tightness s with
+  | Some t -> check_bool "in (0,1]" true (t > 0. && t <= 1. +. 1e-9)
+  | None -> Alcotest.fail "FTSA under eps failures cannot be all-defeated"
 
 let test_worst_case_counts_defeats () =
   let inst = random_instance ~seed:42 ~n_tasks:30 ~m:5 () in
   let s = Mc_ftsa.schedule ~seed:42 inst ~eps:2 in
   let r = Worst_case.analyze ~policy:Crash_exec.Strict s ~count:2 in
   check_bool "strict MC-FTSA loses scenarios" true (r.Worst_case.defeated > 0)
+
+let test_worst_case_all_defeated_typed () =
+  (* killing both processors of a 2-processor platform defeats the only
+     scenario: defeat must surface as [stats = None], not NaN *)
+  let s = Ftsa.schedule (tiny_instance ()) ~eps:1 in
+  let r = Worst_case.analyze s ~count:2 in
+  check_int "one scenario" 1 r.Worst_case.scenarios;
+  check_int "defeated" 1 r.Worst_case.defeated;
+  check_bool "typed defeat" true (r.Worst_case.stats = None)
+
+let test_worst_case_sampling_fallback () =
+  let inst = random_instance ~seed:44 ~n_tasks:25 ~m:6 () in
+  let s = Ftsa.schedule inst ~eps:1 in
+  (* C(6,2) = 15 > sample_limit: must sample instead of raising *)
+  let r = Worst_case.analyze ~sample_limit:5 ~samples:40 ~seed:7 s ~count:2 in
+  check_bool "sampled" true r.Worst_case.sampled;
+  check_int "evaluates the requested samples" 40 r.Worst_case.scenarios;
+  let st = stats_exn r in
+  check_bool "worst within guarantee" true
+    (st.Worst_case.worst <= Schedule.latency_upper_bound s +. 1e-6);
+  check_bool "best at least M*" true
+    (st.Worst_case.best >= Schedule.latency_lower_bound s -. 1e-6);
+  (* seeded: the same call reproduces the same extremes *)
+  let r2 = Worst_case.analyze ~sample_limit:5 ~samples:40 ~seed:7 s ~count:2 in
+  check_float "deterministic" st.Worst_case.worst (stats_exn r2).Worst_case.worst
 
 let test_worst_case_guard () =
   let inst = random_instance ~seed:43 ~m:6 () in
@@ -445,6 +478,183 @@ let test_event_sim_bad_fail_times () =
     (Invalid_argument "Event_sim.run: fail_times") (fun () ->
       ignore (Event_sim.run s ~fail_times:[| 0. |]))
 
+(* ------------------------------------------------------------------ *)
+(* Communication faults and retransmission                             *)
+
+let test_comm_faults_validation () =
+  Alcotest.check_raises "loss out of range"
+    (Invalid_argument "Scenario.lossy: loss probability outside [0, 1]")
+    (fun () -> ignore (Scenario.lossy ~loss:1.5 ()));
+  Alcotest.check_raises "negative retries"
+    (Invalid_argument "Scenario.lossy: negative retries") (fun () ->
+      ignore (Scenario.lossy ~retries:(-1) ()));
+  Alcotest.check_raises "rtt below 1"
+    (Invalid_argument "Scenario.lossy: rtt_factor < 1") (fun () ->
+      ignore (Scenario.lossy ~rtt_factor:0.5 ()));
+  Alcotest.check_raises "self link"
+    (Invalid_argument "Scenario.outage: intra-processor link") (fun () ->
+      ignore (Scenario.outage ~src:1 ~dst:1 ~from_t:0. ~until_t:1.));
+  Alcotest.check_raises "inverted window"
+    (Invalid_argument "Scenario.outage: window") (fun () ->
+      ignore (Scenario.outage ~src:0 ~dst:1 ~from_t:5. ~until_t:1.));
+  check_bool "reliable is reliable" true (Scenario.is_reliable Scenario.reliable);
+  check_bool "lossy is not" false
+    (Scenario.is_reliable (Scenario.lossy ~loss:0.1 ()));
+  let f = Scenario.lossy ~outages:[ Scenario.blackout ~src:0 ~dst:1 ] () in
+  check_bool "blackout is permanent" true
+    (Scenario.in_outage f ~src:0 ~dst:1 ~at:1e12);
+  check_bool "blackout is directed" false
+    (Scenario.in_outage f ~src:1 ~dst:0 ~at:0.)
+
+(* Fixture: a 2-task chain forced across the machine — t0 on P0 at [0,1],
+   t1 on P1; volume 10 at unit delay, so the single message departs at 1
+   and arrives at 11, for a fault-free latency of 12. *)
+let cross_chain () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:10.;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:1. in
+  let inst = Instance.create ~dag ~platform ~exec:[| [| 1.; 50. |]; [| 50.; 1. |] |] in
+  Ftsa.schedule inst ~eps:0
+
+let run_chain s ~faults = Event_sim.run ~faults s ~fail_times:(no_failures 2)
+
+let test_loss_exactly_at_arrival_instant () =
+  let s = cross_chain () in
+  (* outage windows are left-closed: an arrival exactly at from_t dies *)
+  let lost =
+    Scenario.lossy ~retries:0
+      ~outages:[ Scenario.outage ~src:0 ~dst:1 ~from_t:11. ~until_t:12. ]
+      ()
+  in
+  let r = run_chain s ~faults:lost in
+  check_bool "defeated" true (r.Event_sim.latency = None);
+  check_int "one permanent loss" 1 r.Event_sim.lost_messages;
+  check_int "no retry budget" 0 r.Event_sim.retransmissions;
+  (* ... and right-open: an arrival exactly at until_t survives *)
+  let grazed =
+    Scenario.lossy ~retries:0
+      ~outages:[ Scenario.outage ~src:0 ~dst:1 ~from_t:10. ~until_t:11. ]
+      ()
+  in
+  let r = run_chain s ~faults:grazed in
+  (match r.Event_sim.latency with
+  | Some l -> check_float "unharmed" 12. l
+  | None -> Alcotest.fail "arrival at until_t must be delivered");
+  check_int "nothing lost" 0 r.Event_sim.lost_messages
+
+let test_retransmission_backoff_timing () =
+  let s = cross_chain () in
+  (* attempt 0 departs at 1, arrives at 11, inside the outage; the ack
+     timeout is rtt_factor * w = 2 * 10, so attempt 1 departs at 21 and
+     arrives at 31, outside: latency 31 + 1 *)
+  let one_retry =
+    Scenario.lossy ~retries:2 ~rtt_factor:2.
+      ~outages:[ Scenario.outage ~src:0 ~dst:1 ~from_t:0. ~until_t:12. ]
+      ()
+  in
+  let r = run_chain s ~faults:one_retry in
+  (match r.Event_sim.latency with
+  | Some l -> check_float "one backoff step" 32. l
+  | None -> Alcotest.fail "retry must save the message");
+  check_int "one retransmission" 1 r.Event_sim.retransmissions;
+  check_int "no permanent loss" 0 r.Event_sim.lost_messages;
+  (* longer outage: attempt 1 (arrival 31) dies too; the timeout doubles
+     to 40, so attempt 2 departs at 61 and arrives at 71 *)
+  let two_retries =
+    Scenario.lossy ~retries:2 ~rtt_factor:2.
+      ~outages:[ Scenario.outage ~src:0 ~dst:1 ~from_t:0. ~until_t:32. ]
+      ()
+  in
+  let r = run_chain s ~faults:two_retries in
+  (match r.Event_sim.latency with
+  | Some l -> check_float "exponential backoff" 72. l
+  | None -> Alcotest.fail "second retry must save the message");
+  check_int "two retransmissions" 2 r.Event_sim.retransmissions
+
+let test_backoff_capped_at_retry_bound () =
+  let s = cross_chain () in
+  (* same outage, but only one retry allowed: attempts at 11 and 31 both
+     die and the message is permanently lost — the receiver starves *)
+  let capped =
+    Scenario.lossy ~retries:1 ~rtt_factor:2.
+      ~outages:[ Scenario.outage ~src:0 ~dst:1 ~from_t:0. ~until_t:32. ]
+      ()
+  in
+  let r = run_chain s ~faults:capped in
+  check_bool "defeated" true (r.Event_sim.latency = None);
+  check_int "exactly the retry budget" 1 r.Event_sim.retransmissions;
+  check_int "then permanently lost" 1 r.Event_sim.lost_messages
+
+let test_all_senders_exhausted () =
+  (* eps = 1 with replicas forced onto disjoint processor pairs: all four
+     cross messages of the all-to-all plan are lost (loss = 1), so both
+     replicas of the successor starve and the schedule is defeated *)
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  Dag.Builder.add_edge b ~src:t0 ~dst:t1 ~volume:10.;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:4 ~unit_delay:1. in
+  let exec = [| [| 1.; 1.; 50.; 50. |]; [| 50.; 50.; 1.; 1. |] |] in
+  let inst = Instance.create ~dag ~platform ~exec in
+  let s = Ftsa.schedule inst ~eps:1 in
+  let faults = Scenario.lossy ~loss:1. ~retries:1 ~seed:5 () in
+  let r = Event_sim.run ~faults s ~fail_times:(no_failures 4) in
+  check_bool "defeated" true (r.Event_sim.latency = None);
+  check_int "all four messages exhausted" 4 r.Event_sim.lost_messages;
+  check_int "each retried once" 4 r.Event_sim.retransmissions;
+  (* the sources still completed: degradation, not a hang *)
+  check_bool "sources done" true
+    (Array.for_all
+       (function Event_sim.Completed _ -> true | Event_sim.Lost -> false)
+       r.Event_sim.outcomes.(t0))
+
+let prop_zero_loss_bit_identical =
+  QCheck.Test.make
+    ~name:"loss 0 + no outages takes the exact unfaulted path" ~count:25
+    QCheck.(pair (int_range 0 2) (int_range 0 5000))
+    (fun (eps, seed) ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      let faults = Scenario.lossy () in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun network ->
+              let plain = Event_sim.run ~network s ~fail_times:(no_failures 5) in
+              let faulted =
+                Event_sim.run ~network ~faults s ~fail_times:(no_failures 5)
+              in
+              plain.Event_sim.latency = faulted.Event_sim.latency
+              && faulted.Event_sim.retransmissions = 0
+              && faulted.Event_sim.lost_messages = 0)
+            [ Event_sim.Contention_free; Event_sim.Sender_ports 1 ])
+        [ Ftsa.schedule ~seed inst ~eps; Mc_ftsa.schedule ~seed inst ~eps ])
+
+let prop_redundant_messaging_survives_loss_better =
+  QCheck.Test.make
+    ~name:"FTSA defeat rate <= MC-FTSA defeat rate under message loss"
+    ~count:10
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let inst = random_instance ~seed ~n_tasks:25 ~m:5 () in
+      let s_ftsa = Ftsa.schedule ~seed inst ~eps:1 in
+      let s_mc = Mc_ftsa.schedule ~seed inst ~eps:1 in
+      let defeats s =
+        let n = ref 0 in
+        for k = 1 to 8 do
+          let faults = Scenario.lossy ~loss:0.15 ~retries:0 ~seed:(seed + k) () in
+          if
+            (Event_sim.run ~faults s ~fail_times:(no_failures 5))
+              .Event_sim.latency = None
+          then incr n
+        done;
+        !n
+      in
+      defeats s_ftsa <= defeats s_mc)
+
 let () =
   Alcotest.run "sim"
     [
@@ -485,7 +695,25 @@ let () =
           Alcotest.test_case "report" `Quick test_worst_case_report;
           Alcotest.test_case "tightness" `Quick test_worst_case_tightness;
           Alcotest.test_case "counts defeats" `Quick test_worst_case_counts_defeats;
+          Alcotest.test_case "all defeated typed" `Quick
+            test_worst_case_all_defeated_typed;
+          Alcotest.test_case "sampling fallback" `Quick
+            test_worst_case_sampling_fallback;
           Alcotest.test_case "guard" `Quick test_worst_case_guard;
+        ] );
+      ( "comm-faults",
+        [
+          Alcotest.test_case "validation" `Quick test_comm_faults_validation;
+          Alcotest.test_case "loss at arrival instant" `Quick
+            test_loss_exactly_at_arrival_instant;
+          Alcotest.test_case "backoff timing" `Quick
+            test_retransmission_backoff_timing;
+          Alcotest.test_case "backoff capped at retry bound" `Quick
+            test_backoff_capped_at_retry_bound;
+          Alcotest.test_case "all senders exhausted" `Quick
+            test_all_senders_exhausted;
+          quick prop_zero_loss_bit_identical;
+          quick prop_redundant_messaging_survives_loss_better;
         ] );
       ( "network-models",
         [

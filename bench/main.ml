@@ -3,7 +3,7 @@
    Usage: dune exec bench/main.exe [-- target ...]
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
-   rftsa reliability recovery linkloss adversary micro smoke all
+   rftsa reliability recovery linkloss adversary micro kernel smoke all
    (default: all; "smoke" is a CI-sized sanity pass over the hot
    simulation paths and is not part of "all").
    By default the figure sweeps use the reduced "quick" workload (8 graphs
@@ -193,12 +193,41 @@ let run_table1 () =
        (List.fold_left max 0 sizes));
   show "table1" (Figures.table1 ~sizes ())
 
+(* Run a list of bechamel tests and render the OLS estimates as a table. *)
+let bechamel_report ~slug tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let table = Table.create ~columns:[ "benchmark"; "time/run (ms)"; "r2" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let res = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name o ->
+          let ns =
+            match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square o with Some r -> r | None -> nan
+          in
+          Table.add_row table
+            [ name; Printf.sprintf "%.3f" (ns /. 1e6); Printf.sprintf "%.4f" r2 ])
+        res)
+    tests;
+  show slug table
+
 (* Bechamel micro-benchmarks: per-call cost of each scheduler and of the
    hot substrate operations. *)
 let run_micro () =
   section "Bechamel micro-benchmarks";
   let open Bechamel in
-  let open Toolkit in
   let rng = Ftsched_util.Rng.create ~seed:11 in
   let dag = Ftsched_dag.Generators.layered rng ~n_tasks:100 () in
   let platform =
@@ -234,31 +263,188 @@ let run_micro () =
         (Staged.stage (fun () -> Ftsched_model.Levels.bottom_levels inst));
     ]
   in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 0.5) ()
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let table = Table.create ~columns:[ "benchmark"; "time/run (ms)"; "r2" ] in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let res = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name o ->
-          let ns =
-            match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+  bechamel_report ~slug:"micro" tests
+
+(* The pre-kernel engine's equation-(1)/(3) evaluation, kept as a timing
+   reference: for every candidate processor it re-reduces every
+   predecessor's replica row, where lib/kernel hoists that reduction into
+   per-target-processor arrival bounds filled once per task.  Same
+   priority list, same selection and commit — only the evaluation
+   differs. *)
+module Unhoisted_ftsa = struct
+  module Dag = Ftsched_dag.Dag
+  module Platform = Ftsched_platform.Platform
+  module Instance = Ftsched_model.Instance
+  module Levels = Ftsched_model.Levels
+  module Rng = Ftsched_util.Rng
+
+  module Prio_key = struct
+    type t = { prio : float; tie : float; task : int }
+
+    let compare a b =
+      match compare a.prio b.prio with
+      | 0 -> (
+          match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
+      | c -> c
+  end
+
+  module Alpha = Ftsched_ds.Avl.Make (Prio_key)
+
+  type committed = { proc : int; finish_opt : float; finish_pess : float }
+
+  let schedule ?(seed = 0) inst ~eps =
+    let rng = Rng.create ~seed in
+    let g = Instance.dag inst in
+    let pl = Instance.platform inst in
+    let v = Dag.n_tasks g and m = Instance.n_procs inst in
+    let bl = Levels.bottom_levels inst in
+    let placed = Array.make v None in
+    let ready_opt = Array.make m 0. and ready_pess = Array.make m 0. in
+    let alpha = ref Alpha.empty in
+    let replicas_of t = Option.get placed.(t) in
+    let push_free t =
+      let tl =
+        List.fold_left
+          (fun acc (t', vol) ->
+            let earliest =
+              Array.fold_left
+                (fun b c ->
+                  Float.min b
+                    (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
+                infinity (replicas_of t')
+            in
+            Float.max acc earliest)
+          0. (Dag.preds g t)
+      in
+      let key =
+        { Prio_key.prio = tl +. bl.(t); tie = Rng.float_in rng 0. 1.; task = t }
+      in
+      alpha := Alpha.add key () !alpha
+    in
+    List.iter push_free (Dag.entries g);
+    let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+    let continue_run = ref true in
+    while !continue_run do
+      match Alpha.pop_max !alpha with
+      | None -> continue_run := false
+      | Some (key, (), rest) ->
+          alpha := rest;
+          let t = key.Prio_key.task in
+          let estimate p =
+            (* the unhoisted inner loops: preds × replicas per processor *)
+            let in_opt = ref 0. and in_pess = ref 0. in
+            List.iter
+              (fun (t', vol) ->
+                let e_opt = ref infinity and e_pess = ref 0. in
+                Array.iter
+                  (fun c ->
+                    let w = vol *. Platform.delay pl c.proc p in
+                    let a = c.finish_opt +. w and ap = c.finish_pess +. w in
+                    if a < !e_opt then e_opt := a;
+                    if ap > !e_pess then e_pess := ap)
+                  (replicas_of t');
+                if !e_opt > !in_opt then in_opt := !e_opt;
+                if !e_pess > !in_pess then in_pess := !e_pess)
+              (Dag.preds g t);
+            let e = Instance.exec inst t p in
+            ( e +. Float.max !in_opt ready_opt.(p),
+              e +. Float.max !in_pess ready_pess.(p) )
           in
-          let r2 =
-            match Analyze.OLS.r_square o with Some r -> r | None -> nan
+          let cand = Array.init m (fun p -> (p, estimate p)) in
+          Array.sort
+            (fun (pa, (fa, _)) (pb, (fb, _)) ->
+              match compare fa fb with 0 -> compare pa pb | c -> c)
+            cand;
+          let committed =
+            Array.map
+              (fun (p, (f_opt, f_pess)) ->
+                { proc = p; finish_opt = f_opt; finish_pess = f_pess })
+              (Array.sub cand 0 (eps + 1))
           in
-          Table.add_row table
-            [ name; Printf.sprintf "%.3f" (ns /. 1e6); Printf.sprintf "%.4f" r2 ])
-        res)
-    tests;
-  show "micro" table
+          placed.(t) <- Some committed;
+          Array.iter
+            (fun c ->
+              if c.finish_opt > ready_opt.(c.proc) then
+                ready_opt.(c.proc) <- c.finish_opt;
+              if c.finish_pess > ready_pess.(c.proc) then
+                ready_pess.(c.proc) <- c.finish_pess)
+            committed;
+          List.iter
+            (fun (t', _) ->
+              remaining.(t') <- remaining.(t') - 1;
+              if remaining.(t') = 0 then push_free t')
+            (Dag.succs g t)
+    done;
+    Array.fold_left Float.max 0. ready_pess
+end
+
+(* Kernel benchmarks: the hoisted equation-(1)/(3) evaluation against the
+   pre-kernel per-processor reduction on a large dense graph, and the
+   shared Proc_state timeline against the list-based insertion the
+   baselines used before the refactor. *)
+let run_kernel () =
+  section "Kernel: hoisted eq-(1) evaluation & shared timeline";
+  let open Bechamel in
+  let rng = Ftsched_util.Rng.create ~seed:7 in
+  let dag = Ftsched_dag.Generators.layered rng ~n_tasks:800 () in
+  let platform =
+    Ftsched_platform.Platform.random rng ~m:50 ~delay_lo:0.5 ~delay_hi:1.0 ()
+  in
+  let inst = Ftsched_model.Instance.random_exec rng ~dag ~platform () in
+  let n_slots = 2000 in
+  (* deterministic pseudo-random ready times, same for both timelines *)
+  let ready_of i = float_of_int (i * 7919 mod 10007) in
+  let module Ps = Ftsched_kernel.Proc_state in
+  let tests =
+    [
+      Test.make ~name:"ftsa-kernel-hoisted-v800-m50-eps2"
+        (Staged.stage (fun () -> Ftsched_core.Ftsa.schedule inst ~eps:2));
+      Test.make ~name:"ftsa-unhoisted-v800-m50-eps2"
+        (Staged.stage (fun () -> Unhoisted_ftsa.schedule inst ~eps:2));
+      Test.make ~name:"proc-state-gap+insert-2000"
+        (Staged.stage (fun () ->
+             let ps = Ps.create ~m:1 ~insertion:true in
+             let acc = ref 0. in
+             for i = 0 to n_slots - 1 do
+               let start =
+                 Ps.earliest_gap ps 0 ~ready:(ready_of i) ~duration:3.5
+               in
+               Ps.commit_slot ps 0 ~start ~finish:(start +. 3.5)
+                 ~pess_finish:(start +. 3.5);
+               acc := !acc +. start
+             done;
+             !acc));
+      Test.make ~name:"list-gap+insert-2000"
+        (Staged.stage (fun () ->
+             (* the per-baseline list timeline replaced by Proc_state *)
+             let slots = ref [] in
+             let earliest_gap ~ready ~duration =
+               let rec scan cursor = function
+                 | [] -> cursor
+                 | (s, f) :: rest ->
+                     if cursor +. duration <= s then cursor
+                     else scan (Float.max cursor f) rest
+               in
+               scan ready !slots
+             in
+             let insert_slot slot =
+               let rec go = function
+                 | [] -> [ slot ]
+                 | ((s, _) :: _ as l) when fst slot < s -> slot :: l
+                 | hd :: tl -> hd :: go tl
+               in
+               slots := go !slots
+             in
+             let acc = ref 0. in
+             for i = 0 to n_slots - 1 do
+               let start = earliest_gap ~ready:(ready_of i) ~duration:3.5 in
+               insert_slot (start, start +. 3.5);
+               acc := !acc +. start
+             done;
+             !acc));
+    ]
+  in
+  bechamel_report ~slug:"kernel" tests
 
 let () =
   let args =
@@ -283,4 +469,5 @@ let () =
   if want "adversary" then run_adversary ();
   if want "smoke" then run_smoke ();
   if want "micro" then run_micro ();
+  if want "kernel" then run_kernel ();
   Printf.printf "\nDone.\n"

@@ -156,28 +156,29 @@ let make_instance ~kind ~seed ~n ~m ~granularity =
   if Dag.n_edges dag = 0 then inst
   else Granularity.scale_to inst ~target:granularity
 
-let run_algo ?redundancy algo ~seed inst ~eps =
+let run_algo ?redundancy ?trace algo ~seed inst ~eps =
   match algo with
-  | `Ftsa -> Ftsa.schedule ~seed inst ~eps
+  | `Ftsa -> Ftsa.schedule ~seed ?trace inst ~eps
   | `Mc -> (
       match redundancy with
-      | Some k -> Mc_ftsa.schedule ~seed ~strategy:(Mc_ftsa.Redundant k) inst ~eps
-      | None -> Mc_ftsa.schedule ~seed inst ~eps)
-  | `Mcb -> Mc_ftsa.schedule ~seed ~strategy:Mc_ftsa.Bottleneck inst ~eps
-  | `Ftbar -> Ftbar.schedule ~seed inst ~npf:eps
+      | Some k ->
+          Mc_ftsa.schedule ~seed ~strategy:(Mc_ftsa.Redundant k) ?trace inst ~eps
+      | None -> Mc_ftsa.schedule ~seed ?trace inst ~eps)
+  | `Mcb -> Mc_ftsa.schedule ~seed ~strategy:Mc_ftsa.Bottleneck ?trace inst ~eps
+  | `Ftbar -> Ftbar.schedule ~seed ?trace inst ~npf:eps
   | `Heft ->
       if eps > 0 then
         prerr_endline "note: heft is fault-free; ignoring --eps";
-      Heft.schedule inst
+      Heft.schedule ?trace inst
   | `Cpop ->
       if eps > 0 then
         prerr_endline "note: cpop is fault-free; ignoring --eps";
-      Ftsched_baseline.Cpop.schedule inst
-  | `Ca -> Ftsched_core.Ca_ftsa.schedule ~seed inst ~eps
+      Ftsched_baseline.Cpop.schedule ?trace inst
+  | `Ca -> Ftsched_core.Ca_ftsa.schedule ~seed ?trace inst ~eps
   | `Peft ->
       if eps > 0 then
         prerr_endline "note: peft is fault-free; ignoring --eps";
-      Ftsched_baseline.Peft.schedule inst
+      Ftsched_baseline.Peft.schedule ?trace inst
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                 *)
@@ -249,8 +250,25 @@ let schedule_cmd =
              generated one (a random platform of --procs processors is \
              drawn; node costs are lifted to an unrelated cost matrix).")
   in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every scheduling decision (per-step candidate \
+             evaluations, chosen replicas, selected edges) to $(docv) as \
+             JSON lines.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print per-step statistics of the scheduler kernel (candidate \
+             evaluations per task, gap-search depth, phase timings).")
+  in
   let run kind n m eps granularity seed algo redundancy gantt listing svg save
-      from_stg =
+      from_stg trace_file stats =
     let inst =
       match from_stg with
       | Some path ->
@@ -264,7 +282,11 @@ let schedule_cmd =
           else Granularity.scale_to inst ~target:granularity
       | None -> make_instance ~kind ~seed ~n ~m ~granularity
     in
-    let s = run_algo ?redundancy algo ~seed inst ~eps in
+    let trace =
+      if stats || trace_file <> None then Some (Ftsched_kernel.Trace.create ())
+      else None
+    in
+    let s = run_algo ?redundancy ?trace algo ~seed inst ~eps in
     Format.printf "%a@." Schedule.pp_summary s;
     Format.printf "granularity=%.3f  comm-volume=%.4g@."
       (Granularity.granularity inst)
@@ -275,6 +297,16 @@ let schedule_cmd =
     | Error errs ->
         Format.printf "validation: %d error(s)@." (List.length errs);
         List.iter (Format.printf "  %a@." Validate.pp_error) errs);
+    (match trace with
+    | Some tr when stats ->
+        Format.printf "%a@." Ftsched_schedule.Metrics.pp_step_stats
+          (Ftsched_kernel.Trace.stats tr)
+    | _ -> ());
+    (match (trace, trace_file) with
+    | Some tr, Some path ->
+        Ftsched_kernel.Trace.save_jsonl tr ~path;
+        Format.printf "wrote %s@." path
+    | _ -> ());
     if gantt then print_string (Gantt.render s);
     if listing then print_string (Gantt.render_listing s);
     (match svg with
@@ -292,7 +324,7 @@ let schedule_cmd =
     Term.(
       const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
       $ seed_arg $ algo_arg $ redundancy_arg $ gantt $ listing $ svg $ save
-      $ from_stg)
+      $ from_stg $ trace_arg $ stats)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

@@ -1,36 +1,18 @@
 module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
-
-type slot = { s : float; f : float }
-
-let earliest_gap slots ~ready ~duration =
-  let rec scan cursor = function
-    | [] -> cursor
-    | { s; f } :: rest ->
-        if cursor +. duration <= s then cursor else scan (Float.max cursor f) rest
-  in
-  scan ready slots
-
-let insert_slot slots slot =
-  let rec go = function
-    | [] -> [ slot ]
-    | hd :: tl as l -> if slot.s < hd.s then slot :: l else hd :: go tl
-  in
-  go slots
+module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
 
 (* The critical path: start from the entry task with maximal priority and
    repeatedly follow the successor of (near-)maximal priority. *)
 let critical_path inst priority =
   let g = Instance.dag inst in
   let tolerance = 1e-9 in
-  let cp_value =
-    Array.fold_left Float.max neg_infinity priority
+  let cp_value = Array.fold_left Float.max neg_infinity priority in
+  let on_cp t =
+    Float.abs (priority.(t) -. cp_value) <= tolerance *. Float.max 1. cp_value
   in
-  let on_cp t = Float.abs (priority.(t) -. cp_value) <= tolerance *. Float.max 1. cp_value in
   let start =
     match List.filter on_cp (Dag.entries g) with
     | t :: _ -> t
@@ -38,18 +20,14 @@ let critical_path inst priority =
   in
   let rec follow t acc =
     let acc = t :: acc in
-    match
-      List.filter (fun (t', _) -> on_cp t') (Dag.succs g t)
-    with
+    match List.filter (fun (t', _) -> on_cp t') (Dag.succs g t) with
     | (t', _) :: _ -> follow t' acc
     | [] -> List.rev acc
   in
   follow start []
 
-let schedule ?seed:_ inst =
-  let g = Instance.dag inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
-  let pl = Instance.platform inst in
+let schedule ?trace inst =
+  let v = Instance.n_tasks inst and m = Instance.n_procs inst in
   let bl = Levels.bottom_levels inst in
   let rd = Levels.downward_ranks inst in
   let priority = Array.init v (fun t -> bl.(t) +. rd.(t)) in
@@ -70,84 +48,27 @@ let schedule ?seed:_ inst =
   in
   let on_cp = Array.make v false in
   List.iter (fun t -> on_cp.(t) <- true) cp;
-  let slots = Array.make m [] in
-  let placed = Array.make v None in
-  (* Ready-list scheduling by decreasing priority. *)
-  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
-  let ready = ref (Dag.entries g) in
-  let pick_ready () =
-    let best =
-      List.fold_left
-        (fun acc t ->
-          match acc with
-          | None -> Some t
-          | Some b -> if priority.(t) > priority.(b) then Some t else acc)
-        None !ready
-    in
-    match best with
-    | None -> invalid_arg "Cpop: empty ready list"
-    | Some t ->
-        ready := List.filter (fun x -> x <> t) !ready;
-        t
+  (* Critical-path tasks are pinned onto [cp_proc]; the rest take their
+     earliest-finish processor with insertion. *)
+  let choose _st t evals =
+    if on_cp.(t) then [| evals.(cp_proc) |]
+    else Driver.best_by_finish evals ~k:1
   in
-  let eft t p =
-    let arrival =
-      List.fold_left
-        (fun acc (t', vol) ->
-          match placed.(t') with
-          | None -> invalid_arg "Cpop: order not topological"
-          | Some (p', f') ->
-              Float.max acc (f' +. (vol *. Platform.delay pl p' p)))
-        0. (Dag.preds g t)
-    in
-    let dur = Instance.exec inst t p in
-    let start = earliest_gap slots.(p) ~ready:arrival ~duration:dur in
-    (start, start +. dur)
+  let policy =
+    {
+      Driver.name = "cpop";
+      replicas = 1;
+      discipline =
+        Driver.Priority { key = (fun _ t -> priority.(t)); tie = Driver.Lifo_tie };
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_insertion;
+      choose;
+      commit = Driver.commit_insertion;
+      after_commit = Driver.no_after_commit;
+      insertion = true;
+      selected_comm = false;
+    }
   in
-  for _ = 1 to v do
-    let t = pick_ready () in
-    let proc, start, finish =
-      if on_cp.(t) then begin
-        let start, finish = eft t cp_proc in
-        (cp_proc, start, finish)
-      end
-      else begin
-        let best = ref (-1) and bs = ref 0. and bf = ref infinity in
-        for p = 0 to m - 1 do
-          let start, finish = eft t p in
-          if finish < !bf then begin
-            best := p;
-            bs := start;
-            bf := finish
-          end
-        done;
-        (!best, !bs, !bf)
-      end
-    in
-    slots.(proc) <- insert_slot slots.(proc) { s = start; f = finish };
-    placed.(t) <- Some (proc, finish);
-    List.iter
-      (fun (t', _) ->
-        remaining.(t') <- remaining.(t') - 1;
-        if remaining.(t') = 0 then ready := t' :: !ready)
-      (Dag.succs g t)
-  done;
-  let replicas =
-    Array.init v (fun task ->
-        match placed.(task) with
-        | None -> assert false
-        | Some (proc, finish) ->
-            let start = finish -. Instance.exec inst task proc in
-            [|
-              {
-                Schedule.task;
-                index = 0;
-                proc;
-                start;
-                finish;
-                pess_start = start;
-                pess_finish = finish;
-              };
-            |])
-  in
-  Schedule.create ~instance:inst ~eps:0 ~replicas ~comm:Comm_plan.All_to_all
+  match Driver.run ~rng:(Rng.create ~seed:0) ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

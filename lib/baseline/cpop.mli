@@ -9,5 +9,8 @@
     with insertion. *)
 
 val schedule :
-  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
-(** Fault-free (single-copy) schedule, represented with [eps = 0]. *)
+  ?trace:Ftsched_kernel.Trace.t ->
+  Ftsched_model.Instance.t ->
+  Ftsched_schedule.Schedule.t
+(** Fault-free (single-copy) schedule, represented with [eps = 0].
+    Deterministic: CPOP has no random choices. *)

@@ -1,103 +1,55 @@
-module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
+module Proc_state = Ftsched_kernel.Proc_state
 module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
 
-type committed = {
-  proc : int;
-  start_opt : float;
-  finish_opt : float;
-  start_pess : float;
-  finish_pess : float;
-}
-
-type state = {
-  inst : Instance.t;
-  npf : int;
-  placed : committed array option array;
-  ready_opt : float array;
-  ready_pess : float array;
-  mutable schedule_length : float;  (* R(n-1) *)
-}
-
-(* Earliest start/finish of [t] on [p] under the current partial schedule:
-   same data-arrival semantics as FTSA's equations (1)/(3) — first copy of
-   each input for the optimistic value, last copy for the pessimistic. *)
-let finish_estimates st t p =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  let input_opt = ref 0. and input_pess = ref 0. in
-  List.iter
-    (fun (t', vol) ->
-      match st.placed.(t') with
-      | None -> invalid_arg "Ftbar: predecessor not placed"
-      | Some rs ->
-          let earliest = ref infinity and latest = ref 0. in
-          Array.iter
-            (fun c ->
-              let w = vol *. Platform.delay pl c.proc p in
-              let a_opt = c.finish_opt +. w and a_pess = c.finish_pess +. w in
-              if a_opt < !earliest then earliest := a_opt;
-              if a_pess > !latest then latest := a_pess)
-            rs;
-          if !earliest > !input_opt then input_opt := !earliest;
-          if !latest > !input_pess then input_pess := !latest)
-    (Dag.preds g t);
-  let e = Instance.exec st.inst t p in
-  let s_opt = Float.max !input_opt st.ready_opt.(p) in
-  let s_pess = Float.max !input_pess st.ready_pess.(p) in
-  (s_opt, s_opt +. e, s_pess, s_pess +. e)
-
-let schedule ?(seed = 0) ?rng inst ~npf =
+let schedule ?(seed = 0) ?rng ?trace inst ~npf =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed in
-  let g = Instance.dag inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let m = Instance.n_procs inst in
   if npf < 0 || npf >= m then
     invalid_arg "Ftbar.schedule: need 0 <= npf < number of processors";
-  let st =
-    {
-      inst;
-      npf;
-      placed = Array.make v None;
-      ready_opt = Array.make m 0.;
-      ready_pess = Array.make m 0.;
-      schedule_length = 0.;
-    }
-  in
   (* s(ti): static latest-start level measured from the exit tasks — the
      average-cost bottom level (includes ti's own execution). *)
   let s_level = Levels.bottom_levels inst in
-  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
-  let free = ref (Dag.entries g) in
-  let scheduled_count = ref 0 in
-  while !free <> [] do
-    (* Evaluate the pressure of every free task on every processor; keep
-       each task's Npf+1 best placements. *)
+  (* R(n-1): current schedule length, updated as replicas commit. *)
+  let schedule_length = ref 0. in
+  (* The urgency rule selects placements before the driver commits; hand
+     the chosen rows over through [pending]. *)
+  let pending = ref [||] in
+  (* Evaluate the pressure of every free task on every processor; keep
+     each task's Npf+1 best placements.  The most urgent task is the one
+     whose best placements still carry the largest pressure. *)
+  let urgency (st : Driver.state) ~free =
     let best_of t =
+      Driver.prepare_inputs st t;
       let cand =
         Array.init m (fun p ->
-            let s_opt, f_opt, s_pess, f_pess = finish_estimates st t p in
-            let sigma = s_opt +. s_level.(t) -. st.schedule_length in
-            (sigma, p, (s_opt, f_opt, s_pess, f_pess)))
+            let e = Instance.exec inst t p in
+            let s_opt =
+              Float.max st.Driver.in_opt.(p)
+                (Proc_state.ready_opt st.Driver.timeline p)
+            in
+            let s_pess =
+              Float.max st.Driver.in_pess.(p)
+                (Proc_state.ready_pess st.Driver.timeline p)
+            in
+            let sigma = s_opt +. s_level.(t) -. !schedule_length in
+            (sigma, p, (s_opt, s_opt +. e, s_pess, s_pess +. e)))
       in
       Array.sort
         (fun (sa, pa, _) (sb, pb, _) ->
           match compare sa sb with 0 -> compare pa pb | c -> c)
         cand;
-      let chosen = Array.sub cand 0 (st.npf + 1) in
-      (* Urgency of the task: the worst pressure among its best
-         placements. *)
+      let chosen = Array.sub cand 0 (npf + 1) in
       let urgency =
         Array.fold_left (fun acc (s, _, _) -> Float.max acc s) neg_infinity
           chosen
       in
       (urgency, chosen)
     in
-    let evaluated = List.map (fun t -> (t, best_of t)) !free in
-    let urgent =
+    let evaluated = List.map (fun t -> (t, best_of t)) free in
+    let t, (u, chosen) =
       (* Most urgent pair: maximum pressure; ties broken randomly as in
          the original. *)
       let best = ref [] and best_u = ref neg_infinity in
@@ -109,56 +61,47 @@ let schedule ?(seed = 0) ?rng inst ~npf =
           end
           else if u = !best_u then best := entry :: !best)
         evaluated;
-      Rng.pick rng (Array.of_list !best)
+      Rng.pick st.Driver.rng (Array.of_list !best)
     in
-    let t, (_, chosen) = urgent in
-    let committed =
+    pending :=
       Array.map
         (fun (_, p, (s_opt, f_opt, s_pess, f_pess)) ->
           {
-            proc = p;
+            Driver.proc = p;
             start_opt = s_opt;
             finish_opt = f_opt;
             start_pess = s_pess;
             finish_pess = f_pess;
           })
+        chosen;
+    let evals =
+      Array.map
+        (fun (_, p, (_, f_opt, _, f_pess)) ->
+          { Driver.e_proc = p; e_finish_opt = f_opt; e_finish_pess = f_pess })
         chosen
     in
-    st.placed.(t) <- Some committed;
-    Array.iter
-      (fun c ->
-        if c.finish_opt > st.ready_opt.(c.proc) then
-          st.ready_opt.(c.proc) <- c.finish_opt;
-        if c.finish_pess > st.ready_pess.(c.proc) then
-          st.ready_pess.(c.proc) <- c.finish_pess;
-        if c.finish_opt > st.schedule_length then
-          st.schedule_length <- c.finish_opt)
-      committed;
-    incr scheduled_count;
-    free := List.filter (fun t' -> t' <> t) !free;
-    List.iter
-      (fun (t', _) ->
-        remaining.(t') <- remaining.(t') - 1;
-        if remaining.(t') = 0 then free := t' :: !free)
-      (Dag.succs g t)
-  done;
-  assert (!scheduled_count = v);
-  let replicas =
-    Array.init v (fun task ->
-        match st.placed.(task) with
-        | None -> assert false
-        | Some row ->
-            Array.mapi
-              (fun index c ->
-                {
-                  Schedule.task;
-                  index;
-                  proc = c.proc;
-                  start = c.start_opt;
-                  finish = c.finish_opt;
-                  pess_start = c.start_pess;
-                  pess_finish = c.finish_pess;
-                })
-              row)
+    (t, u, evals)
   in
-  Schedule.create ~instance:inst ~eps:npf ~replicas ~comm:Comm_plan.All_to_all
+  let policy =
+    {
+      Driver.name = "ftbar";
+      replicas = npf + 1;
+      discipline = Driver.Urgency urgency;
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_inputs;
+      choose = (fun _ _ evals -> evals);
+      commit = (fun _ _ _ -> !pending);
+      after_commit =
+        (fun _ _ committed ->
+          Array.iter
+            (fun (c : Driver.committed) ->
+              if c.Driver.finish_opt > !schedule_length then
+                schedule_length := c.Driver.finish_opt)
+            committed);
+      insertion = false;
+      selected_comm = false;
+    }
+  in
+  match Driver.run ~rng ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -1,78 +1,23 @@
-module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
-module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
+module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
 
-(* Busy slots per processor, kept sorted by start time. *)
-type slot = { s : float; f : float }
-
-let earliest_gap slots ~ready ~duration =
-  (* Earliest start >= ready such that [start, start+duration) fits. *)
-  let rec scan cursor = function
-    | [] -> cursor
-    | { s; f } :: rest ->
-        if cursor +. duration <= s then cursor else scan (Float.max cursor f) rest
-  in
-  scan ready slots
-
-let insert_slot slots slot =
-  let rec go = function
-    | [] -> [ slot ]
-    | hd :: tl as l -> if slot.s < hd.s then slot :: l else hd :: go tl
-  in
-  go slots
-
-let schedule ?seed:_ inst =
-  let g = Instance.dag inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
-  let pl = Instance.platform inst in
+let schedule ?trace inst =
   let order = Levels.sorted_by_bottom_level inst in
-  let slots = Array.make m [] in
-  let placed = Array.make v None in
-  Array.iter
-    (fun t ->
-      let best = ref None in
-      for p = 0 to m - 1 do
-        let ready =
-          List.fold_left
-            (fun acc (t', vol) ->
-              match placed.(t') with
-              | None -> invalid_arg "Heft: order not topological"
-              | Some (p', f') ->
-                  Float.max acc (f' +. (vol *. Platform.delay pl p' p)))
-            0. (Dag.preds g t)
-        in
-        let dur = Instance.exec inst t p in
-        let start = earliest_gap slots.(p) ~ready ~duration:dur in
-        let finish = start +. dur in
-        match !best with
-        | Some (_, _, bf) when bf <= finish -> ()
-        | _ -> best := Some (p, start, finish)
-      done;
-      match !best with
-      | None -> assert false
-      | Some (p, start, finish) ->
-          slots.(p) <- insert_slot slots.(p) { s = start; f = finish };
-          placed.(t) <- Some (p, finish))
-    order;
-  let replicas =
-    Array.init v (fun task ->
-        match placed.(task) with
-        | None -> assert false
-        | Some (proc, finish) ->
-            let start = finish -. Instance.exec inst task proc in
-            [|
-              {
-                Schedule.task;
-                index = 0;
-                proc;
-                start;
-                finish;
-                pess_start = start;
-                pess_finish = finish;
-              };
-            |])
+  let policy =
+    {
+      Driver.name = "heft";
+      replicas = 1;
+      discipline = Driver.Fixed_order (fun _ -> order);
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_insertion;
+      choose = (fun _ _ evals -> Driver.best_by_finish evals ~k:1);
+      commit = Driver.commit_insertion;
+      after_commit = Driver.no_after_commit;
+      insertion = true;
+      selected_comm = false;
+    }
   in
-  Schedule.create ~instance:inst ~eps:0 ~replicas ~comm:Comm_plan.All_to_all
+  match Driver.run ~rng:(Rng.create ~seed:0) ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

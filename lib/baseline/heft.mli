@@ -9,6 +9,9 @@
     (end-of-ready-queue placement) never does. *)
 
 val schedule :
-  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
+  ?trace:Ftsched_kernel.Trace.t ->
+  Ftsched_model.Instance.t ->
+  Ftsched_schedule.Schedule.t
 (** Fault-free (single-copy) schedule; represented as an [eps = 0]
-    schedule with all-to-all (i.e. single-message) communication. *)
+    schedule with all-to-all (i.e. single-message) communication.
+    Deterministic: HEFT has no random choices. *)

@@ -1,25 +1,7 @@
 module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
-
-type slot = { s : float; f : float }
-
-let earliest_gap slots ~ready ~duration =
-  let rec scan cursor = function
-    | [] -> cursor
-    | { s; f } :: rest ->
-        if cursor +. duration <= s then cursor else scan (Float.max cursor f) rest
-  in
-  scan ready slots
-
-let insert_slot slots slot =
-  let rec go = function
-    | [] -> [ slot ]
-    | hd :: tl as l -> if slot.s < hd.s then slot :: l else hd :: go tl
-  in
-  go slots
+module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
 
 let oct inst =
   let g = Instance.dag inst in
@@ -48,83 +30,41 @@ let oct inst =
   done;
   table
 
-let schedule ?seed:_ inst =
-  let g = Instance.dag inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
-  let pl = Instance.platform inst in
+let schedule ?trace inst =
+  let v = Instance.n_tasks inst and m = Instance.n_procs inst in
   let table = oct inst in
   let rank =
-    Array.init v (fun t ->
-        Array.fold_left ( +. ) 0. table.(t) /. float_of_int m)
+    Array.init v (fun t -> Array.fold_left ( +. ) 0. table.(t) /. float_of_int m)
   in
-  let slots = Array.make m [] in
-  let placed = Array.make v None in
-  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
-  let ready_list = ref (Dag.entries g) in
-  let pick () =
-    let best =
-      List.fold_left
-        (fun acc t ->
-          match acc with
-          | None -> Some t
-          | Some b -> if rank.(t) > rank.(b) then Some t else acc)
-        None !ready_list
-    in
-    match best with
-    | None -> invalid_arg "Peft: empty ready list"
-    | Some t ->
-        ready_list := List.filter (fun x -> x <> t) !ready_list;
-        t
+  (* Place on the processor minimizing EFT + OCT — earliest finish plus
+     predicted tail. *)
+  let choose _st t evals =
+    let cand = Array.copy evals in
+    Array.sort
+      (fun (a : Driver.eval) (b : Driver.eval) ->
+        let sa = a.Driver.e_finish_opt +. table.(t).(a.Driver.e_proc)
+        and sb = b.Driver.e_finish_opt +. table.(t).(b.Driver.e_proc) in
+        match compare sa sb with
+        | 0 -> compare a.Driver.e_proc b.Driver.e_proc
+        | c -> c)
+      cand;
+    [| cand.(0) |]
   in
-  for _ = 1 to v do
-    let t = pick () in
-    let best = ref (-1) and bs = ref 0. and bf = ref infinity
-    and bscore = ref infinity in
-    for p = 0 to m - 1 do
-      let arrival =
-        List.fold_left
-          (fun acc (t', vol) ->
-            match placed.(t') with
-            | None -> invalid_arg "Peft: order not topological"
-            | Some (p', f') ->
-                Float.max acc (f' +. (vol *. Platform.delay pl p' p)))
-          0. (Dag.preds g t)
-      in
-      let dur = Instance.exec inst t p in
-      let start = earliest_gap slots.(p) ~ready:arrival ~duration:dur in
-      let finish = start +. dur in
-      let score = finish +. table.(t).(p) in
-      if score < !bscore then begin
-        best := p;
-        bs := start;
-        bf := finish;
-        bscore := score
-      end
-    done;
-    slots.(!best) <- insert_slot slots.(!best) { s = !bs; f = !bf };
-    placed.(t) <- Some (!best, !bf);
-    List.iter
-      (fun (t', _) ->
-        remaining.(t') <- remaining.(t') - 1;
-        if remaining.(t') = 0 then ready_list := t' :: !ready_list)
-      (Dag.succs g t)
-  done;
-  let replicas =
-    Array.init v (fun task ->
-        match placed.(task) with
-        | None -> assert false
-        | Some (proc, finish) ->
-            let start = finish -. Instance.exec inst task proc in
-            [|
-              {
-                Schedule.task;
-                index = 0;
-                proc;
-                start;
-                finish;
-                pess_start = start;
-                pess_finish = finish;
-              };
-            |])
+  let policy =
+    {
+      Driver.name = "peft";
+      replicas = 1;
+      discipline =
+        Driver.Priority { key = (fun _ t -> rank.(t)); tie = Driver.Lifo_tie };
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_insertion;
+      choose;
+      commit = Driver.commit_insertion;
+      after_commit = Driver.no_after_commit;
+      insertion = true;
+      selected_comm = false;
+    }
   in
-  Schedule.create ~instance:inst ~eps:0 ~replicas ~comm:Comm_plan.All_to_all
+  match Driver.run ~rng:(Rng.create ~seed:0) ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -12,8 +12,11 @@
     finish a task early but strand its successors. *)
 
 val schedule :
-  ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
-(** Fault-free (single-copy) schedule, represented with [eps = 0]. *)
+  ?trace:Ftsched_kernel.Trace.t ->
+  Ftsched_model.Instance.t ->
+  Ftsched_schedule.Schedule.t
+(** Fault-free (single-copy) schedule, represented with [eps = 0].
+    Deterministic: PEFT has no random choices. *)
 
 val oct : Ftsched_model.Instance.t -> float array array
 (** The optimistic cost table ([v × m]); exposed for tests. *)

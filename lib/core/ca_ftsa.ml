@@ -2,224 +2,139 @@ module Dag = Ftsched_dag.Dag
 module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
 module Rng = Ftsched_util.Rng
+module Proc_state = Ftsched_kernel.Proc_state
+module Driver = Ftsched_kernel.Driver
 
-module Prio_key = struct
-  type t = { prio : float; tie : float; task : int }
-
-  let compare a b =
-    match compare a.prio b.prio with
-    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
-    | c -> c
-end
-
-module Alpha = Ftsched_ds.Avl.Make (Prio_key)
-
-type committed = {
-  proc : int;
-  start_opt : float;
-  finish_opt : float;
-  start_pess : float;
-  finish_pess : float;
-}
-
-type state = {
-  inst : Instance.t;
-  eps : int;
-  rng : Rng.t;
-  bl : float array;
-  placed : committed array option array;
-  ready_opt : float array;
-  ready_pess : float array;
-  port_free : float array array;  (* per processor, [ports] entries *)
-  mutable alpha : unit Alpha.t;
-  remaining_preds : int array;
-}
-
-let replicas_of st t =
-  match st.placed.(t) with
-  | Some r -> r
-  | None -> invalid_arg "Ca_ftsa: predecessor not placed"
-
-(* Earliest possible departure from [proc] right now (no booking). *)
-let peek_port st proc = Ftsched_util.Float_utils.min_array st.port_free.(proc)
-
-(* Book a transfer of duration [dur] leaving [proc] no earlier than
-   [ready]; returns the departure time. *)
-let book_port st proc ~ready ~dur =
-  let ports = st.port_free.(proc) in
-  let best = ref 0 in
-  Array.iteri (fun i t -> if t < ports.(!best) then best := i) ports;
-  let depart = Float.max ready ports.(!best) in
-  ports.(!best) <- depart +. dur;
-  depart
-
-let top_level st t =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  List.fold_left
-    (fun acc (t', vol) ->
-      let rs = replicas_of st t' in
-      let earliest =
-        Array.fold_left
-          (fun m (c : committed) ->
-            Float.min m
-              (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
-          infinity rs
-      in
-      Float.max acc earliest)
-    0. (Dag.preds g t)
-
-let push_free st t =
-  let prio = top_level st t +. st.bl.(t) in
-  let key = { Prio_key.prio; tie = Rng.float_in st.rng 0. 1.; task = t } in
-  st.alpha <- Alpha.add key () st.alpha
-
-(* Contention-priced finish estimate of [t] on [p]: each candidate
-   message is priced at max(data ready, sender's earliest free port) +
-   transfer time.  Evaluation does not book ports. *)
-let finish_estimate st t p =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  let input = ref 0. in
-  List.iter
-    (fun (t', vol) ->
-      let rs = replicas_of st t' in
-      let earliest = ref infinity in
-      Array.iter
-        (fun (c : committed) ->
-          let a =
-            if c.proc = p then c.finish_opt
-            else begin
-              let w = vol *. Platform.delay pl c.proc p in
-              Float.max c.finish_opt (peek_port st c.proc) +. w
-            end
-          in
-          if a < !earliest then earliest := a)
-        rs;
-      if !earliest > !input then input := !earliest)
-    (Dag.preds g t);
-  Instance.exec st.inst t p +. Float.max !input st.ready_opt.(p)
-
-let schedule ?(seed = 0) ?rng ?(ports = 1) inst ~eps =
+let schedule ?(seed = 0) ?rng ?(ports = 1) ?trace inst ~eps =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed in
   let g = Instance.dag inst in
   let pl = Instance.platform inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let m = Instance.n_procs inst in
   if eps < 0 || eps >= m then
     invalid_arg "Ca_ftsa.schedule: need 0 <= eps < number of processors";
   if ports < 1 then invalid_arg "Ca_ftsa.schedule: ports must be positive";
-  let st =
+  let bl = Levels.bottom_levels inst in
+  (* Per-processor outgoing ports: the policy's private state, threaded
+     through the closures below.  Evaluation peeks, commit books. *)
+  let port_free = Array.init m (fun _ -> Array.make ports 0.) in
+  let peek_port proc = Ftsched_util.Float_utils.min_array port_free.(proc) in
+  let book_port proc ~ready ~dur =
+    let ports = port_free.(proc) in
+    let best = ref 0 in
+    Array.iteri (fun i t -> if t < ports.(!best) then best := i) ports;
+    let depart = Float.max ready ports.(!best) in
+    ports.(!best) <- depart +. dur;
+    depart
+  in
+  (* Contention-priced input bounds: each candidate message is priced at
+     max(data ready, sender's earliest free port) + transfer time.  The
+     port peek is replica-local, so the per-target-processor reduction
+     hoists just like equation (1). *)
+  let prepare (st : Driver.state) t =
+    Array.fill st.Driver.in_opt 0 m 0.;
+    List.iter
+      (fun (t', vol) ->
+        let rs = Driver.replicas_of st t' in
+        let ao = st.Driver.tmp_opt in
+        Array.fill ao 0 m infinity;
+        Array.iter
+          (fun (c : Driver.committed) ->
+            let base =
+              Float.max c.Driver.finish_opt (peek_port c.Driver.proc)
+            in
+            for p = 0 to m - 1 do
+              let a =
+                if c.Driver.proc = p then c.Driver.finish_opt
+                else base +. (vol *. Platform.delay pl c.Driver.proc p)
+              in
+              if a < ao.(p) then ao.(p) <- a
+            done)
+          rs;
+        for p = 0 to m - 1 do
+          if ao.(p) > st.Driver.in_opt.(p) then st.Driver.in_opt.(p) <- ao.(p)
+        done)
+      (Dag.preds g t)
+  in
+  (* Evaluation is optimistic-only: commit re-times both bounds after
+     booking the actual transfers. *)
+  let evaluate (st : Driver.state) t p =
+    let f =
+      Instance.exec inst t p
+      +. Float.max st.Driver.in_opt.(p) (Proc_state.ready_opt st.Driver.timeline p)
+    in
+    { Driver.e_proc = p; e_finish_opt = f; e_finish_pess = f }
+  in
+  (* Book every replica-to-replica message on the senders' ports, then
+     derive each replica's start from its first booked copy per input. *)
+  let commit (st : Driver.state) t chosen_evals =
+    let chosen = Array.map (fun ev -> ev.Driver.e_proc) chosen_evals in
+    let k = eps + 1 in
+    let input_opt = Array.make k 0. in
+    let input_pess = Array.make k 0. in
+    List.iter
+      (fun (t', vol) ->
+        let rs = Driver.replicas_of st t' in
+        let arr_opt = Array.make k infinity in
+        Array.iter
+          (fun (c : Driver.committed) ->
+            Array.iteri
+              (fun i p ->
+                let a_opt, a_pess =
+                  if c.Driver.proc = p then (c.Driver.finish_opt, c.Driver.finish_pess)
+                  else begin
+                    let w = vol *. Platform.delay pl c.Driver.proc p in
+                    let depart =
+                      book_port c.Driver.proc ~ready:c.Driver.finish_opt ~dur:w
+                    in
+                    (* the pessimistic estimate stays contention-free:
+                       equation (3)'s guarantee semantics, see mli *)
+                    (depart +. w, c.Driver.finish_pess +. w)
+                  end
+                in
+                if a_opt < arr_opt.(i) then arr_opt.(i) <- a_opt;
+                if a_pess > input_pess.(i) then input_pess.(i) <- a_pess)
+              chosen)
+          rs;
+        for i = 0 to k - 1 do
+          if arr_opt.(i) > input_opt.(i) then input_opt.(i) <- arr_opt.(i)
+        done)
+      (Dag.preds g t);
+    Array.mapi
+      (fun i p ->
+        let e = Instance.exec inst t p in
+        let start =
+          Float.max input_opt.(i) (Proc_state.ready_opt st.Driver.timeline p)
+        in
+        let start_pess =
+          Float.max start
+            (Float.max input_pess.(i) (Proc_state.ready_pess st.Driver.timeline p))
+        in
+        {
+          Driver.proc = p;
+          start_opt = start;
+          finish_opt = start +. e;
+          start_pess;
+          finish_pess = start_pess +. e;
+        })
+      chosen
+  in
+  let policy =
     {
-      inst;
-      eps;
-      rng;
-      bl = Levels.bottom_levels inst;
-      placed = Array.make v None;
-      ready_opt = Array.make m 0.;
-      ready_pess = Array.make m 0.;
-      port_free = Array.init m (fun _ -> Array.make ports 0.);
-      alpha = Alpha.empty;
-      remaining_preds = Array.init v (fun t -> Dag.in_degree g t);
+      Driver.name = "ca-ftsa";
+      replicas = eps + 1;
+      discipline =
+        Driver.Priority
+          { key = (fun st t -> Driver.top_level st t +. bl.(t)); tie = Driver.Rng_tie };
+      prepare;
+      evaluate;
+      choose = (fun _ _ evals -> Driver.best_by_finish evals ~k:(eps + 1));
+      commit;
+      after_commit = Driver.no_after_commit;
+      insertion = false;
+      selected_comm = false;
     }
   in
-  List.iter (fun t -> push_free st t) (Dag.entries g);
-  let continue_run = ref true in
-  while !continue_run do
-    match Alpha.pop_max st.alpha with
-    | None -> continue_run := false
-    | Some (key, (), rest) ->
-        st.alpha <- rest;
-        let t = key.Prio_key.task in
-        let cand = Array.init m (fun p -> (p, finish_estimate st t p)) in
-        Array.sort
-          (fun (pa, fa) (pb, fb) ->
-            match compare fa fb with 0 -> compare pa pb | c -> c)
-          cand;
-        let chosen = Array.map fst (Array.sub cand 0 (eps + 1)) in
-        (* Book every replica-to-replica message on the senders' ports,
-           then derive each replica's start from its first booked copy
-           per input. *)
-        let k = eps + 1 in
-        let input_opt = Array.make k 0. in
-        let input_pess = Array.make k 0. in
-        List.iter
-          (fun (t', vol) ->
-            let rs = replicas_of st t' in
-            let arr_opt = Array.make k infinity in
-            Array.iter
-              (fun (c : committed) ->
-                Array.iteri
-                  (fun i p ->
-                    let a_opt, a_pess =
-                      if c.proc = p then (c.finish_opt, c.finish_pess)
-                      else begin
-                        let w = vol *. Platform.delay pl c.proc p in
-                        let depart =
-                          book_port st c.proc ~ready:c.finish_opt ~dur:w
-                        in
-                        (* the pessimistic estimate stays contention-free:
-                           equation (3)'s guarantee semantics, see mli *)
-                        (depart +. w, c.finish_pess +. w)
-                      end
-                    in
-                    if a_opt < arr_opt.(i) then arr_opt.(i) <- a_opt;
-                    if a_pess > input_pess.(i) then input_pess.(i) <- a_pess)
-                  chosen)
-              rs;
-            for i = 0 to k - 1 do
-              if arr_opt.(i) > input_opt.(i) then input_opt.(i) <- arr_opt.(i)
-            done)
-          (Dag.preds g t);
-        let committed =
-          Array.mapi
-            (fun i p ->
-              let e = Instance.exec st.inst t p in
-              let start = Float.max input_opt.(i) st.ready_opt.(p) in
-              let start_pess =
-                Float.max start (Float.max input_pess.(i) st.ready_pess.(p))
-              in
-              {
-                proc = p;
-                start_opt = start;
-                finish_opt = start +. e;
-                start_pess;
-                finish_pess = start_pess +. e;
-              })
-            chosen
-        in
-        st.placed.(t) <- Some committed;
-        Array.iter
-          (fun c ->
-            if c.finish_opt > st.ready_opt.(c.proc) then
-              st.ready_opt.(c.proc) <- c.finish_opt;
-            if c.finish_pess > st.ready_pess.(c.proc) then
-              st.ready_pess.(c.proc) <- c.finish_pess)
-          committed;
-        List.iter
-          (fun (t', _) ->
-            st.remaining_preds.(t') <- st.remaining_preds.(t') - 1;
-            if st.remaining_preds.(t') = 0 then push_free st t')
-          (Dag.succs g t)
-  done;
-  let replicas =
-    Array.init v (fun task ->
-        match st.placed.(task) with
-        | None -> assert false
-        | Some row ->
-            Array.mapi
-              (fun index c ->
-                {
-                  Schedule.task;
-                  index;
-                  proc = c.proc;
-                  start = c.start_opt;
-                  finish = c.finish_opt;
-                  pess_start = c.start_pess;
-                  pess_finish = c.finish_pess;
-                })
-              row)
-  in
-  Schedule.create ~instance:inst ~eps ~replicas ~comm:Comm_plan.All_to_all
+  match Driver.run ~rng ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

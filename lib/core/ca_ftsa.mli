@@ -22,6 +22,7 @@ val schedule :
   ?seed:int ->
   ?rng:Ftsched_util.Rng.t ->
   ?ports:int ->
+  ?trace:Ftsched_kernel.Trace.t ->
   Ftsched_model.Instance.t ->
   eps:int ->
   Ftsched_schedule.Schedule.t

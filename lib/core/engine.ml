@@ -2,142 +2,25 @@ module Dag = Ftsched_dag.Dag
 module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
 module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
+module Proc_state = Ftsched_kernel.Proc_state
 
 type edge_strategy = Greedy_edges | Bottleneck_edges | Redundant_edges of int
 type mode = All_to_all_comm | Min_comm of edge_strategy
 
 type deadline_failure = { task : Dag.task; deadline : float; finish : float }
 
-(* Priority list α: an AVL keyed by (criticalness, random tie, task id);
-   the head H(α) is the maximum binding. *)
-module Prio_key = struct
-  type t = { prio : float; tie : float; task : int }
-
-  let compare a b =
-    match compare a.prio b.prio with
-    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
-    | c -> c
-end
-
-module Alpha = Ftsched_ds.Avl.Make (Prio_key)
-
-(* A committed replica: optimistic (eq. 1) and pessimistic (eq. 3) times. *)
-type committed = {
-  proc : int;
-  start_opt : float;
-  finish_opt : float;
-  start_pess : float;
-  finish_pess : float;
-}
-
-type state = {
-  inst : Instance.t;
-  eps : int;
-  mode : mode;
-  deadlines : float array option;
-  rng : Rng.t;
-  bl : float array;  (* static bottom levels *)
-  placed : committed array option array;  (* per task, ε+1 entries *)
-  ready_opt : float array;  (* r(Pj), optimistic *)
-  ready_pess : float array;
-  (* For Min_comm: selected (src_replica, dst_replica) pairs per DAG edge. *)
-  selected : (int * int) list array;
-  mutable alpha : unit Alpha.t;
-  remaining_preds : int array;
-}
-
-let exec st t p = Instance.exec st.inst t p
-
-let replicas_of st t =
-  match st.placed.(t) with
-  | Some r -> r
-  | None -> invalid_arg "Engine: predecessor not placed"
-
-(* Dynamic top level tℓ(t) of a freshly freed task (§4.1): worst-case
-   availability of each input anywhere in the system, taking for each
-   predecessor the earliest-finishing replica. *)
-let top_level st t =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  List.fold_left
-    (fun acc (t', vol) ->
-      let rs = replicas_of st t' in
-      let earliest =
-        Array.fold_left
-          (fun m (c : committed) ->
-            Float.min m (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
-          infinity rs
-      in
-      Float.max acc earliest)
-    0. (Dag.preds g t)
-
-let push_free st t =
-  let prio = top_level st t +. st.bl.(t) in
-  let key = { Prio_key.prio; tie = Rng.float_in st.rng 0. 1.; task = t } in
-  st.alpha <- Alpha.add key () st.alpha
-
-(* Finish-time estimates of task [t] on processor [p], equations (1) and
-   (3): optimistic uses the earliest replica of each input, pessimistic
-   the latest. *)
-let finish_estimates st t p =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  let input_opt = ref 0. and input_pess = ref 0. in
-  List.iter
-    (fun (t', vol) ->
-      let rs = replicas_of st t' in
-      let earliest = ref infinity and latest = ref 0. in
-      Array.iter
-        (fun (c : committed) ->
-          let w = vol *. Platform.delay pl c.proc p in
-          let a_opt = c.finish_opt +. w and a_pess = c.finish_pess +. w in
-          if a_opt < !earliest then earliest := a_opt;
-          if a_pess > !latest then latest := a_pess)
-        rs;
-      if !earliest > !input_opt then input_opt := !earliest;
-      if !latest > !input_pess then input_pess := !latest)
-    (Dag.preds g t);
-  let e = exec st t p in
-  let f_opt = e +. Float.max !input_opt st.ready_opt.(p) in
-  let f_pess = e +. Float.max !input_pess st.ready_pess.(p) in
-  (f_opt, f_pess)
-
-(* The ε+1 processors realizing the smallest eq.-(1) finish time, in
-   increasing order. *)
-let select_procs st t =
-  let m = Instance.n_procs st.inst in
-  let cand = Array.init m (fun p -> (p, finish_estimates st t p)) in
-  Array.sort
-    (fun (pa, (fa, _)) (pb, (fb, _)) ->
-      match compare fa fb with 0 -> compare pa pb | c -> c)
-    cand;
-  Array.sub cand 0 (st.eps + 1)
-
-(* Commit for plain FTSA: times straight from equations (1)/(3). *)
-let commit_all_to_all st t chosen =
-  Array.map
-    (fun (p, (f_opt, f_pess)) ->
-      let e = exec st t p in
-      {
-        proc = p;
-        start_opt = f_opt -. e;
-        finish_opt = f_opt;
-        start_pess = f_pess -. e;
-        finish_pess = f_pess;
-      })
-    chosen
-
 (* Commit for MC-FTSA: per incoming DAG edge, build the bipartite replica
    graph of §4.2, select a robust one-to-one edge set, and re-time every
    replica of [t] against its single retained sender per input. *)
-let commit_min_comm st strategy t chosen =
-  let g = Instance.dag st.inst in
-  let pl = Instance.platform st.inst in
-  let k = st.eps + 1 in
-  let procs = Array.map fst chosen in
+let commit_min_comm strategy ~eps (st : Driver.state) t chosen =
+  let g = Instance.dag st.Driver.inst in
+  let pl = Instance.platform st.Driver.inst in
+  let exec t p = Instance.exec st.Driver.inst t p in
+  let ready_opt p = Proc_state.ready_opt st.Driver.timeline p in
+  let k = eps + 1 in
+  let procs = Array.map (fun ev -> ev.Driver.e_proc) chosen in
   (* replica index of t hosted on processor p, if any *)
   let right_on_proc p =
     let found = ref (-1) in
@@ -153,16 +36,16 @@ let commit_min_comm st strategy t chosen =
     (fun e ->
       let src, _ = Dag.edge_endpoints g e in
       let vol = Dag.edge_volume g e in
-      let lefts = replicas_of st src in
+      let lefts = Driver.replicas_of st src in
       let edges = ref [] in
       for l = 0 to k - 1 do
-        let lp = lefts.(l).proc in
+        let lp = lefts.(l).Driver.proc in
         let colocated = right_on_proc lp in
         let weight r =
           let p = procs.(r) in
           let w = vol *. Platform.delay pl lp p in
-          Float.max (lefts.(l).finish_opt +. w) st.ready_opt.(p)
-          +. exec st t p
+          Float.max (lefts.(l).Driver.finish_opt +. w) (ready_opt p)
+          +. exec t p
         in
         if colocated >= 0 then begin
           edges :=
@@ -193,12 +76,11 @@ let commit_min_comm st strategy t chosen =
       done;
       let pairs =
         match strategy with
-        | Greedy_edges -> Edge_select.greedy ~eps:st.eps !edges
-        | Bottleneck_edges -> Edge_select.bottleneck ~eps:st.eps !edges
-        | Redundant_edges senders ->
-            Edge_select.redundant ~eps:st.eps ~senders !edges
+        | Greedy_edges -> Edge_select.greedy ~eps !edges
+        | Bottleneck_edges -> Edge_select.bottleneck ~eps !edges
+        | Redundant_edges senders -> Edge_select.redundant ~eps ~senders !edges
       in
-      st.selected.(e) <- pairs;
+      st.Driver.selected.(e) <- pairs;
       (* Per destination replica and per edge: the optimistic bound is the
          first retained copy to arrive, the pessimistic one the last —
          with a single sender per replica (pure MC) the two coincide. *)
@@ -206,10 +88,10 @@ let commit_min_comm st strategy t chosen =
       let arr_pess = Array.make k 0. in
       List.iter
         (fun (l, r) ->
-          let lp = lefts.(l).proc in
+          let lp = lefts.(l).Driver.proc in
           let w = vol *. Platform.delay pl lp procs.(r) in
-          let a_opt = lefts.(l).finish_opt +. w in
-          let a_pess = lefts.(l).finish_pess +. w in
+          let a_opt = lefts.(l).Driver.finish_opt +. w in
+          let a_pess = lefts.(l).Driver.finish_pess +. w in
           if a_opt < arr_opt.(r) then arr_opt.(r) <- a_opt;
           if a_pess > arr_pess.(r) then arr_pess.(r) <- a_pess)
         pairs;
@@ -220,14 +102,17 @@ let commit_min_comm st strategy t chosen =
       done)
     (Dag.in_edges g t);
   Array.mapi
-    (fun r (p, _) ->
-      let e = exec st t p in
-      let start = Float.max input_opt.(r) st.ready_opt.(p) in
+    (fun r ev ->
+      let p = ev.Driver.e_proc in
+      let e = exec t p in
+      let start = Float.max input_opt.(r) (ready_opt p) in
       (* A single sender per input: the optimistic/pessimistic gap stems
          only from the senders' own gaps and the processor ready times. *)
-      let start_pess = Float.max input_pess.(r) st.ready_pess.(p) in
+      let start_pess =
+        Float.max input_pess.(r) (Proc_state.ready_pess st.Driver.timeline p)
+      in
       {
-        proc = p;
+        Driver.proc = p;
         start_opt = start;
         finish_opt = start +. e;
         start_pess;
@@ -235,111 +120,38 @@ let commit_min_comm st strategy t chosen =
       })
     chosen
 
-let run ~rng ~instance ~eps ~mode ?deadlines () =
-  let g = Instance.dag instance in
-  let v = Dag.n_tasks g in
+(* The FTSA policy over the kernel driver: criticalness priority
+   [tℓ + bℓ] with random tie-breaking, equation-(1) selection of the
+   [ε+1] earliest-finishing processors, and the mode's commit rule. *)
+let policy ~instance ~eps ~mode =
+  let bl = Levels.bottom_levels instance in
+  let name, commit, selected_comm =
+    match mode with
+    | All_to_all_comm -> ("ftsa", Driver.commit_straight, false)
+    | Min_comm strategy -> ("mc-ftsa", commit_min_comm strategy ~eps, true)
+  in
+  {
+    Driver.name;
+    replicas = eps + 1;
+    discipline =
+      Driver.Priority
+        { key = (fun st t -> Driver.top_level st t +. bl.(t)); tie = Driver.Rng_tie };
+    prepare = Driver.prepare_inputs;
+    evaluate = Driver.eval_inputs;
+    choose = (fun _ _ evals -> Driver.best_by_finish evals ~k:(eps + 1));
+    commit;
+    after_commit = Driver.no_after_commit;
+    insertion = false;
+    selected_comm;
+  }
+
+let run ~rng ~instance ~eps ~mode ?deadlines ?trace () =
   let m = Instance.n_procs instance in
   if eps < 0 || eps >= m then
     invalid_arg "Engine.run: need 0 <= eps < number of processors";
-  (match deadlines with
-  | Some d when Array.length d <> v -> invalid_arg "Engine.run: deadlines size"
-  | _ -> ());
-  let st =
-    {
-      inst = instance;
-      eps;
-      mode;
-      deadlines;
-      rng;
-      bl = Levels.bottom_levels instance;
-      placed = Array.make v None;
-      ready_opt = Array.make m 0.;
-      ready_pess = Array.make m 0.;
-      selected = Array.make (Dag.n_edges g) [];
-      alpha = Alpha.empty;
-      remaining_preds = Array.init v (fun t -> Dag.in_degree g t);
-    }
-  in
-  List.iter (fun t -> push_free st t) (Dag.entries g);
-  let failure = ref None in
-  let continue_run = ref true in
-  while !continue_run do
-    match Alpha.pop_max st.alpha with
-    | None -> continue_run := false
-    | Some (key, (), rest) ->
-        st.alpha <- rest;
-        let t = key.Prio_key.task in
-        let chosen = select_procs st t in
-        (* Dual-fixed bicriteria feasibility test (§4.3). *)
-        let deadline_ok =
-          match st.deadlines with
-          | None -> true
-          | Some dl ->
-              let worst =
-                Array.fold_left
-                  (fun acc (_, (f_opt, _)) -> Float.max acc f_opt)
-                  0. chosen
-              in
-              if worst > dl.(t) then begin
-                failure := Some { task = t; deadline = dl.(t); finish = worst };
-                false
-              end
-              else true
-        in
-        if not deadline_ok then continue_run := false
-        else begin
-          let committed =
-            match st.mode with
-            | All_to_all_comm -> commit_all_to_all st t chosen
-            | Min_comm strategy -> commit_min_comm st strategy t chosen
-          in
-          st.placed.(t) <- Some committed;
-          Array.iter
-            (fun c ->
-              if c.finish_opt > st.ready_opt.(c.proc) then
-                st.ready_opt.(c.proc) <- c.finish_opt;
-              if c.finish_pess > st.ready_pess.(c.proc) then
-                st.ready_pess.(c.proc) <- c.finish_pess)
-            committed;
-          List.iter
-            (fun (t', _) ->
-              st.remaining_preds.(t') <- st.remaining_preds.(t') - 1;
-              if st.remaining_preds.(t') = 0 then push_free st t')
-            (Dag.succs g t)
-        end
-  done;
-  match !failure with
-  | Some f -> Error f
-  | None ->
-      let replicas =
-        Array.init v (fun task ->
-            match st.placed.(task) with
-            | None ->
-                (* Unreachable: a DAG's topological closure frees every
-                   task exactly once. *)
-                assert false
-            | Some row ->
-                Array.mapi
-                  (fun index c ->
-                    {
-                      Schedule.task;
-                      index;
-                      proc = c.proc;
-                      start = c.start_opt;
-                      finish = c.finish_opt;
-                      pess_start = c.start_pess;
-                      pess_finish = c.finish_pess;
-                    })
-                  row)
-      in
-      let comm =
-        match mode with
-        | All_to_all_comm -> Comm_plan.All_to_all
-        | Min_comm _ ->
-            Comm_plan.Selected
-              (Array.map
-                 (List.map (fun (l, r) ->
-                      { Comm_plan.src_replica = l; dst_replica = r }))
-                 st.selected)
-      in
-      Ok (Schedule.create ~instance ~eps ~replicas ~comm)
+  match
+    Driver.run ~rng ~instance ~policy:(policy ~instance ~eps ~mode) ?deadlines
+      ?trace ()
+  with
+  | Ok s -> Ok s
+  | Error { Driver.task; deadline; finish } -> Error { task; deadline; finish }

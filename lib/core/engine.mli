@@ -1,10 +1,10 @@
-(** The list-scheduling engine shared by FTSA and MC-FTSA.
+(** The FTSA / MC-FTSA instantiation of the kernel driver.
 
-    One pass of Algorithm 4.1: maintain the AVL-backed priority list [α]
-    of free tasks keyed by criticalness [tℓ(t) + bℓ(t)], repeatedly pop
-    the critical task, evaluate its finish time on every processor with
-    equation (1), keep the [ε+1] best processors, and commit the replicas.
-    In minimum-communication mode, the commit step additionally runs the
+    One pass of Algorithm 4.1, expressed as a {!Ftsched_kernel.Driver}
+    policy: the AVL-backed priority list [α] keyed by criticalness
+    [tℓ(t) + bℓ(t)], equation-(1) finish evaluation on every processor,
+    the [ε+1] best processors kept, replicas committed.  In
+    minimum-communication mode the commit rule additionally runs the
     robust edge selection of §4.2 per incoming DAG edge and re-times the
     replicas against their single selected sender.
 
@@ -36,10 +36,13 @@ val run :
   eps:int ->
   mode:mode ->
   ?deadlines:float array ->
+  ?trace:Ftsched_kernel.Trace.t ->
   unit ->
   (Ftsched_schedule.Schedule.t, deadline_failure) result
 (** [run ~rng ~instance ~eps ~mode ()] schedules the whole DAG.
     [eps] must satisfy [0 ≤ eps < m].  With [?deadlines] (one per task),
     the per-step feasibility check of §4.3 is enabled and the first missed
     deadline aborts the run.  [rng] drives only priority tie-breaking.
-    Raises [Invalid_argument] on malformed parameters. *)
+    [?trace] records every scheduling decision (see
+    {!Ftsched_kernel.Trace}).  Raises [Invalid_argument] on malformed
+    parameters. *)

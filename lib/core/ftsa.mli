@@ -11,12 +11,14 @@
 val schedule :
   ?seed:int ->
   ?rng:Ftsched_util.Rng.t ->
+  ?trace:Ftsched_kernel.Trace.t ->
   Ftsched_model.Instance.t ->
   eps:int ->
   Ftsched_schedule.Schedule.t
 (** [schedule inst ~eps] runs FTSA.  [eps = 0] yields the fault-free
     (replication-less) variant used as the baseline in the figures.
     Randomness ([?rng], or [?seed], default 0) only breaks priority ties.
+    [?trace] records every scheduling decision.
     Raises [Invalid_argument] unless [0 ≤ eps < m]. *)
 
 val fault_free : ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t

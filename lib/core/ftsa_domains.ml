@@ -1,29 +1,8 @@
-module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
 module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
 module Rng = Ftsched_util.Rng
-
-module Prio_key = struct
-  type t = { prio : float; tie : float; task : int }
-
-  let compare a b =
-    match compare a.prio b.prio with
-    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
-    | c -> c
-end
-
-module Alpha = Ftsched_ds.Avl.Make (Prio_key)
-
-type committed = {
-  proc : int;
-  start_opt : float;
-  finish_opt : float;
-  start_pess : float;
-  finish_pess : float;
-}
+module Driver = Ftsched_kernel.Driver
 
 let procs_of_domain ~domains d =
   let acc = ref [] in
@@ -43,11 +22,9 @@ let distinct_replica_domains s ~domains =
   done;
   !ok
 
-let schedule ?(seed = 0) ?rng ~domains inst ~eps =
+let schedule ?(seed = 0) ?rng ?trace ~domains inst ~eps =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed in
-  let g = Instance.dag inst in
-  let pl = Instance.platform inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let m = Instance.n_procs inst in
   if Array.length domains <> m then
     invalid_arg "Ftsa_domains.schedule: domains size";
   let n_domains =
@@ -56,123 +33,40 @@ let schedule ?(seed = 0) ?rng ~domains inst ~eps =
   if eps < 0 || eps >= n_domains then
     invalid_arg "Ftsa_domains.schedule: need 0 <= eps < number of domains";
   let bl = Levels.bottom_levels inst in
-  let placed : committed array option array = Array.make v None in
-  let ready_opt = Array.make m 0. and ready_pess = Array.make m 0. in
-  let alpha_t = ref Alpha.empty in
-  let replicas_of t =
-    match placed.(t) with
-    | Some r -> r
-    | None -> invalid_arg "Ftsa_domains: predecessor not placed"
+  (* Greedy by equation-(1) finish time, one processor per failure
+     domain. *)
+  let choose _st _t evals =
+    let cand = Driver.best_by_finish evals ~k:(Array.length evals) in
+    let chosen = ref [] and used = Hashtbl.create 8 and picked = ref 0 in
+    Array.iter
+      (fun ev ->
+        let d = domains.(ev.Driver.e_proc) in
+        if !picked <= eps && not (Hashtbl.mem used d) then begin
+          Hashtbl.add used d ();
+          chosen := ev :: !chosen;
+          incr picked
+        end)
+      cand;
+    let chosen = Array.of_list (List.rev !chosen) in
+    assert (Array.length chosen = eps + 1);
+    chosen
   in
-  let push_free t =
-    let tl =
-      List.fold_left
-        (fun acc (t', vol) ->
-          let rs = replicas_of t' in
-          let earliest =
-            Array.fold_left
-              (fun b c ->
-                Float.min b
-                  (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
-              infinity rs
-          in
-          Float.max acc earliest)
-        0. (Dag.preds g t)
-    in
-    let key =
-      { Prio_key.prio = tl +. bl.(t); tie = Rng.float_in rng 0. 1.; task = t }
-    in
-    alpha_t := Alpha.add key () !alpha_t
+  let policy =
+    {
+      Driver.name = "ftsa-domains";
+      replicas = eps + 1;
+      discipline =
+        Driver.Priority
+          { key = (fun st t -> Driver.top_level st t +. bl.(t)); tie = Driver.Rng_tie };
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_inputs;
+      choose;
+      commit = Driver.commit_straight;
+      after_commit = Driver.no_after_commit;
+      insertion = false;
+      selected_comm = false;
+    }
   in
-  List.iter push_free (Dag.entries g);
-  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
-  let continue_run = ref true in
-  while !continue_run do
-    match Alpha.pop_max !alpha_t with
-    | None -> continue_run := false
-    | Some (key, (), rest) ->
-        alpha_t := rest;
-        let t = key.Prio_key.task in
-        let estimate p =
-          let in_opt = ref 0. and in_pess = ref 0. in
-          List.iter
-            (fun (t', vol) ->
-              let rs = replicas_of t' in
-              let e_opt = ref infinity and e_pess = ref 0. in
-              Array.iter
-                (fun c ->
-                  let w = vol *. Platform.delay pl c.proc p in
-                  let a = c.finish_opt +. w and ap = c.finish_pess +. w in
-                  if a < !e_opt then e_opt := a;
-                  if ap > !e_pess then e_pess := ap)
-                rs;
-              if !e_opt > !in_opt then in_opt := !e_opt;
-              if !e_pess > !in_pess then in_pess := !e_pess)
-            (Dag.preds g t);
-          let e = Instance.exec inst t p in
-          ( e +. Float.max !in_opt ready_opt.(p),
-            e +. Float.max !in_pess ready_pess.(p) )
-        in
-        let cand = Array.init m (fun p -> (p, estimate p)) in
-        Array.sort
-          (fun (pa, (fa, _)) (pb, (fb, _)) ->
-            match compare fa fb with 0 -> compare pa pb | c -> c)
-          cand;
-        (* Greedy by finish time, one processor per failure domain. *)
-        let chosen = ref [] and used = Hashtbl.create 8 and picked = ref 0 in
-        Array.iter
-          (fun ((p, _) as entry) ->
-            if !picked <= eps && not (Hashtbl.mem used domains.(p)) then begin
-              Hashtbl.add used domains.(p) ();
-              chosen := entry :: !chosen;
-              incr picked
-            end)
-          cand;
-        let chosen = Array.of_list (List.rev !chosen) in
-        assert (Array.length chosen = eps + 1);
-        let committed =
-          Array.map
-            (fun (p, (f_opt, f_pess)) ->
-              let e = Instance.exec inst t p in
-              {
-                proc = p;
-                start_opt = f_opt -. e;
-                finish_opt = f_opt;
-                start_pess = f_pess -. e;
-                finish_pess = f_pess;
-              })
-            chosen
-        in
-        placed.(t) <- Some committed;
-        Array.iter
-          (fun c ->
-            if c.finish_opt > ready_opt.(c.proc) then
-              ready_opt.(c.proc) <- c.finish_opt;
-            if c.finish_pess > ready_pess.(c.proc) then
-              ready_pess.(c.proc) <- c.finish_pess)
-          committed;
-        List.iter
-          (fun (t', _) ->
-            remaining.(t') <- remaining.(t') - 1;
-            if remaining.(t') = 0 then push_free t')
-          (Dag.succs g t)
-  done;
-  let replicas =
-    Array.init v (fun task ->
-        match placed.(task) with
-        | None -> assert false
-        | Some row ->
-            Array.mapi
-              (fun index c ->
-                {
-                  Schedule.task;
-                  index;
-                  proc = c.proc;
-                  start = c.start_opt;
-                  finish = c.finish_opt;
-                  pess_start = c.start_pess;
-                  pess_finish = c.finish_pess;
-                })
-              row)
-  in
-  Schedule.create ~instance:inst ~eps ~replicas ~comm:Comm_plan.All_to_all
+  match Driver.run ~rng ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -2,7 +2,7 @@ module Rng = Ftsched_util.Rng
 
 type strategy = Greedy | Bottleneck | Redundant of int
 
-let schedule ?(seed = 0) ?rng ?(strategy = Greedy) inst ~eps =
+let schedule ?(seed = 0) ?rng ?(strategy = Greedy) ?trace inst ~eps =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed in
   let edge_strategy =
     match strategy with
@@ -11,7 +11,8 @@ let schedule ?(seed = 0) ?rng ?(strategy = Greedy) inst ~eps =
     | Redundant senders -> Engine.Redundant_edges senders
   in
   match
-    Engine.run ~rng ~instance:inst ~eps ~mode:(Engine.Min_comm edge_strategy) ()
+    Engine.run ~rng ~instance:inst ~eps ~mode:(Engine.Min_comm edge_strategy)
+      ?trace ()
   with
   | Ok s -> s
   | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -23,8 +23,10 @@ val schedule :
   ?seed:int ->
   ?rng:Ftsched_util.Rng.t ->
   ?strategy:strategy ->
+  ?trace:Ftsched_kernel.Trace.t ->
   Ftsched_model.Instance.t ->
   eps:int ->
   Ftsched_schedule.Schedule.t
 (** [schedule inst ~eps] runs MC-FTSA; [strategy] defaults to [Greedy],
-    the variant evaluated in the paper's experiments. *)
+    the variant evaluated in the paper's experiments.  [?trace] records
+    every scheduling decision. *)

@@ -1,162 +1,55 @@
-module Dag = Ftsched_dag.Dag
-module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Levels = Ftsched_model.Levels
-module Schedule = Ftsched_schedule.Schedule
-module Comm_plan = Ftsched_schedule.Comm_plan
 module Rng = Ftsched_util.Rng
+module Driver = Ftsched_kernel.Driver
 
-module Prio_key = struct
-  type t = { prio : float; tie : float; task : int }
-
-  let compare a b =
-    match compare a.prio b.prio with
-    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
-    | c -> c
-end
-
-module Alpha = Ftsched_ds.Avl.Make (Prio_key)
-
-type committed = {
-  proc : int;
-  start_opt : float;
-  finish_opt : float;
-  start_pess : float;
-  finish_pess : float;
-}
-
-let schedule ?(seed = 0) ?rng ?(alpha = 0.15) ~rates inst ~eps =
+let schedule ?(seed = 0) ?rng ?(alpha = 0.15) ?trace ~rates inst ~eps =
   let rng = match rng with Some r -> r | None -> Rng.create ~seed in
-  let g = Instance.dag inst in
-  let pl = Instance.platform inst in
-  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let m = Instance.n_procs inst in
   if eps < 0 || eps >= m then
     invalid_arg "R_ftsa.schedule: need 0 <= eps < number of processors";
   if alpha < 0. then invalid_arg "R_ftsa.schedule: alpha must be >= 0";
   if Array.length rates <> m || Array.exists (fun r -> r < 0.) rates then
     invalid_arg "R_ftsa.schedule: rates";
   let bl = Levels.bottom_levels inst in
-  let placed : committed array option array = Array.make v None in
-  let ready_opt = Array.make m 0. and ready_pess = Array.make m 0. in
-  let alpha_t = ref Alpha.empty in
-  let replicas_of t =
-    match placed.(t) with
-    | Some r -> r
-    | None -> invalid_arg "R_ftsa: predecessor not placed"
-  in
-  let push_free t =
-    let tl =
-      List.fold_left
-        (fun acc (t', vol) ->
-          let rs = replicas_of t' in
-          let earliest =
-            Array.fold_left
-              (fun b c ->
-                Float.min b
-                  (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
-              infinity rs
-          in
-          Float.max acc earliest)
-        0. (Dag.preds g t)
-    in
-    let key =
-      { Prio_key.prio = tl +. bl.(t); tie = Rng.float_in rng 0. 1.; task = t }
-    in
-    alpha_t := Alpha.add key () !alpha_t
-  in
-  List.iter push_free (Dag.entries g);
-  let remaining = Array.init v (fun t -> Dag.in_degree g t) in
-  let continue_run = ref true in
-  while !continue_run do
-    match Alpha.pop_max !alpha_t with
-    | None -> continue_run := false
-    | Some (key, (), rest) ->
-        alpha_t := rest;
-        let t = key.Prio_key.task in
-        let estimate p =
-          let in_opt = ref 0. and in_pess = ref 0. in
-          List.iter
-            (fun (t', vol) ->
-              let rs = replicas_of t' in
-              let e_opt = ref infinity and e_pess = ref 0. in
-              Array.iter
-                (fun c ->
-                  let w = vol *. Platform.delay pl c.proc p in
-                  let a = c.finish_opt +. w and ap = c.finish_pess +. w in
-                  if a < !e_opt then e_opt := a;
-                  if ap > !e_pess then e_pess := ap)
-                rs;
-              if !e_opt > !in_opt then in_opt := !e_opt;
-              if !e_pess > !in_pess then in_pess := !e_pess)
-            (Dag.preds g t);
-          let e = Instance.exec inst t p in
-          ( e +. Float.max !in_opt ready_opt.(p),
-            e +. Float.max !in_pess ready_pess.(p) )
-        in
-        let cand = Array.init m (fun p -> (p, estimate p)) in
-        Array.sort
-          (fun (pa, (fa, _)) (pb, (fb, _)) ->
-            match compare fa fb with 0 -> compare pa pb | c -> c)
-          cand;
-        let _, (f_cut, _) = cand.(eps) in
-        let limit = f_cut *. (1. +. alpha) in
-        (* Admissible processors: finish within the slack of FTSA's cut.
-           Rank by in-window failure probability (rate·E), then finish. *)
-        let admissible =
-          Array.to_list cand
-          |> List.filter (fun (_, (f, _)) -> f <= limit +. 1e-12)
-          |> List.sort (fun (pa, (fa, _)) (pb, (fb, _)) ->
-                 let ra = rates.(pa) *. Instance.exec inst t pa
-                 and rb = rates.(pb) *. Instance.exec inst t pb in
-                 match compare ra rb with
-                 | 0 -> ( match compare fa fb with 0 -> compare pa pb | c -> c)
+  (* FTSA's selection, relaxed: among processors finishing within the
+     [1 + alpha] slack of the ε+1-th best equation-(1) time, prefer the
+     smallest in-window failure probability (rate·E), then finish. *)
+  let choose _st t evals =
+    let cand = Driver.best_by_finish evals ~k:(Array.length evals) in
+    let f_cut = cand.(eps).Driver.e_finish_opt in
+    let limit = f_cut *. (1. +. alpha) in
+    let admissible =
+      Array.to_list cand
+      |> List.filter (fun ev -> ev.Driver.e_finish_opt <= limit +. 1e-12)
+      |> List.sort (fun a b ->
+             let ra = rates.(a.Driver.e_proc) *. Instance.exec inst t a.Driver.e_proc
+             and rb = rates.(b.Driver.e_proc) *. Instance.exec inst t b.Driver.e_proc in
+             match compare ra rb with
+             | 0 -> (
+                 match compare a.Driver.e_finish_opt b.Driver.e_finish_opt with
+                 | 0 -> compare a.Driver.e_proc b.Driver.e_proc
                  | c -> c)
-        in
-        let chosen = List.filteri (fun i _ -> i <= eps) admissible in
-        let committed =
-          Array.of_list
-            (List.map
-               (fun (p, (f_opt, f_pess)) ->
-                 let e = Instance.exec inst t p in
-                 {
-                   proc = p;
-                   start_opt = f_opt -. e;
-                   finish_opt = f_opt;
-                   start_pess = f_pess -. e;
-                   finish_pess = f_pess;
-                 })
-               chosen)
-        in
-        placed.(t) <- Some committed;
-        Array.iter
-          (fun c ->
-            if c.finish_opt > ready_opt.(c.proc) then
-              ready_opt.(c.proc) <- c.finish_opt;
-            if c.finish_pess > ready_pess.(c.proc) then
-              ready_pess.(c.proc) <- c.finish_pess)
-          committed;
-        List.iter
-          (fun (t', _) ->
-            remaining.(t') <- remaining.(t') - 1;
-            if remaining.(t') = 0 then push_free t')
-          (Dag.succs g t)
-  done;
-  let replicas =
-    Array.init v (fun task ->
-        match placed.(task) with
-        | None -> assert false
-        | Some row ->
-            Array.mapi
-              (fun index c ->
-                {
-                  Schedule.task;
-                  index;
-                  proc = c.proc;
-                  start = c.start_opt;
-                  finish = c.finish_opt;
-                  pess_start = c.start_pess;
-                  pess_finish = c.finish_pess;
-                })
-              row)
+             | c -> c)
+    in
+    Array.of_list (List.filteri (fun i _ -> i <= eps) admissible)
   in
-  Schedule.create ~instance:inst ~eps ~replicas ~comm:Comm_plan.All_to_all
+  let policy =
+    {
+      Driver.name = "r-ftsa";
+      replicas = eps + 1;
+      discipline =
+        Driver.Priority
+          { key = (fun st t -> Driver.top_level st t +. bl.(t)); tie = Driver.Rng_tie };
+      prepare = Driver.prepare_inputs;
+      evaluate = Driver.eval_inputs;
+      choose;
+      commit = Driver.commit_straight;
+      after_commit = Driver.no_after_commit;
+      insertion = false;
+      selected_comm = false;
+    }
+  in
+  match Driver.run ~rng ~instance:inst ~policy ?trace () with
+  | Ok s -> s
+  | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -20,6 +20,7 @@ val schedule :
   ?seed:int ->
   ?rng:Ftsched_util.Rng.t ->
   ?alpha:float ->
+  ?trace:Ftsched_kernel.Trace.t ->
   rates:float array ->
   Ftsched_model.Instance.t ->
   eps:int ->

@@ -1,0 +1,405 @@
+module Dag = Ftsched_dag.Dag
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Comm_plan = Ftsched_schedule.Comm_plan
+module Rng = Ftsched_util.Rng
+
+type committed = {
+  proc : int;
+  start_opt : float;
+  finish_opt : float;
+  start_pess : float;
+  finish_pess : float;
+}
+
+type eval = { e_proc : int; e_finish_opt : float; e_finish_pess : float }
+
+type state = {
+  inst : Instance.t;
+  rng : Rng.t;
+  n_tasks : int;
+  n_procs : int;
+  timeline : Proc_state.t;
+  placed : committed array option array;
+  selected : (int * int) list array;
+  in_opt : float array;
+  in_pess : float array;
+  tmp_opt : float array;
+  tmp_pess : float array;
+}
+
+type tie_break = Rng_tie | Lifo_tie
+
+type discipline =
+  | Priority of { key : state -> int -> float; tie : tie_break }
+  | Fixed_order of (state -> int array)
+  | Urgency of (state -> free:int list -> int * float * eval array)
+
+type policy = {
+  name : string;
+  replicas : int;
+  discipline : discipline;
+  prepare : state -> int -> unit;
+  evaluate : state -> int -> int -> eval;
+  choose : state -> int -> eval array -> eval array;
+  commit : state -> int -> eval array -> committed array;
+  after_commit : state -> int -> committed array -> unit;
+  insertion : bool;
+  selected_comm : bool;
+}
+
+type deadline_failure = { task : int; deadline : float; finish : float }
+
+let replicas_of st t =
+  match st.placed.(t) with
+  | Some r -> r
+  | None -> invalid_arg "Driver: predecessor not placed"
+
+(* Equations (1)/(3), input side, hoisted: one pass over the predecessors
+   fills per-target-processor arrival bounds, instead of re-reducing every
+   predecessor's replica row for every candidate processor. *)
+let prepare_inputs st t =
+  let g = Instance.dag st.inst in
+  let pl = Instance.platform st.inst in
+  let m = st.n_procs in
+  Array.fill st.in_opt 0 m 0.;
+  Array.fill st.in_pess 0 m 0.;
+  List.iter
+    (fun (t', vol) ->
+      let rs = replicas_of st t' in
+      let ao = st.tmp_opt and ap = st.tmp_pess in
+      Array.fill ao 0 m infinity;
+      Array.fill ap 0 m 0.;
+      Array.iter
+        (fun (c : committed) ->
+          for p = 0 to m - 1 do
+            let w = vol *. Platform.delay pl c.proc p in
+            let o = c.finish_opt +. w and q = c.finish_pess +. w in
+            if o < ao.(p) then ao.(p) <- o;
+            if q > ap.(p) then ap.(p) <- q
+          done)
+        rs;
+      for p = 0 to m - 1 do
+        if ao.(p) > st.in_opt.(p) then st.in_opt.(p) <- ao.(p);
+        if ap.(p) > st.in_pess.(p) then st.in_pess.(p) <- ap.(p)
+      done)
+    (Dag.preds g t)
+
+let eval_inputs st t p =
+  let e = Instance.exec st.inst t p in
+  {
+    e_proc = p;
+    e_finish_opt = e +. Float.max st.in_opt.(p) (Proc_state.ready_opt st.timeline p);
+    e_finish_pess =
+      e +. Float.max st.in_pess.(p) (Proc_state.ready_pess st.timeline p);
+  }
+
+let top_level st t =
+  let g = Instance.dag st.inst in
+  let pl = Instance.platform st.inst in
+  List.fold_left
+    (fun acc (t', vol) ->
+      let rs = replicas_of st t' in
+      let earliest =
+        Array.fold_left
+          (fun m (c : committed) ->
+            Float.min m (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
+          infinity rs
+      in
+      Float.max acc earliest)
+    0. (Dag.preds g t)
+
+let best_by_finish evals ~k =
+  let cand = Array.copy evals in
+  Array.sort
+    (fun a b ->
+      match compare a.e_finish_opt b.e_finish_opt with
+      | 0 -> compare a.e_proc b.e_proc
+      | c -> c)
+    cand;
+  Array.sub cand 0 k
+
+let commit_straight st t chosen =
+  Array.map
+    (fun ev ->
+      let e = Instance.exec st.inst t ev.e_proc in
+      {
+        proc = ev.e_proc;
+        start_opt = ev.e_finish_opt -. e;
+        finish_opt = ev.e_finish_opt;
+        start_pess = ev.e_finish_pess -. e;
+        finish_pess = ev.e_finish_pess;
+      })
+    chosen
+
+let no_after_commit _ _ _ = ()
+
+(* Insertion-based earliest finish: slide into the earliest timeline gap
+   at or after the input-arrival bound of {!prepare_inputs}. *)
+let eval_insertion st t p =
+  let dur = Instance.exec st.inst t p in
+  let start =
+    Proc_state.earliest_gap st.timeline p ~ready:st.in_opt.(p) ~duration:dur
+  in
+  let f = start +. dur in
+  { e_proc = p; e_finish_opt = f; e_finish_pess = f }
+
+(* Re-derive the gap start for the chosen processors (the timeline is
+   unchanged since evaluation) so the committed replica starts at the
+   true slot start rather than at [finish - duration], which can differ
+   in the last bits. *)
+let commit_insertion st t chosen =
+  Array.map
+    (fun ev ->
+      let dur = Instance.exec st.inst t ev.e_proc in
+      let start =
+        Proc_state.earliest_gap st.timeline ev.e_proc ~ready:st.in_opt.(ev.e_proc)
+          ~duration:dur
+      in
+      {
+        proc = ev.e_proc;
+        start_opt = start;
+        finish_opt = ev.e_finish_opt;
+        start_pess = start;
+        finish_pess = ev.e_finish_opt;
+      })
+    chosen
+
+(* Priority list α: an AVL keyed by (priority, random tie, task id); the
+   head H(α) is the maximum binding. *)
+module Prio_key = struct
+  type t = { prio : float; tie : float; task : int }
+
+  let compare a b =
+    match compare a.prio b.prio with
+    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
+    | c -> c
+end
+
+module Alpha = Ftsched_ds.Avl.Make (Prio_key)
+
+let now () = Sys.time ()
+
+let run ~rng ~instance ~policy ?deadlines ?trace () =
+  let g = Instance.dag instance in
+  let v = Dag.n_tasks g in
+  let m = Instance.n_procs instance in
+  if policy.replicas < 1 || policy.replicas > m then
+    invalid_arg "Driver.run: need 1 <= replicas <= number of processors";
+  (match deadlines with
+  | Some d when Array.length d <> v -> invalid_arg "Driver.run: deadlines size"
+  | _ -> ());
+  let st =
+    {
+      inst = instance;
+      rng;
+      n_tasks = v;
+      n_procs = m;
+      timeline = Proc_state.create ~m ~insertion:policy.insertion;
+      placed = Array.make v None;
+      selected = Array.make (Dag.n_edges g) [];
+      in_opt = Array.make m 0.;
+      in_pess = Array.make m 0.;
+      tmp_opt = Array.make m 0.;
+      tmp_pess = Array.make m 0.;
+    }
+  in
+  (match trace with
+  | Some tr -> Trace.start tr ~algorithm:policy.name
+  | None -> ());
+  let failure = ref None in
+  let step_count = ref 0 in
+  (* Evaluate, select and commit one task.  Under [Urgency] the policy
+     already evaluated and selected; [pre_chosen] carries its choice.
+     Returns [false] when the bicriteria deadline test fails. *)
+  let do_task ?pre_chosen ~prio t =
+    let evals, chosen =
+      match pre_chosen with
+      | Some chosen -> (chosen, chosen)
+      | None -> (
+          match trace with
+          | None ->
+              policy.prepare st t;
+              let evals = Array.init m (policy.evaluate st t) in
+              (evals, policy.choose st t evals)
+          | Some tr ->
+              let t0 = now () in
+              policy.prepare st t;
+              let evals = Array.init m (policy.evaluate st t) in
+              let t1 = now () in
+              let chosen = policy.choose st t evals in
+              Trace.add_phase tr `Evaluate (t1 -. t0);
+              Trace.add_phase tr `Choose (now () -. t1);
+              (evals, chosen))
+    in
+    (match trace with
+    | Some tr -> Trace.add_evals tr (Array.length evals)
+    | None -> ());
+    let deadline_ok =
+      match deadlines with
+      | None -> true
+      | Some dl ->
+          let worst =
+            Array.fold_left
+              (fun acc ev -> Float.max acc ev.e_finish_opt)
+              0. chosen
+          in
+          if worst > dl.(t) then begin
+            failure := Some { task = t; deadline = dl.(t); finish = worst };
+            false
+          end
+          else true
+    in
+    if deadline_ok then begin
+      let t2 = match trace with Some _ -> now () | None -> 0. in
+      let committed = policy.commit st t chosen in
+      st.placed.(t) <- Some committed;
+      Array.iter
+        (fun c ->
+          Proc_state.commit_slot st.timeline c.proc ~start:c.start_opt
+            ~finish:c.finish_opt ~pess_finish:c.finish_pess)
+        committed;
+      policy.after_commit st t committed;
+      (match trace with
+      | Some tr ->
+          Trace.add_phase tr `Commit (now () -. t2);
+          let edges =
+            if policy.selected_comm then
+              List.map (fun e -> (e, st.selected.(e))) (Dag.in_edges g t)
+            else []
+          in
+          Trace.record tr
+            {
+              Trace.step = !step_count;
+              task = t;
+              priority = prio;
+              evals =
+                Array.map
+                  (fun ev ->
+                    {
+                      Trace.proc = ev.e_proc;
+                      finish_opt = ev.e_finish_opt;
+                      finish_pess = ev.e_finish_pess;
+                    })
+                  evals;
+              chosen =
+                Array.map
+                  (fun (c : committed) ->
+                    { Trace.proc = c.proc; start = c.start_opt; finish = c.finish_opt })
+                  committed;
+              edges;
+            }
+      | None -> ());
+      incr step_count;
+      true
+    end
+    else false
+  in
+  (match policy.discipline with
+  | Priority { key; tie } ->
+      let alpha = ref Alpha.empty in
+      let seq = ref 0 in
+      let push_free t =
+        let prio = key st t in
+        let tie =
+          match tie with
+          | Rng_tie -> Rng.float_in st.rng 0. 1.
+          | Lifo_tie ->
+              (* most recently freed wins exact priority ties, matching a
+                 newest-first ready-list scan *)
+              incr seq;
+              float_of_int !seq
+        in
+        alpha := Alpha.add { Prio_key.prio; tie; task = t } () !alpha
+      in
+      (match tie with
+      | Rng_tie -> List.iter push_free (Dag.entries g)
+      | Lifo_tie ->
+          (* reversed so the first entry task gets the largest sequence
+             number: ties among entries resolve in entry order *)
+          List.iter push_free (List.rev (Dag.entries g)));
+      let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+      let continue_run = ref true in
+      while !continue_run do
+        match Alpha.pop_max !alpha with
+        | None -> continue_run := false
+        | Some (k, (), rest) ->
+            alpha := rest;
+            let t = k.Prio_key.task in
+            if not (do_task ~prio:k.Prio_key.prio t) then continue_run := false
+            else
+              List.iter
+                (fun (t', _) ->
+                  remaining.(t') <- remaining.(t') - 1;
+                  if remaining.(t') = 0 then push_free t')
+                (Dag.succs g t)
+      done
+  | Fixed_order order ->
+      let order = order st in
+      (try
+         Array.iter
+           (fun t -> if not (do_task ~prio:nan t) then raise Exit)
+           order
+       with Exit -> ())
+  | Urgency urgency ->
+      let free = ref (Dag.entries g) in
+      let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+      let continue_run = ref true in
+      while !continue_run && !free <> [] do
+        let t, prio, chosen =
+          match trace with
+          | None -> urgency st ~free:!free
+          | Some tr ->
+              let t0 = now () in
+              let r = urgency st ~free:!free in
+              Trace.add_phase tr `Evaluate (now () -. t0);
+              r
+        in
+        if not (do_task ~pre_chosen:chosen ~prio t) then continue_run := false
+        else begin
+          free := List.filter (fun t' -> t' <> t) !free;
+          List.iter
+            (fun (t', _) ->
+              remaining.(t') <- remaining.(t') - 1;
+              if remaining.(t') = 0 then free := t' :: !free)
+            (Dag.succs g t)
+        end
+      done);
+  (match trace with
+  | Some tr -> Trace.finish tr ~gap:(Proc_state.gap_stats st.timeline)
+  | None -> ());
+  match !failure with
+  | Some f -> Error f
+  | None ->
+      let replicas =
+        Array.init v (fun task ->
+            match st.placed.(task) with
+            | None ->
+                (* Unreachable for complete runs: a DAG's topological
+                   closure frees every task exactly once. *)
+                assert false
+            | Some row ->
+                Array.mapi
+                  (fun index (c : committed) ->
+                    {
+                      Schedule.task;
+                      index;
+                      proc = c.proc;
+                      start = c.start_opt;
+                      finish = c.finish_opt;
+                      pess_start = c.start_pess;
+                      pess_finish = c.finish_pess;
+                    })
+                  row)
+      in
+      let comm =
+        if policy.selected_comm then
+          Comm_plan.Selected
+            (Array.map
+               (List.map (fun (l, r) ->
+                    { Comm_plan.src_replica = l; dst_replica = r }))
+               st.selected)
+        else Comm_plan.All_to_all
+      in
+      Ok (Schedule.create ~instance ~eps:(policy.replicas - 1) ~replicas ~comm)

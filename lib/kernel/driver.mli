@@ -1,0 +1,169 @@
+(** The generic instrumented list-scheduling driver.
+
+    Every scheduler in this repository — FTSA and its variants (MC, CA,
+    R, domain-aware), the bicriteria engine, and the HEFT/PEFT/CPOP/FTBAR
+    baselines — is one loop: pick the next task under some discipline,
+    evaluate a finish-time estimate on candidate processors, select the
+    replica set, commit it against the shared {!Proc_state} timelines,
+    and free the successors.  This module owns that loop; a {!policy}
+    value supplies the four varying ingredients (task order, candidate
+    evaluation, replica selection, commit rule) and the driver supplies
+    everything invariant: free-task bookkeeping, the AVL priority list
+    [α] with its RNG tie-breaking, deadline checking (§4.3), timeline
+    updates, trace emission and final {!Ftsched_schedule.Schedule.t}
+    assembly.
+
+    Equation (1)/(3) evaluation is provided here ({!prepare_inputs} /
+    {!input_opt} / {!input_pess}) with the per-predecessor
+    earliest/latest-replica reduction hoisted out of the per-processor
+    loop: each predecessor's replica row is folded into per-target-
+    processor arrival bounds once per task, instead of once per candidate
+    processor as the pre-kernel engine did.  [bench … kernel] measures
+    the difference. *)
+
+type committed = {
+  proc : int;
+  start_opt : float;
+  finish_opt : float;
+  start_pess : float;
+  finish_pess : float;
+}
+(** A committed replica: optimistic (eq. 1) and pessimistic (eq. 3)
+    times. *)
+
+type eval = { e_proc : int; e_finish_opt : float; e_finish_pess : float }
+(** A candidate evaluation of the current task on one processor. *)
+
+type state = {
+  inst : Ftsched_model.Instance.t;
+  rng : Ftsched_util.Rng.t;
+  n_tasks : int;
+  n_procs : int;
+  timeline : Proc_state.t;
+  placed : committed array option array;  (** per task, one row per replica *)
+  selected : (int * int) list array;
+      (** per DAG edge: selected (src_replica, dst_replica) pairs —
+          written by selected-communication commit rules *)
+  in_opt : float array;
+      (** scratch, filled by {!prepare_inputs}: optimistic input-arrival
+          bound of the current task per target processor *)
+  in_pess : float array;  (** pessimistic counterpart *)
+  tmp_opt : float array;  (** per-predecessor scratch *)
+  tmp_pess : float array;
+}
+(** The driver's mutable run state, exposed so policies can read the
+    partial schedule and write selected edges.  Policies must not touch
+    [placed] or the timeline directly — the driver commits. *)
+
+type tie_break =
+  | Rng_tie
+      (** exact-priority ties draw a uniform tie-break from the run's RNG
+          at push time (Algorithm 4.1) *)
+  | Lifo_tie
+      (** the most recently freed task wins exact-priority ties — the
+          behaviour of scanning a newest-first ready list for the first
+          strict maximum (PEFT, CPOP) *)
+
+type discipline =
+  | Priority of { key : state -> int -> float; tie : tie_break }
+      (** Pop the maximum [(key, tie, task)] from the AVL list [α]; the
+          key is computed when the task becomes free. *)
+  | Fixed_order of (state -> int array)
+      (** Schedule in a precomputed (topological) order — HEFT's static
+          upward-rank order. *)
+  | Urgency of (state -> free:int list -> int * float * eval array)
+      (** Re-evaluate every free task each step and return the chosen
+          task, its urgency and its already-selected placements —
+          FTBAR's schedule-pressure rule.  [free] lists free tasks,
+          most recently freed first. *)
+
+type policy = {
+  name : string;
+  replicas : int;  (** replicas per task, [ε+1] *)
+  discipline : discipline;
+  prepare : state -> int -> unit;
+      (** per-task precomputation before candidate evaluation (e.g.
+          {!prepare_inputs}); skipped under [Urgency] *)
+  evaluate : state -> int -> int -> eval;
+      (** [evaluate st t p]: finish estimate of [t] on processor [p] *)
+  choose : state -> int -> eval array -> eval array;
+      (** select the replica placements from the per-processor
+          evaluations (in processor order) *)
+  commit : state -> int -> eval array -> committed array;
+      (** turn the chosen placements into committed replicas; selected-
+          communication policies re-time replicas and fill
+          [state.selected] here *)
+  after_commit : state -> int -> committed array -> unit;
+      (** policy bookkeeping after the driver records a commit *)
+  insertion : bool;
+      (** maintain slot timelines for insertion-based gap search *)
+  selected_comm : bool;
+      (** build a [Comm_plan.Selected] plan from [state.selected]
+          instead of [All_to_all] *)
+}
+
+type deadline_failure = { task : int; deadline : float; finish : float }
+(** Witness that the dual-fixed bicriteria test of §4.3 failed. *)
+
+val run :
+  rng:Ftsched_util.Rng.t ->
+  instance:Ftsched_model.Instance.t ->
+  policy:policy ->
+  ?deadlines:float array ->
+  ?trace:Trace.t ->
+  unit ->
+  (Ftsched_schedule.Schedule.t, deadline_failure) result
+(** Run the loop to completion.  With [?deadlines] (one per task) the
+    per-step feasibility check of §4.3 aborts at the first missed
+    deadline.  [?trace] records every decision (see {!Trace}).  Raises
+    [Invalid_argument] if [deadlines] has the wrong size or
+    [policy.replicas] is not in [1, m]. *)
+
+(** {2 Equation-(1)/(3) helpers}
+
+    Shared by every replica-aware policy (FTSA family, FTBAR). *)
+
+val replicas_of : state -> int -> committed array
+(** Committed replicas of a placed task; raises [Invalid_argument] if the
+    task is not placed yet. *)
+
+val prepare_inputs : state -> int -> unit
+(** Fill [state.in_opt]/[state.in_pess] with the input-arrival bounds of
+    the task on every target processor: per predecessor, the earliest
+    (optimistic) and latest (pessimistic) replica arrival, maximized over
+    predecessors — the hoisted inner reduction of equations (1)/(3). *)
+
+val eval_inputs : state -> int -> int -> eval
+(** [eval_inputs st t p] is equations (1) and (3) for [t] on [p], reading
+    the bounds prepared by {!prepare_inputs} and the processor ready
+    times. *)
+
+val top_level : state -> int -> float
+(** Dynamic top level [tℓ(t)] of a freshly freed task (§4.1): worst-case
+    availability of each input anywhere in the system, taking for each
+    predecessor its earliest-finishing replica. *)
+
+val best_by_finish : eval array -> k:int -> eval array
+(** The [k] evaluations with the smallest [finish_opt], increasing
+    (ties by processor id) — the equation-(1) processor selection. *)
+
+val commit_straight : state -> int -> eval array -> committed array
+(** The identity commit rule: each replica starts [E(t,p)] before its
+    estimated finish, exactly as evaluated. *)
+
+val no_after_commit : state -> int -> committed array -> unit
+
+(** {2 Insertion-based helpers}
+
+    For policies with [insertion = true] (HEFT, PEFT, CPOP): the task may
+    slide into an idle gap between already-committed slots. *)
+
+val eval_insertion : state -> int -> int -> eval
+(** [eval_insertion st t p]: finish time of [t] slid into the earliest
+    timeline gap of [p] at or after the {!prepare_inputs} arrival
+    bound. *)
+
+val commit_insertion : state -> int -> eval array -> committed array
+(** Commit rule matching {!eval_insertion}: re-derives the gap start (the
+    timeline is unchanged since evaluation) so the replica starts at the
+    true slot start — [finish − duration] can differ in the last bits. *)

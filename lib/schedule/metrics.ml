@@ -72,6 +72,24 @@ let inter_processor_links s =
   |> List.sort (fun (l1, v1) (l2, v2) ->
          match compare v2 v1 with 0 -> compare l1 l2 | c -> c)
 
+type step_stats = {
+  steps : int;
+  candidate_evals : int;
+  evals_per_task : float;
+  gap_searches : int;
+  mean_gap_depth : float;
+  evaluate_time : float;
+  choose_time : float;
+  commit_time : float;
+}
+
+let pp_step_stats ppf s =
+  Format.fprintf ppf
+    "steps=%d evals=%d evals/task=%.2f gap-searches=%d mean-gap-depth=%.2f \
+     phases[eval=%.3fs choose=%.3fs commit=%.3fs]"
+    s.steps s.candidate_evals s.evals_per_task s.gap_searches s.mean_gap_depth
+    s.evaluate_time s.choose_time s.commit_time
+
 type degraded = {
   completed_tasks : int;
   total_tasks : int;

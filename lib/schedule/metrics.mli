@@ -45,6 +45,28 @@ val inter_processor_links : Schedule.t -> ((int * int) * float) list
     This is the candidate set a link adversary ([Ftsched_sim.Adversary])
     attacks. *)
 
+(** {2 Per-step scheduling statistics}
+
+    Derived from the kernel driver's trace (see [Ftsched_kernel.Trace]):
+    how much work the list-scheduling loop did, independent of the
+    schedule it produced.  Exposed here so experiment code can print them
+    next to the quality metrics without depending on the kernel. *)
+
+type step_stats = {
+  steps : int;  (** scheduling steps = tasks placed *)
+  candidate_evals : int;
+      (** equation-(1)-style (task, processor) finish evaluations *)
+  evals_per_task : float;  (** [candidate_evals / steps] *)
+  gap_searches : int;  (** insertion gap searches (0 for the FTSA family) *)
+  mean_gap_depth : float;
+      (** mean committed slots examined per gap search *)
+  evaluate_time : float;  (** seconds spent evaluating candidates *)
+  choose_time : float;  (** seconds spent selecting replicas *)
+  commit_time : float;  (** seconds spent committing/re-timing *)
+}
+
+val pp_step_stats : Format.formatter -> step_stats -> unit
+
 (** {2 Degraded-mode metrics}
 
     Beyond [ε] failures no guarantee remains, but an online recovery run

@@ -1,0 +1,218 @@
+(* lib/kernel: Proc_state timeline properties, the trace sink, and a
+   differential harness running every scheduler through the shared
+   driver on seeded instances. *)
+
+module Proc_state = Ftsched_kernel.Proc_state
+module Trace = Ftsched_kernel.Trace
+module Metrics = Ftsched_schedule.Metrics
+module Ftsa = Ftsched_core.Ftsa
+module Mc_ftsa = Ftsched_core.Mc_ftsa
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Proc_state                                                          *)
+
+(* A workload is a list of (ready, duration) requests against one
+   insertion timeline; encoded over small ints for stable shrinking. *)
+let workload_arb =
+  QCheck.(
+    list_of_size
+      Gen.(int_range 1 60)
+      (pair (int_bound 500) (int_bound 60)))
+
+let decode (r, d) = (float_of_int r /. 10., float_of_int (d + 1) /. 10.)
+
+let prop_gap_no_overlap =
+  QCheck.Test.make ~name:"earliest gap never overlaps committed slots"
+    ~count:300 workload_arb (fun ops ->
+      let ps = Proc_state.create ~m:1 ~insertion:true in
+      List.for_all
+        (fun op ->
+          let ready, duration = decode op in
+          let start = Proc_state.earliest_gap ps 0 ~ready ~duration in
+          let before = Proc_state.slots ps 0 in
+          let finish = start +. duration in
+          let ok =
+            Array.for_all
+              (fun (s, f) -> finish <= s || f <= start)
+              before
+          in
+          Proc_state.commit_slot ps 0 ~start ~finish ~pess_finish:finish;
+          ok)
+        ops)
+
+let prop_gap_after_ready =
+  QCheck.Test.make ~name:"earliest gap never starts before ready" ~count:300
+    workload_arb (fun ops ->
+      let ps = Proc_state.create ~m:1 ~insertion:true in
+      List.for_all
+        (fun op ->
+          let ready, duration = decode op in
+          let start = Proc_state.earliest_gap ps 0 ~ready ~duration in
+          Proc_state.commit_slot ps 0 ~start ~finish:(start +. duration)
+            ~pess_finish:(start +. duration);
+          start >= ready)
+        ops)
+
+let prop_slots_sorted_disjoint =
+  QCheck.Test.make ~name:"committed slots stay sorted and disjoint" ~count:300
+    workload_arb (fun ops ->
+      let ps = Proc_state.create ~m:1 ~insertion:true in
+      List.iter
+        (fun op ->
+          let ready, duration = decode op in
+          let start = Proc_state.earliest_gap ps 0 ~ready ~duration in
+          Proc_state.commit_slot ps 0 ~start ~finish:(start +. duration)
+            ~pess_finish:(start +. duration))
+        ops;
+      let slots = Proc_state.slots ps 0 in
+      let ok = ref true in
+      Array.iteri
+        (fun i (s, f) ->
+          if f < s then ok := false;
+          if i > 0 then begin
+            let _, pf = slots.(i - 1) in
+            if s < pf then ok := false
+          end)
+        slots;
+      !ok)
+
+let test_ready_times () =
+  let ps = Proc_state.create ~m:2 ~insertion:false in
+  Proc_state.commit_slot ps 0 ~start:1. ~finish:5. ~pess_finish:7.;
+  Proc_state.commit_slot ps 0 ~start:0. ~finish:3. ~pess_finish:4.;
+  check_float "ready_opt keeps the max" 5. (Proc_state.ready_opt ps 0);
+  check_float "ready_pess keeps the max" 7. (Proc_state.ready_pess ps 0);
+  check_float "other processor untouched" 0. (Proc_state.ready_opt ps 1);
+  Alcotest.check_raises "no gap search without insertion"
+    (Invalid_argument "Proc_state.earliest_gap: non-insertion state") (fun () ->
+      ignore (Proc_state.earliest_gap ps 0 ~ready:0. ~duration:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness: every scheduler through the kernel driver.    *)
+
+let all_schedulers ~m ~eps =
+  let rates = Array.init m (fun p -> if p mod 2 = 0 then 0.0001 else 0.002) in
+  let domains = Array.init m (fun p -> p mod (eps + 2)) in
+  [
+    ("ftsa", fun ?trace inst -> Ftsa.schedule ~seed:7 ?trace inst ~eps);
+    ("mc-greedy", fun ?trace inst -> Mc_ftsa.schedule ~seed:7 ?trace inst ~eps);
+    ( "mc-bottleneck",
+      fun ?trace inst ->
+        Mc_ftsa.schedule ~seed:7 ~strategy:Mc_ftsa.Bottleneck ?trace inst ~eps );
+    ( "ca-ftsa",
+      fun ?trace inst -> Ftsched_core.Ca_ftsa.schedule ~seed:7 ?trace inst ~eps );
+    ( "r-ftsa",
+      fun ?trace inst ->
+        Ftsched_core.R_ftsa.schedule ~seed:7 ?trace ~rates inst ~eps );
+    ( "ftsa-domains",
+      fun ?trace inst ->
+        Ftsched_core.Ftsa_domains.schedule ~seed:7 ?trace ~domains inst ~eps );
+    ( "ftbar",
+      fun ?trace inst -> Ftsched_baseline.Ftbar.schedule ~seed:7 ?trace inst ~npf:eps );
+    ("heft", fun ?trace inst -> Ftsched_baseline.Heft.schedule ?trace inst);
+    ("peft", fun ?trace inst -> Ftsched_baseline.Peft.schedule ?trace inst);
+    ("cpop", fun ?trace inst -> Ftsched_baseline.Cpop.schedule ?trace inst)
+  ]
+
+(* Every scheduler, on several seeded instances, must produce a schedule
+   the validator accepts — and the trace must agree with the schedule on
+   the decisions taken. *)
+let test_differential () =
+  List.iter
+    (fun seed ->
+      let m = 6 and eps = 1 in
+      let inst = random_instance ~n_tasks:30 ~m ~seed () in
+      let v = Instance.n_tasks inst in
+      List.iter
+        (fun (name, run) ->
+          let trace = Trace.create () in
+          let s = run ?trace:(Some trace) inst in
+          (match Validate.check s with
+          | Ok () -> ()
+          | Error errs ->
+              Alcotest.failf "%s seed=%d: %d validation error(s), first: %a"
+                name seed (List.length errs) Validate.pp_error (List.hd errs));
+          let steps = Trace.steps trace in
+          check_int (name ^ " traces every task") v (List.length steps);
+          (* each step's chosen replicas must be the schedule's replicas *)
+          List.iter
+            (fun (st : Trace.step) ->
+              let reps = Schedule.replicas s st.Trace.task in
+              check_int
+                (Printf.sprintf "%s task %d replica count" name st.Trace.task)
+                (Array.length reps)
+                (Array.length st.Trace.chosen);
+              Array.iteri
+                (fun i (c : Trace.replica) ->
+                  check_bool
+                    (Printf.sprintf "%s task %d replica %d matches" name
+                       st.Trace.task i)
+                    true
+                    (c.Trace.proc = reps.(i).Schedule.proc
+                    && c.Trace.start = reps.(i).Schedule.start
+                    && c.Trace.finish = reps.(i).Schedule.finish))
+                st.Trace.chosen)
+            steps)
+        (all_schedulers ~m ~eps))
+    [ 1; 2; 3 ]
+
+let test_trace_stats () =
+  let inst = random_instance ~n_tasks:30 ~m:6 ~seed:5 () in
+  let v = Instance.n_tasks inst and m = Instance.n_procs inst in
+  let trace = Trace.create () in
+  let _s = Ftsa.schedule ~seed:5 ~trace inst ~eps:2 in
+  let stats = Trace.stats trace in
+  check_int "steps" v stats.Metrics.steps;
+  check_int "candidate evals = v*m" (v * m) stats.Metrics.candidate_evals;
+  check_float "evals per task" (float_of_int m) stats.Metrics.evals_per_task;
+  check_int "no gap searches without insertion" 0 stats.Metrics.gap_searches;
+  let trace2 = Trace.create () in
+  let _s2 = Ftsched_baseline.Heft.schedule ~trace:trace2 inst in
+  let stats2 = Trace.stats trace2 in
+  (* HEFT: v prepare+evaluate rounds of m gap searches, plus one
+     re-search per committed replica *)
+  check_int "heft gap searches" ((v * m) + v) stats2.Metrics.gap_searches;
+  check_bool "heft positive mean gap depth" true
+    (stats2.Metrics.mean_gap_depth >= 0.)
+
+let test_trace_edges_and_jsonl () =
+  let inst = random_instance ~n_tasks:25 ~m:5 ~seed:9 () in
+  let trace = Trace.create () in
+  let _s = Mc_ftsa.schedule ~seed:9 ~trace inst ~eps:1 in
+  check_bool "mc-ftsa records selected edges" true
+    (List.exists (fun (st : Trace.step) -> st.Trace.edges <> []) (Trace.steps trace));
+  let path = Filename.temp_file "ftsched_trace" ".jsonl" in
+  Trace.save_jsonl trace ~path;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  (* one object per step plus the trailing summary object *)
+  check_int "jsonl line count" (Instance.n_tasks inst + 1) !lines
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "proc-state",
+        [
+          quick prop_gap_no_overlap;
+          quick prop_gap_after_ready;
+          quick prop_slots_sorted_disjoint;
+          Alcotest.test_case "ready times" `Quick test_ready_times;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "differential: all schedulers validate" `Quick
+            test_differential;
+          Alcotest.test_case "trace step statistics" `Quick test_trace_stats;
+          Alcotest.test_case "trace edges and jsonl" `Quick
+            test_trace_edges_and_jsonl;
+        ] );
+    ]

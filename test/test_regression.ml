@@ -96,7 +96,95 @@ let test_fault_free_golden () =
   golden "HEFT" 2741.900591
     (Schedule.latency_lower_bound (Heft.schedule inst));
   golden "CPOP" 2948.755512
-    (Schedule.latency_lower_bound (Cpop.schedule inst))
+    (Schedule.latency_lower_bound (Cpop.schedule inst));
+  golden "PEFT" 2957.984335
+    (Schedule.latency_lower_bound (Ftsched_baseline.Peft.schedule inst))
+
+(* ------------------------------------------------------------------ *)
+(* Bit-for-bit schedule digests.
+
+   MD5 over every replica's (task, index, proc, start, finish,
+   pess_start, pess_finish) printed with 17 significant digits — enough
+   to round-trip any double, so two schedules share a digest iff they are
+   bit-for-bit identical.  The FTSA-family digests were captured from the
+   pre-kernel implementations (private engine state, per-scheduler
+   earliest-gap copies) and prove the kernel refactor — hoisted eq-(1)
+   reduction, shared Proc_state timelines, generic driver — reproduces
+   every schedule exactly.  The HEFT/PEFT/CPOP digests are post-kernel:
+   their committed replicas now start at the true timeline-slot start
+   instead of [finish − duration] (equal up to the last float bits;
+   makespans above are unchanged). *)
+
+let schedule_digest s =
+  let buf = Buffer.create 4096 in
+  let inst = Schedule.instance s in
+  for t = 0 to Instance.n_tasks inst - 1 do
+    Array.iter
+      (fun (r : Schedule.replica) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d:%d:%d:%.17g:%.17g:%.17g:%.17g;" r.Schedule.task
+             r.Schedule.index r.Schedule.proc r.Schedule.start r.Schedule.finish
+             r.Schedule.pess_start r.Schedule.pess_finish))
+      (Schedule.replicas s t)
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let check_digest = Alcotest.(check string)
+
+let test_schedule_digests () =
+  let inst = pinned_instance () in
+  let m = Instance.n_procs inst in
+  check_digest "ftsa eps=2" "33a437bb9ecf7a399d487341a3ade07c"
+    (schedule_digest (Ftsa.schedule ~seed:2008 inst ~eps:2));
+  check_digest "mc-ftsa greedy eps=2" "9a96f90562bf42e6414117f55f65d6ec"
+    (schedule_digest (Mc_ftsa.schedule ~seed:2008 inst ~eps:2));
+  check_digest "mc-ftsa bottleneck eps=2" "07688f2d5071185f1d7a7d6ffbcaaad8"
+    (schedule_digest
+       (Mc_ftsa.schedule ~seed:2008 ~strategy:Mc_ftsa.Bottleneck inst ~eps:2));
+  check_digest "ftbar npf=2" "5bb8eae8d5a61134ee26cf50d242e3bb"
+    (schedule_digest (Ftbar.schedule ~seed:2008 inst ~npf:2));
+  check_digest "ca-ftsa eps=2" "216be2f1d23eb167bdcd39ae4dba72cc"
+    (schedule_digest (Ftsched_core.Ca_ftsa.schedule ~seed:2008 inst ~eps:2));
+  let rates = Array.init m (fun p -> if p mod 2 = 0 then 0.0001 else 0.002) in
+  check_digest "r-ftsa eps=2" "4412b2013d9967ab0ace5cd847d83a56"
+    (schedule_digest (Ftsched_core.R_ftsa.schedule ~seed:2008 ~rates inst ~eps:2));
+  let domains = Array.init m (fun p -> p mod 5) in
+  check_digest "ftsa-domains eps=2" "9c1e7e230a95cbd4c84c5c19705787ba"
+    (schedule_digest
+       (Ftsched_core.Ftsa_domains.schedule ~seed:2008 ~domains inst ~eps:2));
+  check_digest "heft" "25c36db939f0fb6db0ce9093c21f55b7"
+    (schedule_digest (Heft.schedule inst));
+  check_digest "peft" "396bffb9fbbcf8e3d114e0a1c333b9d3"
+    (schedule_digest (Ftsched_baseline.Peft.schedule inst));
+  check_digest "cpop" "97ed5700d5b26324ba4c0fe8285bb900"
+    (schedule_digest (Cpop.schedule inst))
+
+(* The kernel driver versus the naive oracle, with EXACT float equality
+   (test_core checks 1e-9 on random instances; here the pinned instance
+   gets the stronger bit-for-bit claim). *)
+let test_ftsa_equals_reference_exactly () =
+  let inst = pinned_instance () in
+  for eps = 0 to 2 do
+    let s = Ftsa.schedule ~seed:2008 inst ~eps in
+    let r = Reference_ftsa.schedule ~seed:2008 inst ~eps in
+    for task = 0 to Instance.n_tasks inst - 1 do
+      let a = Schedule.replicas s task and b = r.Reference_ftsa.replicas.(task) in
+      check_int (Printf.sprintf "eps=%d task=%d replica count" eps task)
+        (Array.length b) (Array.length a);
+      Array.iteri
+        (fun i (x : Schedule.replica) ->
+          let y = b.(i) in
+          check_bool
+            (Printf.sprintf "eps=%d task=%d replica=%d bit-for-bit" eps task i)
+            true
+            (x.proc = y.Reference_ftsa.proc
+            && x.start = y.Reference_ftsa.start
+            && x.finish = y.Reference_ftsa.finish
+            && x.pess_start = y.Reference_ftsa.pess_start
+            && x.pess_finish = y.Reference_ftsa.pess_finish))
+        a
+    done
+  done
 
 let () =
   Alcotest.run "regression"
@@ -110,5 +198,8 @@ let () =
           Alcotest.test_case "fault-free trio" `Quick test_fault_free_golden;
           Alcotest.test_case "zero loss bit-for-bit" `Quick
             test_zero_loss_bit_for_bit;
+          Alcotest.test_case "schedule digests" `Quick test_schedule_digests;
+          Alcotest.test_case "ftsa equals reference exactly" `Quick
+            test_ftsa_equals_reference_exactly;
         ] );
     ]

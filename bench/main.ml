@@ -1,25 +1,87 @@
 (* Benchmark & figure-regeneration harness.
 
-   Usage: dune exec bench/main.exe [-- target ...]
+   Usage: dune exec bench/main.exe [-- target ...] [-j N]
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
-   rftsa reliability recovery linkloss adversary micro kernel smoke all
+   rftsa reliability recovery linkloss adversary micro kernel par smoke all
    (default: all; "smoke" is a CI-sized sanity pass over the hot
-   simulation paths and is not part of "all").
+   simulation paths and is not part of "all"; "par" measures the Domain
+   pool's wall-clock speedup and checks digest equality vs jobs=1, and
+   additionally *asserts* speedup >= 1 when combined with "smoke").
    By default the figure sweeps use the reduced "quick" workload (8 graphs
    per point) so the whole harness finishes in a couple of minutes; set
    FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
    the full Table-1 sizes), FTSCHED_CSV=<dir> to archive every table as
-   CSV, and FTSCHED_PLOTS=<dir> to emit gnuplot scripts per figure. *)
+   CSV, and FTSCHED_PLOTS=<dir> to emit gnuplot scripts per figure.
+   -j N (or FTSCHED_JOBS) pins the worker-domain count for the parallel
+   sweeps; every table is bit-identical for any N.  The "kernel" and
+   "par" targets additionally write machine-readable BENCH_PAR.json
+   (per-target wall-clock, speedup vs jobs=1, worker count; path
+   overridable with FTSCHED_BENCH_JSON) so the perf trajectory is
+   tracked across PRs. *)
 
 module Table = Ftsched_util.Table
 module Workload = Ftsched_exp.Workload
 module Figures = Ftsched_exp.Figures
+module Par = Ftsched_par.Par
 
 let full = Sys.getenv_opt "FTSCHED_FULL" = Some "1"
 let spec = if full then Workload.paper else Workload.quick
 let csv_dir = Sys.getenv_opt "FTSCHED_CSV"
 let plots_dir = Sys.getenv_opt "FTSCHED_PLOTS"
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_PAR.json accumulator: the "kernel" and "par" targets append
+   entries; the file is written at exit iff any entry was recorded. *)
+
+type json_entry = {
+  target : string;
+  wall_ms : float;  (** wall-clock of the jobs=N (or only) run *)
+  jobs1_ms : float option;  (** wall-clock of the jobs=1 reference run *)
+}
+
+let json_entries : json_entry list ref = ref []
+
+let record_entry ?jobs1_ms target wall_ms =
+  json_entries := { target; wall_ms; jobs1_ms } :: !json_entries
+
+let write_bench_json () =
+  match List.rev !json_entries with
+  | [] -> ()
+  | entries ->
+      let path =
+        Option.value ~default:"BENCH_PAR.json"
+          (Sys.getenv_opt "FTSCHED_BENCH_JSON")
+      in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "{\n  \"jobs\": %d,\n  \"targets\": [\n"
+           (Par.default_jobs ()));
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf "    {\"name\": %S, \"wall_ms\": %.3f" e.target
+               e.wall_ms);
+          (match e.jobs1_ms with
+          | Some ref_ms ->
+              Buffer.add_string buf
+                (Printf.sprintf ", \"jobs1_ms\": %.3f, \"speedup\": %.3f"
+                   ref_ms
+                   (if e.wall_ms > 0. then ref_ms /. e.wall_ms else 1.))
+          | None -> ());
+          Buffer.add_string buf "}")
+        entries;
+      Buffer.add_string buf "\n  ]\n}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "[json] %s\n" path
+
+let wall_clock f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, 1000. *. (Unix.gettimeofday () -. t0))
 
 let section title = Printf.printf "\n=== %s ===\n%!" title
 
@@ -193,8 +255,9 @@ let run_table1 () =
        (List.fold_left max 0 sizes));
   show "table1" (Figures.table1 ~sizes ())
 
-(* Run a list of bechamel tests and render the OLS estimates as a table. *)
-let bechamel_report ~slug tests =
+(* Run a list of bechamel tests and render the OLS estimates as a table.
+   [record] additionally appends each estimate to BENCH_PAR.json. *)
+let bechamel_report ?(record = false) ~slug tests =
   let open Bechamel in
   let open Toolkit in
   let cfg =
@@ -217,6 +280,7 @@ let bechamel_report ~slug tests =
           let r2 =
             match Analyze.OLS.r_square o with Some r -> r | None -> nan
           in
+          if record then record_entry (slug ^ ":" ^ name) (ns /. 1e6);
           Table.add_row table
             [ name; Printf.sprintf "%.3f" (ns /. 1e6); Printf.sprintf "%.4f" r2 ])
         res)
@@ -444,15 +508,108 @@ let run_kernel () =
              !acc));
     ]
   in
-  bechamel_report ~slug:"kernel" tests
+  bechamel_report ~record:true ~slug:"kernel" tests
+
+(* The Domain-pool target: the §6 quick-spec campaign and the adversary
+   smoke search, each run at jobs=1 and at the configured worker count.
+   Digest equality between the two runs is always asserted (the pool's
+   core guarantee); with [strict] (the CI "par smoke" job) a speedup
+   below 1 — a parallelization regression — also fails the run. *)
+let run_par ~strict () =
+  let jobs = Par.default_jobs () in
+  section
+    (Printf.sprintf "Par: deterministic Domain pool (jobs=%d vs jobs=1)" jobs);
+  let digest_panels (p : Figures.panels) =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            [
+              Table.to_csv p.Figures.bounds; Table.to_csv p.Figures.crash;
+              Table.to_csv p.Figures.overhead;
+              Table.to_csv p.Figures.mc_defeats;
+            ]))
+  in
+  let fig jobs () = Figures.figure ~spec ~eps:2 ~crash_counts:[ 0; 1; 2 ] ~jobs () in
+  let p1, fig_ms1 = wall_clock (fig 1) in
+  let pn, fig_msn = wall_clock (fig jobs) in
+  let fig_d1 = digest_panels p1 and fig_dn = digest_panels pn in
+  let module Adversary = Ftsched_sim.Adversary in
+  let inst =
+    Workload.instance spec ~master_seed:2008 ~granularity:1.0 ~index:0
+  in
+  let s = Ftsched_core.Ftsa.schedule ~seed:2008 inst ~eps:2 in
+  let adv jobs () = Adversary.search ~links:1 ~jobs s ~count:2 in
+  let adv_digest (r : Adversary.report) =
+    Digest.to_hex
+      (Digest.string
+         (Format.asprintf "%a|%a|%d" Adversary.pp_outcome r.Adversary.worst
+            Adversary.pp_witness r.Adversary.witness r.Adversary.evaluations))
+  in
+  let r1, adv_ms1 = wall_clock (adv 1) in
+  let rn, adv_msn = wall_clock (adv jobs) in
+  let adv_d1 = adv_digest r1 and adv_dn = adv_digest rn in
+  record_entry ~jobs1_ms:fig_ms1 "par:figure-eps2-campaign" fig_msn;
+  record_entry ~jobs1_ms:adv_ms1 "par:adversary-smoke" adv_msn;
+  let table =
+    Table.create
+      ~columns:
+        [
+          "target"; "jobs=1 (ms)"; Printf.sprintf "jobs=%d (ms)" jobs;
+          "speedup"; "digests equal";
+        ]
+  in
+  let rows =
+    [
+      ("figure-eps2-campaign", fig_ms1, fig_msn, fig_d1 = fig_dn);
+      ("adversary-smoke", adv_ms1, adv_msn, adv_d1 = adv_dn);
+    ]
+  in
+  List.iter
+    (fun (name, ms1, msn, eq) ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" ms1;
+          Printf.sprintf "%.1f" msn;
+          Printf.sprintf "%.2f" (if msn > 0. then ms1 /. msn else 1.);
+          string_of_bool eq;
+        ])
+    rows;
+  show "par" table;
+  List.iter
+    (fun (name, ms1, msn, eq) ->
+      if not eq then
+        failwith
+          (Printf.sprintf
+             "bench par: %s output differs between jobs=1 and jobs=%d" name
+             jobs);
+      if strict && jobs > 1 && msn > ms1 then
+        failwith
+          (Printf.sprintf
+             "bench par: %s regressed under parallelism (jobs=%d %.1fms > \
+              jobs=1 %.1fms)"
+             name jobs msn ms1))
+    rows
 
 let () =
-  let args =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "all" ]
+  let rec parse_jobs acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            Par.set_default_jobs n;
+            parse_jobs acc rest
+        | _ -> failwith "bench: -j expects a positive integer")
+    | arg :: rest -> parse_jobs (arg :: acc) rest
   in
-  let want t = List.mem t args || (List.mem "all" args && t <> "smoke") in
+  let args =
+    match parse_jobs [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> [ "all" ]
+    | rest -> rest
+  in
+  let want t =
+    List.mem t args || (List.mem "all" args && t <> "smoke" && t <> "par")
+  in
   if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
   if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
   if want "fig3" then run_figure ~id:"3" ~eps:5 ~crash_counts:[ 0; 2; 5 ];
@@ -470,4 +627,6 @@ let () =
   if want "smoke" then run_smoke ();
   if want "micro" then run_micro ();
   if want "kernel" then run_kernel ();
+  if want "par" then run_par ~strict:(List.mem "smoke" args) ();
+  write_bench_json ();
   Printf.printf "\nDone.\n"

@@ -81,6 +81,24 @@ let nonneg_int_conv =
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
+(* -j/--jobs: worker-domain count for the parallel fan-outs.  The value
+   pins the process-wide default used by every Ftsched_par.Par call, so
+   one flag covers the whole sweep; outputs are bit-identical for any
+   worker count (determinism lives in the per-index seed derivation, not
+   the execution order). *)
+let jobs_arg =
+  Arg.(
+    value & opt (some pos_int_conv) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel sweeps (default: \
+           $(b,FTSCHED_JOBS) if set, else the number of cores); output \
+           is bit-identical for any $(docv), including 1.")
+
+let apply_jobs = function
+  | Some n -> Ftsched_par.Par.set_default_jobs n
+  | None -> ()
+
 let tasks_arg =
   Arg.(
     value & opt int 100
@@ -429,7 +447,8 @@ let simulate_cmd =
           ~doc:"Link blackouts the --adversary may spend (default 0).")
   in
   let run kind n m eps granularity seed algo fail crashes timed strict ports
-      worst recover delta rounds loss retries adversary links =
+      worst recover delta rounds loss retries adversary links jobs =
+    apply_jobs jobs;
     let inst = make_instance ~kind ~seed ~n ~m ~granularity in
     let s = run_algo algo ~seed inst ~eps in
     Format.printf "%a@." Schedule.pp_summary s;
@@ -533,7 +552,8 @@ let simulate_cmd =
     Term.(
       const run $ kind_arg $ tasks_arg $ procs_arg $ eps_arg $ gran_arg
       $ seed_arg $ algo_arg $ fail $ crashes $ timed $ strict $ ports $ worst
-      $ recover $ delta $ rounds $ loss $ retries $ adversary $ links)
+      $ recover $ delta $ rounds $ loss $ retries $ adversary $ links
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* inspect                                                             *)
@@ -703,7 +723,8 @@ let experiment_cmd =
       value & opt (some int) None
       & info [ "graphs" ] ~docv:"N" ~doc:"Override graphs per point.")
   in
-  let run what full graphs seed =
+  let run what full graphs seed jobs =
+    apply_jobs jobs;
     let spec = if full then Workload.paper else Workload.quick in
     let spec =
       match graphs with
@@ -755,7 +776,7 @@ let experiment_cmd =
         Table.print (Figures.link_loss_ablation ~spec ~master_seed:seed ~eps:2 ())
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
-    Term.(const run $ what $ full $ graphs $ seed_arg)
+    Term.(const run $ what $ full $ graphs $ seed_arg $ jobs_arg)
 
 let () =
   let info =

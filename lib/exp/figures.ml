@@ -7,6 +7,7 @@ module Ftsa = Ftsched_core.Ftsa
 module Mc_ftsa = Ftsched_core.Mc_ftsa
 module Ca_ftsa = Ftsched_core.Ca_ftsa
 module Ftbar = Ftsched_baseline.Ftbar
+module Par = Ftsched_par.Par
 
 type panels = {
   bounds : Table.t;
@@ -19,13 +20,14 @@ let fmt3 x = Printf.sprintf "%.3f" x
 let fmt_pct x = Printf.sprintf "%.1f" x
 
 (* Overhead of metric [key] against fault-free FTSA, per graph, then
-   averaged — the §6 formula. *)
+   averaged — the §6 formula.  Lookups go through the per-graph
+   pre-indexed metric table, not the assoc list. *)
 let mean_overhead results key =
   let values =
     List.map
       (fun (r : Runner.graph_result) ->
         let get k =
-          match List.assoc_opt k r.Runner.metrics with
+          match Runner.metric r k with
           | Some v -> v
           | None -> invalid_arg ("Figures: unknown metric " ^ k)
         in
@@ -35,14 +37,14 @@ let mean_overhead results key =
   in
   List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
 
-let figure ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples ~eps
-    ~crash_counts () =
+let figure ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples ?jobs
+    ~eps ~crash_counts () =
   let points =
-    List.map
+    Par.parallel_map ?jobs
       (fun granularity ->
         ( granularity,
           Runner.run_point spec ~master_seed ~granularity ~eps ~crash_counts
-            ?crash_samples () ))
+            ?crash_samples ?jobs () ))
       Workload.granularities
   in
   let bounds =
@@ -122,16 +124,17 @@ let figure ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples ~eps
     points;
   { bounds; crash; overhead; mc_defeats }
 
-let figure4 ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples () =
+let figure4 ?(spec = Workload.quick) ?(master_seed = 2008) ?crash_samples
+    ?jobs () =
   let spec = Workload.with_procs spec 5 in
   let eps = 2 in
   let crash_counts = [ 0; 1; 2 ] in
   let points =
-    List.map
+    Par.parallel_map ?jobs
       (fun granularity ->
         ( granularity,
           Runner.run_point spec ~master_seed ~granularity ~eps ~crash_counts
-            ?crash_samples () ))
+            ?crash_samples ?jobs () ))
       Workload.granularities
   in
   let latency =
@@ -413,7 +416,7 @@ type recovery_panels = {
 let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
     ?(scenarios_per_graph = 5) ?(eps = 2)
     ?(intensities = [ 0.01; 0.05; 0.15; 0.3 ])
-    ?(delta_factors = [ 0.; 0.02; 0.1 ]) () =
+    ?(delta_factors = [ 0.; 0.02; 0.1 ]) ?jobs () =
   let module Esim = Ftsched_sim.Event_sim in
   let module Scenario = Ftsched_sim.Scenario in
   let module Recovery = Ftsched_recovery.Recovery in
@@ -423,7 +426,7 @@ let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
   let graphs = spec.Workload.graphs_per_point in
   (* Shared per-graph state: instance, schedules, horizon, normalizer. *)
   let prepared =
-    List.init graphs (fun index ->
+    Par.parallel_init ?jobs graphs (fun index ->
         let inst = Workload.instance spec ~master_seed ~granularity ~index in
         let seed = master_seed + (31 * index) in
         let s_ftsa = Ftsa.schedule ~seed inst ~eps in
@@ -441,61 +444,67 @@ let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
           "unrep+rec tasks%";
         ]
   in
-  List.iter
-    (fun intensity ->
-      List.iter
-        (fun delta_factor ->
-          let trials = ref 0 in
-          let ftsa_defeats = ref 0
-          and mc_defeats = ref 0
-          and mcr_defeats = ref 0
-          and unr_defeats = ref 0 in
-          let mcr_lat = ref 0. and mcr_done = ref 0 in
-          let unr_tasks = ref 0. in
-          List.iter
-            (fun (inst, seed, s_ftsa, s_mc, s_unrep, horizon, norm) ->
-              let m = Instance.n_procs inst in
-              let rates = Array.make m (intensity /. horizon) in
-              let delta = delta_factor *. horizon in
-              let rng = Rng.create ~seed:(seed + 13) in
-              for _ = 1 to scenarios_per_graph do
-                incr trials;
-                let fail_times = Scenario.exponential rng ~rates in
-                let defeated r = r.Esim.latency = None in
-                if defeated (Esim.run s_ftsa ~fail_times) then
-                  incr ftsa_defeats;
-                if defeated (Esim.run s_mc ~fail_times) then incr mc_defeats;
-                let o_mc = Recovery.run ~delta s_mc ~fail_times in
-                (match o_mc.Recovery.result.Esim.latency with
-                | Some l ->
-                    incr mcr_done;
-                    mcr_lat := !mcr_lat +. (l /. norm)
-                | None -> incr mcr_defeats);
-                let o_un = Recovery.run ~delta s_unrep ~fail_times in
-                if o_un.Recovery.result.Esim.latency = None then
-                  incr unr_defeats;
-                let d = o_un.Recovery.degraded in
-                unr_tasks :=
-                  !unr_tasks
-                  +. float_of_int d.Metrics.completed_tasks
-                     /. float_of_int d.Metrics.total_tasks
-              done)
-            prepared;
-          let rate n = float_of_int !n /. float_of_int !trials in
-          Table.add_row campaign
-            [
-              Printf.sprintf "%.2f" intensity;
-              Printf.sprintf "%.2f" delta_factor;
-              fmt3 (rate ftsa_defeats);
-              fmt3 (rate mc_defeats);
-              fmt3 (rate mcr_defeats);
-              fmt3 (rate unr_defeats);
-              (if !mcr_done = 0 then "-"
-               else fmt3 (!mcr_lat /. float_of_int !mcr_done));
-              fmt_pct (100. *. !unr_tasks /. float_of_int !trials);
-            ])
-        delta_factors)
-    intensities;
+  (* One row per (intensity, delta) pair.  Rows are independent — each
+     re-creates its per-graph RNG from the graph's seed — so they fan out
+     over the pool; [prepared] is shared read-only. *)
+  let campaign_row (intensity, delta_factor) =
+    let trials = ref 0 in
+    let ftsa_defeats = ref 0
+    and mc_defeats = ref 0
+    and mcr_defeats = ref 0
+    and unr_defeats = ref 0 in
+    let mcr_lat = ref 0. and mcr_done = ref 0 in
+    let unr_tasks = ref 0. in
+    List.iter
+      (fun (inst, seed, s_ftsa, s_mc, s_unrep, horizon, norm) ->
+        let m = Instance.n_procs inst in
+        let rates = Array.make m (intensity /. horizon) in
+        let delta = delta_factor *. horizon in
+        let rng = Rng.create ~seed:(seed + 13) in
+        for _ = 1 to scenarios_per_graph do
+          incr trials;
+          let fail_times = Scenario.exponential rng ~rates in
+          let defeated r = r.Esim.latency = None in
+          if defeated (Esim.run s_ftsa ~fail_times) then
+            incr ftsa_defeats;
+          if defeated (Esim.run s_mc ~fail_times) then incr mc_defeats;
+          let o_mc = Recovery.run ~delta s_mc ~fail_times in
+          (match o_mc.Recovery.result.Esim.latency with
+          | Some l ->
+              incr mcr_done;
+              mcr_lat := !mcr_lat +. (l /. norm)
+          | None -> incr mcr_defeats);
+          let o_un = Recovery.run ~delta s_unrep ~fail_times in
+          if o_un.Recovery.result.Esim.latency = None then
+            incr unr_defeats;
+          let d = o_un.Recovery.degraded in
+          unr_tasks :=
+            !unr_tasks
+            +. float_of_int d.Metrics.completed_tasks
+               /. float_of_int d.Metrics.total_tasks
+        done)
+      prepared;
+    let rate n = float_of_int !n /. float_of_int !trials in
+    [
+      Printf.sprintf "%.2f" intensity;
+      Printf.sprintf "%.2f" delta_factor;
+      fmt3 (rate ftsa_defeats);
+      fmt3 (rate mc_defeats);
+      fmt3 (rate mcr_defeats);
+      fmt3 (rate unr_defeats);
+      (if !mcr_done = 0 then "-"
+       else fmt3 (!mcr_lat /. float_of_int !mcr_done));
+      fmt_pct (100. *. !unr_tasks /. float_of_int !trials);
+    ]
+  in
+  let combos =
+    List.concat_map
+      (fun intensity ->
+        List.map (fun delta_factor -> (intensity, delta_factor)) delta_factors)
+      intensities
+  in
+  List.iter (Table.add_row campaign)
+    (Par.parallel_map ?jobs campaign_row combos);
   (* Exactly-ε panel: random timed scenarios with exactly [eps] failing
      processors — the regime where Theorem 4.1 protects FTSA but the
      strict MC-FTSA cascade collapses (Finding 1).  Recovery must bring
@@ -508,42 +517,41 @@ let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
           "mean injections";
         ]
   in
-  List.iter
-    (fun delta_factor ->
-      let trials = ref 0 in
-      let mc_defeats = ref 0 and mcr_defeats = ref 0 in
-      let mcr_lat = ref 0. and mcr_done = ref 0 in
-      let injections = ref 0 in
-      List.iter
-        (fun (inst, seed, _s_ftsa, s_mc, _s_unrep, horizon, norm) ->
-          let m = Instance.n_procs inst in
-          let delta = delta_factor *. horizon in
-          let rng = Rng.create ~seed:(seed + 29) in
-          for _ = 1 to scenarios_per_graph do
-            incr trials;
-            let timed = Scenario.random_timed rng ~m ~count:eps ~horizon in
-            if (Esim.run_timed s_mc timed).Esim.latency = None then
-              incr mc_defeats;
-            let o = Recovery.run_timed ~delta s_mc timed in
-            injections := !injections + o.Recovery.injections;
-            match o.Recovery.result.Esim.latency with
-            | Some l ->
-                incr mcr_done;
-                mcr_lat := !mcr_lat +. (l /. norm)
-            | None -> incr mcr_defeats
-          done)
-        prepared;
-      Table.add_row exact_eps
-        [
-          Printf.sprintf "%.2f" delta_factor;
-          fmt3 (float_of_int !mc_defeats /. float_of_int !trials);
-          fmt3 (float_of_int !mcr_defeats /. float_of_int !trials);
-          (if !mcr_done = 0 then "-"
-           else fmt3 (!mcr_lat /. float_of_int !mcr_done));
-          Printf.sprintf "%.1f"
-            (float_of_int !injections /. float_of_int !trials);
-        ])
-    delta_factors;
+  let exact_eps_row delta_factor =
+    let trials = ref 0 in
+    let mc_defeats = ref 0 and mcr_defeats = ref 0 in
+    let mcr_lat = ref 0. and mcr_done = ref 0 in
+    let injections = ref 0 in
+    List.iter
+      (fun (inst, seed, _s_ftsa, s_mc, _s_unrep, horizon, norm) ->
+        let m = Instance.n_procs inst in
+        let delta = delta_factor *. horizon in
+        let rng = Rng.create ~seed:(seed + 29) in
+        for _ = 1 to scenarios_per_graph do
+          incr trials;
+          let timed = Scenario.random_timed rng ~m ~count:eps ~horizon in
+          if (Esim.run_timed s_mc timed).Esim.latency = None then
+            incr mc_defeats;
+          let o = Recovery.run_timed ~delta s_mc timed in
+          injections := !injections + o.Recovery.injections;
+          match o.Recovery.result.Esim.latency with
+          | Some l ->
+              incr mcr_done;
+              mcr_lat := !mcr_lat +. (l /. norm)
+          | None -> incr mcr_defeats
+        done)
+      prepared;
+    [
+      Printf.sprintf "%.2f" delta_factor;
+      fmt3 (float_of_int !mc_defeats /. float_of_int !trials);
+      fmt3 (float_of_int !mcr_defeats /. float_of_int !trials);
+      (if !mcr_done = 0 then "-"
+       else fmt3 (!mcr_lat /. float_of_int !mcr_done));
+      Printf.sprintf "%.1f" (float_of_int !injections /. float_of_int !trials);
+    ]
+  in
+  List.iter (Table.add_row exact_eps)
+    (Par.parallel_map ?jobs exact_eps_row delta_factors);
   { campaign; exact_eps }
 
 (* A6: link failures and retransmission.  No processor ever dies here —
@@ -555,7 +563,7 @@ let recovery_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
    starvation on top. *)
 let link_loss_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
     ?(scenarios_per_graph = 5) ?(eps = 2)
-    ?(losses = [ 0.02; 0.05; 0.1; 0.2; 0.4 ]) ?(retries = 3) () =
+    ?(losses = [ 0.02; 0.05; 0.1; 0.2; 0.4 ]) ?(retries = 3) ?jobs () =
   let module Esim = Ftsched_sim.Event_sim in
   let module Scenario = Ftsched_sim.Scenario in
   let module Recovery = Ftsched_recovery.Recovery in
@@ -563,7 +571,7 @@ let link_loss_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
   let granularity = 1.0 in
   let graphs = spec.Workload.graphs_per_point in
   let prepared =
-    List.init graphs (fun index ->
+    Par.parallel_init ?jobs graphs (fun index ->
         let inst = Workload.instance spec ~master_seed ~granularity ~index in
         let seed = master_seed + (31 * index) in
         let s_ftsa = Ftsa.schedule ~seed inst ~eps in
@@ -587,69 +595,71 @@ let link_loss_ablation ?(spec = Workload.quick) ?(master_seed = 2008)
           "MC+rec lat";
         ]
   in
-  List.iter
-    (fun loss ->
-      let trials = ref 0 in
-      let ftsa_nort = ref 0
-      and mc_nort = ref 0
-      and ftsa_rt = ref 0
-      and mc_rt = ref 0
-      and mcr_defeats = ref 0 in
-      let mc_tasks = ref 0. in
-      let retrans = ref 0 in
-      let mcr_lat = ref 0. and mcr_done = ref 0 in
-      List.iter
-        (fun (inst, seed, s_ftsa, s_mc, norm) ->
-          let m = Instance.n_procs inst in
-          let fail_times = Array.make m infinity in
-          let g = Instance.dag inst in
-          for k = 1 to scenarios_per_graph do
-            incr trials;
-            (* The same fault seed across variants pairs the comparison;
-               the draws still diverge with the message count. *)
-            let fseed = seed + (101 * k) in
-            let no_rt = Scenario.lossy ~loss ~retries:0 ~seed:fseed () in
-            let rt = Scenario.lossy ~loss ~retries ~seed:fseed () in
-            let defeated (r : Esim.result) = r.Esim.latency = None in
-            if defeated (Esim.run ~faults:no_rt s_ftsa ~fail_times) then
-              incr ftsa_nort;
-            let r_mc = Esim.run ~faults:no_rt s_mc ~fail_times in
-            if defeated r_mc then incr mc_nort;
-            let d =
-              Metrics.degraded_of_run g ~first_finish:(first_finish_of r_mc)
-            in
-            mc_tasks :=
-              !mc_tasks
-              +. float_of_int d.Metrics.completed_tasks
-                 /. float_of_int d.Metrics.total_tasks;
-            if defeated (Esim.run ~faults:rt s_ftsa ~fail_times) then
-              incr ftsa_rt;
-            let r_mc_rt = Esim.run ~faults:rt s_mc ~fail_times in
-            if defeated r_mc_rt then incr mc_rt;
-            retrans := !retrans + r_mc_rt.Esim.retransmissions;
-            let o = Recovery.run ~faults:rt s_mc ~fail_times in
-            match o.Recovery.result.Esim.latency with
-            | Some l ->
-                incr mcr_done;
-                mcr_lat := !mcr_lat +. (l /. norm)
-            | None -> incr mcr_defeats
-          done)
-        prepared;
-      let rate n = float_of_int !n /. float_of_int !trials in
-      Table.add_row table
-        [
-          Printf.sprintf "%.2f" loss;
-          fmt3 (rate ftsa_nort);
-          fmt3 (rate mc_nort);
-          fmt_pct (100. *. !mc_tasks /. float_of_int !trials);
-          fmt3 (rate ftsa_rt);
-          fmt3 (rate mc_rt);
-          Printf.sprintf "%.1f" (float_of_int !retrans /. float_of_int !trials);
-          fmt3 (rate mcr_defeats);
-          (if !mcr_done = 0 then "-"
-           else fmt3 (!mcr_lat /. float_of_int !mcr_done));
-        ])
-    losses;
+  (* One row per loss rate, fanned out over the pool: every scenario's
+     fault stream is seeded from (graph seed, sample index), so rows are
+     independent and the table is bit-identical at any worker count. *)
+  let loss_row loss =
+    let trials = ref 0 in
+    let ftsa_nort = ref 0
+    and mc_nort = ref 0
+    and ftsa_rt = ref 0
+    and mc_rt = ref 0
+    and mcr_defeats = ref 0 in
+    let mc_tasks = ref 0. in
+    let retrans = ref 0 in
+    let mcr_lat = ref 0. and mcr_done = ref 0 in
+    List.iter
+      (fun (inst, seed, s_ftsa, s_mc, norm) ->
+        let m = Instance.n_procs inst in
+        let fail_times = Array.make m infinity in
+        let g = Instance.dag inst in
+        for k = 1 to scenarios_per_graph do
+          incr trials;
+          (* The same fault seed across variants pairs the comparison;
+             the draws still diverge with the message count. *)
+          let fseed = seed + (101 * k) in
+          let no_rt = Scenario.lossy ~loss ~retries:0 ~seed:fseed () in
+          let rt = Scenario.lossy ~loss ~retries ~seed:fseed () in
+          let defeated (r : Esim.result) = r.Esim.latency = None in
+          if defeated (Esim.run ~faults:no_rt s_ftsa ~fail_times) then
+            incr ftsa_nort;
+          let r_mc = Esim.run ~faults:no_rt s_mc ~fail_times in
+          if defeated r_mc then incr mc_nort;
+          let d =
+            Metrics.degraded_of_run g ~first_finish:(first_finish_of r_mc)
+          in
+          mc_tasks :=
+            !mc_tasks
+            +. float_of_int d.Metrics.completed_tasks
+               /. float_of_int d.Metrics.total_tasks;
+          if defeated (Esim.run ~faults:rt s_ftsa ~fail_times) then
+            incr ftsa_rt;
+          let r_mc_rt = Esim.run ~faults:rt s_mc ~fail_times in
+          if defeated r_mc_rt then incr mc_rt;
+          retrans := !retrans + r_mc_rt.Esim.retransmissions;
+          let o = Recovery.run ~faults:rt s_mc ~fail_times in
+          match o.Recovery.result.Esim.latency with
+          | Some l ->
+              incr mcr_done;
+              mcr_lat := !mcr_lat +. (l /. norm)
+          | None -> incr mcr_defeats
+        done)
+      prepared;
+    let rate n = float_of_int !n /. float_of_int !trials in
+    [
+      Printf.sprintf "%.2f" loss;
+      fmt3 (rate ftsa_nort);
+      fmt3 (rate mc_nort);
+      fmt_pct (100. *. !mc_tasks /. float_of_int !trials);
+      fmt3 (rate ftsa_rt);
+      fmt3 (rate mc_rt);
+      Printf.sprintf "%.1f" (float_of_int !retrans /. float_of_int !trials);
+      fmt3 (rate mcr_defeats);
+      (if !mcr_done = 0 then "-"
+       else fmt3 (!mcr_lat /. float_of_int !mcr_done));
+    ]
+  in
+  List.iter (Table.add_row table) (Par.parallel_map ?jobs loss_row losses);
   table
 
 let time_once f =

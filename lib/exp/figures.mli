@@ -25,6 +25,7 @@ val figure :
   ?spec:Workload.spec ->
   ?master_seed:int ->
   ?crash_samples:int ->
+  ?jobs:int ->
   eps:int ->
   crash_counts:int list ->
   unit ->
@@ -34,12 +35,16 @@ val figure :
     Figure 2 [~eps:2 ~crash_counts:[0;1;2]],
     Figure 3 [~eps:5 ~crash_counts:[0;2;5]].
     [spec] defaults to {!Workload.quick}; pass {!Workload.paper} for the
-    full 60-graph sweep. *)
+    full 60-graph sweep.  [jobs] (default
+    {!Ftsched_par.Par.default_jobs}) fans the granularity points out
+    over that many domains — the panels are bit-identical for any worker
+    count. *)
 
 val figure4 :
   ?spec:Workload.spec ->
   ?master_seed:int ->
   ?crash_samples:int ->
+  ?jobs:int ->
   unit ->
   Ftsched_util.Table.t * Ftsched_util.Table.t
 (** Figure 4: FTSA on a 5-processor platform with ε = 2 — (latency,
@@ -138,6 +143,7 @@ val recovery_ablation :
   ?eps:int ->
   ?intensities:float list ->
   ?delta_factors:float list ->
+  ?jobs:int ->
   unit ->
   recovery_panels
 (** Beyond the paper (A5): the online failure detection and recovery
@@ -156,6 +162,7 @@ val link_loss_ablation :
   ?eps:int ->
   ?losses:float list ->
   ?retries:int ->
+  ?jobs:int ->
   unit ->
   Ftsched_util.Table.t
 (** Beyond the paper (A6): link failures and retransmission.  No

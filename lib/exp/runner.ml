@@ -7,6 +7,7 @@ module Mc_ftsa = Ftsched_core.Mc_ftsa
 module Ftbar = Ftsched_baseline.Ftbar
 module Scenario = Ftsched_sim.Scenario
 module Crash_exec = Ftsched_sim.Crash_exec
+module Par = Ftsched_par.Par
 
 type metrics = (string * float) list
 
@@ -15,7 +16,15 @@ type graph_result = {
   normalizer : float;
   mc_strict_defeated : float;
   metrics : metrics;
+  metric_tbl : (string, float) Hashtbl.t;
 }
+
+let index_metrics metrics =
+  let tbl = Hashtbl.create (2 * List.length metrics) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) metrics;
+  tbl
+
+let metric r key = Hashtbl.find_opt r.metric_tbl key
 
 let mean_edge_comm inst =
   let g = Instance.dag inst in
@@ -28,6 +37,14 @@ let mean_edge_comm inst =
     done;
     !total /. float_of_int e
   end
+
+(* Crash-scenario RNG, derived per (count, sample) rather than shared
+   across the crash-count sweep: seed + 0x5eed salts the base stream as
+   before, 7919*count and 101*sample split it per multiplicity and draw,
+   so scenarios stay identical if crash_counts is reordered or the
+   sampling is parallelized. *)
+let crash_scenario_rng ~seed ~count ~sample =
+  Rng.create ~seed:(seed + 0x5eed + (7919 * count) + (101 * sample))
 
 let run_graph inst ~eps ~crash_counts ?(crash_samples = 3) ?(seed = 0) () =
   let m = Instance.n_procs inst in
@@ -48,14 +65,14 @@ let run_graph inst ~eps ~crash_counts ?(crash_samples = 3) ?(seed = 0) () =
       ("ff_ftbar", Schedule.latency_lower_bound s_ff_ftbar);
     ]
   in
-  let crash_rng = Rng.create ~seed:(seed + 0x5eed) in
   let strict_defeats = ref 0 and strict_total = ref 0 in
   let crash_metrics =
     List.concat_map
       (fun count ->
         let scenarios =
-          List.init crash_samples (fun _ ->
-              Scenario.random crash_rng ~m ~count)
+          List.init crash_samples (fun sample ->
+              let rng = crash_scenario_rng ~seed ~count ~sample in
+              Scenario.random rng ~m ~count)
         in
         let mean run_one =
           let total =
@@ -86,33 +103,37 @@ let run_graph inst ~eps ~crash_counts ?(crash_samples = 3) ?(seed = 0) () =
         ])
       crash_counts
   in
+  let metrics = bounds @ crash_metrics in
   {
     granularity = Ftsched_model.Granularity.granularity inst;
     normalizer = mean_edge_comm inst;
     mc_strict_defeated =
       (if !strict_total = 0 then 0.
        else float_of_int !strict_defeats /. float_of_int !strict_total);
-    metrics = bounds @ crash_metrics;
+    metrics;
+    metric_tbl = index_metrics metrics;
   }
 
 let run_point spec ~master_seed ~granularity ~eps ~crash_counts
-    ?crash_samples () =
-  List.init spec.Workload.graphs_per_point (fun index ->
+    ?crash_samples ?jobs () =
+  Par.parallel_init ?jobs spec.Workload.graphs_per_point (fun index ->
       let inst = Workload.instance spec ~master_seed ~granularity ~index in
       run_graph inst ~eps ~crash_counts ?crash_samples
         ~seed:(master_seed + (31 * index))
         ())
 
+let get_metric r key =
+  match Hashtbl.find_opt r.metric_tbl key with
+  | Some v -> v
+  | None -> invalid_arg ("Runner: unknown metric " ^ key)
+
 let mean_of results key =
-  let values =
-    List.map
-      (fun r ->
-        match List.assoc_opt key r.metrics with
-        | Some v -> v /. r.normalizer
-        | None -> invalid_arg ("Runner.mean_of: unknown metric " ^ key))
-      results
+  let total =
+    List.fold_left
+      (fun acc r -> acc +. (get_metric r key /. r.normalizer))
+      0. results
   in
-  List.fold_left ( +. ) 0. values /. float_of_int (List.length values)
+  total /. float_of_int (List.length results)
 
 let mean_defeat_rate results =
   List.fold_left (fun acc r -> acc +. r.mc_strict_defeated) 0. results

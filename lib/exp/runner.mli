@@ -28,7 +28,14 @@ type graph_result = {
           the strict (paper-literal) execution policy — the end-to-end
           gap documented in DESIGN.md *)
   metrics : metrics;
+  metric_tbl : (string, float) Hashtbl.t;
+      (** [metrics] pre-indexed by label, built once per graph so the
+          O(points × keys × graphs) figure reductions look metrics up in
+          O(1) instead of walking the assoc list per cell *)
 }
+
+val metric : graph_result -> string -> float option
+(** O(1) lookup in the pre-indexed metric table. *)
 
 val run_graph :
   Ftsched_model.Instance.t ->
@@ -50,9 +57,14 @@ val run_point :
   eps:int ->
   crash_counts:int list ->
   ?crash_samples:int ->
+  ?jobs:int ->
   unit ->
   graph_result list
-(** All graphs of one figure point. *)
+(** All graphs of one figure point, fanned out over
+    [jobs] domains (default {!Ftsched_par.Par.default_jobs}) — each
+    graph's instance and every RNG it draws from derive from
+    [master_seed + 31*index], so the result list is bit-identical for
+    any worker count. *)
 
 val mean_of : graph_result list -> string -> float
 (** Mean of one normalized metric over the point's graphs ([latency /

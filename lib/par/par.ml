@@ -1,0 +1,119 @@
+(* Deterministic Domain-based task pool.
+
+   The pool never decides *what* a unit of work computes — every unit is
+   a pure function of its index (callers derive per-index RNG seeds, the
+   repo-wide [master_seed + 31*index] convention), so the pool only
+   changes *who* executes it.  Results land in their index slot, which
+   makes the output bit-identical for any worker count, including 1.
+
+   [jobs:1] (and every call made from inside a worker domain) takes the
+   exact sequential [List.map] / [List.init] code route, so the
+   zero-risk fallback is trivially auditable. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "FTSCHED_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default = ref None
+
+let default_jobs () =
+  match !default with
+  | Some n -> n
+  | None ->
+      let n =
+        match env_jobs () with
+        | Some n -> n
+        | None -> Domain.recommended_domain_count ()
+      in
+      default := Some n;
+      n
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Par.set_default_jobs: jobs must be >= 1";
+  default := Some n
+
+(* Workers flag their domain so nested fan-outs (a parallel point calling
+   a parallel run_point) degrade to the sequential route instead of
+   over-subscribing the machine. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
+
+(* Run [f i] once for every [i] in [0, n): a chunked shared counter keeps
+   workers busy without a per-item atomic.  On exception, workers drain
+   and the failure with the *smallest index* is re-raised, matching what
+   the sequential route would have raised. *)
+let run_items ~jobs n f =
+  let jobs = Int.min jobs n in
+  let next = Atomic.make 0 in
+  let failed : failure option Atomic.t = Atomic.make None in
+  let chunk = Int.max 1 (n / (jobs * 8)) in
+  let record index exn bt =
+    let rec loop () =
+      let cur = Atomic.get failed in
+      let better =
+        match cur with None -> true | Some c -> index < c.index
+      in
+      if better && not (Atomic.compare_and_set failed cur (Some { index; exn; bt }))
+      then loop ()
+    in
+    loop ()
+  in
+  let worker () =
+    let was = Domain.DLS.get in_worker in
+    Domain.DLS.set in_worker true;
+    let continue = ref true in
+    while !continue do
+      let start = Atomic.fetch_and_add next chunk in
+      if start >= n || Atomic.get failed <> None then continue := false
+      else
+        let stop = Int.min n (start + chunk) in
+        let i = ref start in
+        (try
+           while !i < stop do
+             f !i;
+             incr i
+           done
+         with exn -> record !i exn (Printexc.get_raw_backtrace ()))
+    done;
+    Domain.DLS.set in_worker was
+  in
+  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  match Atomic.get failed with
+  | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let resolve_jobs = function
+  | Some j when j < 1 -> invalid_arg "Par: jobs must be >= 1"
+  | Some j -> j
+  | None -> default_jobs ()
+
+let parallel_init ?jobs n f =
+  if n < 0 then invalid_arg "Par.parallel_init: negative length";
+  let jobs = resolve_jobs jobs in
+  let jobs = if Domain.DLS.get in_worker then 1 else jobs in
+  if jobs <= 1 || n <= 1 then List.init n f
+  else begin
+    let results = Array.make n None in
+    run_items ~jobs n (fun i -> results.(i) <- Some (f i));
+    List.init n (fun i -> Option.get results.(i))
+  end
+
+let parallel_map ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  let jobs = if Domain.DLS.get in_worker then 1 else jobs in
+  match xs with
+  | ([] | [ _ ]) -> List.map f xs
+  | _ when jobs <= 1 -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      run_items ~jobs n (fun i -> results.(i) <- Some (f arr.(i)));
+      List.init n (fun i -> Option.get results.(i))

@@ -1,0 +1,46 @@
+(** Deterministic Domain-based task pool (OCaml 5, no dependencies).
+
+    Every fan-out in the experiment harness — graphs within a figure
+    point, points within a figure, Monte-Carlo crash samples, adversary
+    candidate evaluations — is embarrassingly parallel {e and} already
+    deterministic: each unit of work derives its own RNG from its index
+    (the repo-wide [master_seed + 31*index] convention), so no unit reads
+    another's random stream.  This pool exploits exactly that contract:
+    it only changes {e who} executes a unit, never {e what} the unit
+    computes, and results are therefore bit-identical for any worker
+    count, including 1.
+
+    Callers must keep that contract: the function passed to
+    {!parallel_map}/{!parallel_init} must be a pure function of its
+    element/index (plus immutable captured state).  Sharing a mutable RNG
+    or accumulator across units breaks determinism — derive per-index
+    state instead.
+
+    [jobs:1] takes the exact sequential [List.map]/[List.init] code
+    route; nested calls made from inside a worker domain do too, so an
+    outer parallel sweep never over-subscribes the machine. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] is [List.map f xs], computed by [jobs]
+    domains (default {!default_jobs}).  Bit-identical to the sequential
+    result for any [jobs] when [f] is pure per element.  If any [f x]
+    raises, the exception of the {e smallest} failing index is re-raised
+    (with its backtrace), matching the sequential route.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val parallel_init : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [parallel_init ~jobs n f] is [List.init n f], computed by [jobs]
+    domains.  Same determinism and exception contract as
+    {!parallel_map}.  Raises [Invalid_argument] on negative [n] or
+    [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** The worker count used when [?jobs] is omitted: the [FTSCHED_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; overridable with
+    {!set_default_jobs} (the [-j] CLI flags do).  Resolved once and
+    cached. *)
+
+val set_default_jobs : int -> unit
+(** Pin the default worker count for the process ([-j N]).  Raises
+    [Invalid_argument] if [n < 1]. *)

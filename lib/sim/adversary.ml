@@ -2,6 +2,7 @@ module Schedule = Ftsched_schedule.Schedule
 module Instance = Ftsched_model.Instance
 module Metrics = Ftsched_schedule.Metrics
 module Rng = Ftsched_util.Rng
+module Par = Ftsched_par.Par
 
 type outcome = Defeated | Latency of float
 
@@ -116,15 +117,21 @@ let candidate_times ?network ~faults ~max_per_proc s m =
     outcome_of ff )
 
 let search ?network ?(faults = Scenario.reliable) ?(links = 0) ?(restarts = 6)
-    ?(seed = 0) ?(exhaustive_limit = 2_000) ?(max_link_candidates = 12) s
-    ~count =
+    ?(seed = 0) ?(exhaustive_limit = 2_000) ?(max_link_candidates = 12) ?jobs
+    s ~count =
   let m = Instance.n_procs (Schedule.instance s) in
   if count < 0 || count > m then invalid_arg "Adversary.search: count";
   if links < 0 then invalid_arg "Adversary.search: links";
   let evaluations = ref 0 in
+  (* [eval_pure] is safe to fan out (replay is a pure function of the
+     witness); [eval] additionally books the evaluation, for the
+     sequential search phases. *)
+  let eval_pure deaths dropped_links =
+    outcome_of (replay ?network ~faults s { deaths; dropped_links })
+  in
   let eval deaths dropped_links =
     incr evaluations;
-    outcome_of (replay ?network ~faults s { deaths; dropped_links })
+    eval_pure deaths dropped_links
   in
   let cand_times, fault_free_outcome =
     candidate_times ?network ~faults ~max_per_proc:16 s m
@@ -150,9 +157,15 @@ let search ?network ?(faults = Scenario.reliable) ?(links = 0) ?(restarts = 6)
   let deaths_at_zero procs =
     List.map (fun proc -> { Scenario.proc; at = 0. }) procs
   in
+  (* The sweep's candidate evaluations are independent full simulations —
+     the compute-bound heart of the search — so they fan out over the
+     pool; the booked count matches the sequential route exactly. *)
   let ranked =
-    List.map (fun procs -> (eval (deaths_at_zero procs) [], procs)) subsets
+    Par.parallel_map ?jobs
+      (fun procs -> (eval_pure (deaths_at_zero procs) [], procs))
+      subsets
   in
+  evaluations := !evaluations + List.length subsets;
   incr evaluations;
   (* fault-free reference counted too *)
   let untimed_worst =
@@ -236,16 +249,25 @@ let search ?network ?(faults = Scenario.reliable) ?(links = 0) ?(restarts = 6)
     for _ = 1 to links do
       let (bo, bdeaths, bdropped) = !best in
       if bo <> Defeated then begin
+        (* Evaluate every remaining candidate drop in parallel, then pick
+           with the same first-strictly-worst fold as the sequential
+           route. *)
+        let remaining =
+          List.filter (fun link -> not (List.mem link bdropped)) candidates
+        in
+        let outcomes =
+          Par.parallel_map ?jobs
+            (fun link -> (link, eval_pure bdeaths (link :: bdropped)))
+            remaining
+        in
+        evaluations := !evaluations + List.length remaining;
         let step =
           List.fold_left
-            (fun acc link ->
-              if List.mem link bdropped then acc
-              else
-                let o = eval bdeaths (link :: bdropped) in
-                match acc with
-                | Some (ao, _) when not (worse o ao) -> acc
-                | _ -> if worse o bo then Some (o, link) else acc)
-            None candidates
+            (fun acc (link, o) ->
+              match acc with
+              | Some (ao, _) when not (worse o ao) -> acc
+              | _ -> if worse o bo then Some (o, link) else acc)
+            None outcomes
         in
         match step with
         | Some (o, link) -> best := (o, bdeaths, link :: bdropped)

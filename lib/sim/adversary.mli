@@ -59,6 +59,7 @@ val search :
   ?seed:int ->
   ?exhaustive_limit:int ->
   ?max_link_candidates:int ->
+  ?jobs:int ->
   Ftsched_schedule.Schedule.t ->
   count:int ->
   report
@@ -68,8 +69,12 @@ val search :
     communication-fault environment the adversary operates in.
     [restarts] (default 6) bounds the randomized restarts;
     [exhaustive_limit] (default 2000) the subset count still swept
-    exhaustively.  Raises [Invalid_argument] on a [count] outside
-    [[0, m]] or negative [links]. *)
+    exhaustively.  [jobs] (default {!Ftsched_par.Par.default_jobs}) fans
+    the independent candidate evaluations — the untimed sweep and the
+    link-drop scoring — out over that many domains; the report
+    (including [evaluations]) is bit-identical for any worker count.
+    Raises [Invalid_argument] on a [count] outside [[0, m]] or negative
+    [links]. *)
 
 val replay :
   ?network:Event_sim.network_model ->

@@ -22,8 +22,8 @@ let choose m k =
   in
   if k < 0 || k > m then 0 else go 1 m k
 
-let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0) s
-    ~count =
+let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0)
+    ?jobs s ~count =
   let m = Instance.n_procs (Schedule.instance s) in
   if count < 0 || count > m then invalid_arg "Worst_case.analyze: count";
   if sample_limit < 1 then invalid_arg "Worst_case.analyze: sample_limit";
@@ -33,7 +33,10 @@ let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0) s
       (Scenario.all_of_size ~m ~count, false)
     else begin
       (* Too many subsets to enumerate: fall back to seeded uniform
-         sampling (with replacement, so a scenario can repeat). *)
+         sampling (with replacement, so a scenario can repeat).  The
+         scenario list is drawn sequentially from one seeded stream —
+         only the replays below fan out — so it is independent of the
+         worker count. *)
       let rng = Rng.create ~seed in
       (List.init samples (fun _ -> Scenario.random rng ~m ~count), true)
     end
@@ -45,10 +48,19 @@ let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0) s
   and delivered = ref 0
   and defeated = ref 0
   and scenarios = ref 0 in
+  (* Replays fan out over the pool; the reduction below walks the
+     outcomes in scenario order, so the accumulated stats (including the
+     float sum behind [mean] and the first-worst scenario) are
+     bit-identical to the sequential route. *)
+  let outcomes =
+    Ftsched_par.Par.parallel_map ?jobs
+      (fun sc -> (sc, (Crash_exec.run ?policy s sc).Crash_exec.latency))
+      scenario_list
+  in
   List.iter
-    (fun sc ->
+    (fun (sc, latency) ->
       incr scenarios;
-      match (Crash_exec.run ?policy s sc).Crash_exec.latency with
+      match latency with
       | None -> incr defeated
       | Some l ->
           incr delivered;
@@ -58,7 +70,7 @@ let analyze ?policy ?(sample_limit = 200_000) ?(samples = 20_000) ?(seed = 0) s
             worst := l;
             worst_scenario := sc
           end)
-    scenario_list;
+    outcomes;
   let stats =
     if !delivered = 0 then None
     else

@@ -32,6 +32,7 @@ val analyze :
   ?sample_limit:int ->
   ?samples:int ->
   ?seed:int ->
+  ?jobs:int ->
   Ftsched_schedule.Schedule.t ->
   count:int ->
   report
@@ -39,7 +40,9 @@ val analyze :
     processors: exhaustively while [C(m, count) <= sample_limit]
     (default 200,000), otherwise [samples] (default 20,000) seeded
     uniform draws with the report flagged [sampled].  Defeated scenarios
-    are counted and excluded from the latency extremes.  Raises
+    are counted and excluded from the latency extremes.  The replays fan
+    out over [jobs] domains (default {!Ftsched_par.Par.default_jobs});
+    the report is bit-identical for any worker count.  Raises
     [Invalid_argument] on a [count] outside [[0, m]]. *)
 
 val bound_tightness :

@@ -778,6 +778,102 @@ let experiment_cmd =
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
     Term.(const run $ what $ full $ graphs $ seed_arg $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+
+let fuzz_cmd =
+  let module Fuzz = Ftsched_fuzz.Fuzz in
+  let seeds_arg =
+    Arg.(
+      value & opt pos_int_conv 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of fuzzing seeds (0..N-1).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some nonneg_float_conv) None
+      & info [ "time-budget" ] ~docv:"S"
+          ~doc:
+            "Stop launching new seed chunks after $(docv) wall-clock \
+             seconds; seeds already launched still finish.  The early \
+             stop is the only source of nondeterminism — per-seed \
+             results are unaffected.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk counterexample witnesses.")
+  in
+  let no_save_arg =
+    Arg.(
+      value & flag
+      & info [ "no-save" ] ~doc:"Do not write witness files on violation.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-check a saved witness file instead of fuzzing.")
+  in
+  let run seeds budget dir no_save replay jobs =
+    apply_jobs jobs;
+    match replay with
+    | Some path -> (
+        match Fuzz.replay path with
+        | Error msg ->
+            Printf.eprintf "replay failed: %s\n" msg;
+            exit 2
+        | Ok (name, []) ->
+            Printf.printf "%s: %s is clean — bug no longer reproduces\n" path
+              name;
+            exit 0
+        | Ok (name, violations) ->
+            Printf.printf "%s: %s still fails %d oracle check(s)\n" path name
+              (List.length violations);
+            List.iter
+              (fun v ->
+                Printf.printf "  [%s] %s\n"
+                  (Fuzz.oracle_name v.Fuzz.oracle)
+                  v.Fuzz.detail)
+              violations;
+            exit 1)
+    | None ->
+        let should_stop =
+          match budget with
+          | None -> fun () -> false
+          | Some s ->
+              let deadline = Unix.gettimeofday () +. s in
+              fun () -> Unix.gettimeofday () > deadline
+        in
+        let report =
+          Fuzz.campaign ?jobs ~should_stop ~dir ~save:(not no_save) ~seeds ()
+        in
+        Printf.printf "fuzz: %d/%d seeds x %d schedulers, %d violation(s)\n"
+          report.Fuzz.seeds_run report.Fuzz.seeds_requested
+          report.Fuzz.schedulers_run
+          (List.length report.Fuzz.counterexamples);
+        List.iter
+          (fun (ce, path) ->
+            Format.printf "@[<v>%a@]@." Fuzz.pp_counterexample ce;
+            Option.iter
+              (fun p ->
+                Printf.printf "  witness: %s\n  replay:  %s\n" p
+                  (Fuzz.replay_command ~path:p))
+              path)
+          report.Fuzz.counterexamples;
+        if report.Fuzz.counterexamples <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random instances through every scheduler, \
+          cross-checked by validation, crash-simulation, serialization and \
+          selection oracles; counterexamples are shrunk to minimal \
+          witnesses")
+    Term.(
+      const run $ seeds_arg $ budget_arg $ dir_arg $ no_save_arg $ replay_arg
+      $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "ftsched" ~version:"1.0.0"
@@ -790,5 +886,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; schedule_cmd; simulate_cmd; bicriteria_cmd;
-            reliability_cmd; inspect_cmd; experiment_cmd;
+            reliability_cmd; inspect_cmd; experiment_cmd; fuzz_cmd;
           ]))

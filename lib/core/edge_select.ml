@@ -31,7 +31,7 @@ let greedy ~eps edges =
   let sorted =
     List.sort
       (fun a b ->
-        match compare a.weight b.weight with
+        match Float.compare a.weight b.weight with
         | 0 -> compare (a.left, a.right) (b.left, b.right)
         | c -> c)
       remaining
@@ -59,7 +59,7 @@ let bottleneck_result ~eps edges =
   let weights =
     edges
     |> List.map (fun e -> e.weight)
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
     |> Array.of_list
   in
   (* Binary search for the smallest threshold admitting a perfect
@@ -102,7 +102,7 @@ let redundant ~eps ~senders edges =
     let candidates =
       edges
       |> List.filter (fun e -> not e.forced)
-      |> List.sort (fun a b -> compare a.weight b.weight)
+      |> List.sort (fun a b -> Float.compare a.weight b.weight)
     in
     List.iter
       (fun e ->
@@ -119,12 +119,18 @@ let redundant ~eps ~senders edges =
   end
 
 let max_weight edges pairs =
+  (* Index once instead of a [List.find] per pair: O(|edges| + |pairs|)
+     rather than O(|pairs|·|edges|).  Keep the first occurrence of a
+     duplicated (left, right) key, matching the old [List.find]. *)
+  let index = Hashtbl.create (2 * List.length edges) in
+  List.iter
+    (fun e ->
+      let key = (e.left, e.right) in
+      if not (Hashtbl.mem index key) then Hashtbl.add index key e.weight)
+    edges;
   List.fold_left
     (fun acc (l, r) ->
-      let e =
-        List.find
-          (fun e -> e.left = l && e.right = r)
-          edges
-      in
-      Float.max acc e.weight)
+      match Hashtbl.find_opt index (l, r) with
+      | Some w -> Float.max acc w
+      | None -> infeasible "pair (%d, %d) has no backing edge" l r)
     neg_infinity pairs

@@ -43,7 +43,9 @@ val bottleneck_value : eps:int -> edge list -> float
     {!bottleneck}). *)
 
 val max_weight : edge list -> (int * int) list -> float
-(** Largest weight among the chosen pairs — for comparing selectors. *)
+(** Largest weight among the chosen pairs — for comparing selectors.
+    O(|edges| + |pairs|) via a [(left, right)] index.  Raises
+    {!Infeasible} when a pair has no backing edge. *)
 
 val redundant : eps:int -> senders:int -> edge list -> (int * int) list
 (** Extension beyond the paper: a greedy one-to-one selection augmented

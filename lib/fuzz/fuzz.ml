@@ -1,0 +1,686 @@
+module Rng = Ftsched_util.Rng
+module Dag = Ftsched_dag.Dag
+module Generators = Ftsched_dag.Generators
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Validate = Ftsched_schedule.Validate
+module Serialize = Ftsched_schedule.Serialize
+module Comm_plan = Ftsched_schedule.Comm_plan
+module Edge_select = Ftsched_core.Edge_select
+module Scenario = Ftsched_sim.Scenario
+module Crash_exec = Ftsched_sim.Crash_exec
+module Event_sim = Ftsched_sim.Event_sim
+module Par = Ftsched_par.Par
+
+type case = { instance : Instance.t; eps : int; sched_seed : int }
+
+type scheduler = {
+  name : string;
+  run : seed:int -> Instance.t -> eps:int -> Schedule.t;
+}
+
+(* Deterministic per-platform parameters for the variants that need
+   extra structure: heterogeneous failure rates for R-FTSA and a
+   [min m (eps+2)]-way domain partition for FTSA-domains (>= eps+1
+   domains, as required; recomputed from the current m so the shrinker
+   can drop processors). *)
+let rates_for m = Array.init m (fun p -> 0.0005 *. float_of_int (p + 1))
+
+let domains_for ~m ~eps =
+  let d = min m (eps + 2) in
+  Array.init m (fun p -> p mod d)
+
+let schedulers =
+  [
+    {
+      name = "ftsa";
+      run = (fun ~seed inst ~eps -> Ftsched_core.Ftsa.schedule ~seed inst ~eps);
+    };
+    {
+      name = "mc-greedy";
+      run =
+        (fun ~seed inst ~eps -> Ftsched_core.Mc_ftsa.schedule ~seed inst ~eps);
+    };
+    {
+      name = "mc-bottleneck";
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_core.Mc_ftsa.schedule ~seed
+            ~strategy:Ftsched_core.Mc_ftsa.Bottleneck inst ~eps);
+    };
+    {
+      name = "mc-redundant";
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_core.Mc_ftsa.schedule ~seed
+            ~strategy:(Ftsched_core.Mc_ftsa.Redundant 2) inst ~eps);
+    };
+    {
+      name = "ca-ftsa";
+      run =
+        (fun ~seed inst ~eps -> Ftsched_core.Ca_ftsa.schedule ~seed inst ~eps);
+    };
+    {
+      name = "r-ftsa";
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_core.R_ftsa.schedule ~seed
+            ~rates:(rates_for (Instance.n_procs inst))
+            inst ~eps);
+    };
+    {
+      name = "ftsa-domains";
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_core.Ftsa_domains.schedule ~seed
+            ~domains:(domains_for ~m:(Instance.n_procs inst) ~eps)
+            inst ~eps);
+    };
+    {
+      name = "ftbar";
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_baseline.Ftbar.schedule ~seed inst ~npf:eps);
+    };
+    {
+      name = "heft";
+      run = (fun ~seed:_ inst ~eps:_ -> Ftsched_baseline.Heft.schedule inst);
+    };
+    {
+      name = "peft";
+      run = (fun ~seed:_ inst ~eps:_ -> Ftsched_baseline.Peft.schedule inst);
+    };
+    {
+      name = "cpop";
+      run = (fun ~seed:_ inst ~eps:_ -> Ftsched_baseline.Cpop.schedule inst);
+    };
+  ]
+
+type oracle =
+  | Crash
+  | Structural
+  | Survivability
+  | Executor_agreement
+  | Round_trip
+  | Selection
+
+let oracle_name = function
+  | Crash -> "crash"
+  | Structural -> "structural"
+  | Survivability -> "survivability"
+  | Executor_agreement -> "executor-agreement"
+  | Round_trip -> "round-trip"
+  | Selection -> "selection"
+
+let oracle_of_name = function
+  | "crash" -> Some Crash
+  | "structural" -> Some Structural
+  | "survivability" -> Some Survivability
+  | "executor-agreement" -> Some Executor_agreement
+  | "round-trip" -> Some Round_trip
+  | "selection" -> Some Selection
+  | _ -> None
+
+type violation = { oracle : oracle; detail : string }
+
+(* ------------------------------------------------------------------ *)
+(* Case generation                                                     *)
+
+let gen_case ~seed =
+  let rng = Rng.create ~seed:((1_000_003 * seed) + 17) in
+  let m = Rng.int_in rng 2 5 in
+  let eps = Rng.int rng (min 3 m) in
+  let n = Rng.int_in rng 3 14 in
+  let dag =
+    match Rng.int rng 5 with
+    | 0 -> Generators.layered rng ~n_tasks:n ()
+    | 1 -> Generators.erdos_renyi rng ~n_tasks:n ~edge_prob:0.3 ()
+    | 2 ->
+        Generators.fork_join rng
+          ~stages:(1 + (n / 6))
+          ~width:(2 + Rng.int rng 3) ()
+    | 3 -> Generators.random_out_tree rng ~n_tasks:n ~max_children:3 ()
+    | _ -> Generators.chain rng ~n_tasks:n ()
+  in
+  let platform =
+    Platform.random rng ~m ~delay_lo:0.25 ~delay_hi:1.5
+      ~symmetric:(Rng.bool rng) ()
+  in
+  let instance = Instance.random_exec rng ~dag ~platform () in
+  { instance; eps; sched_seed = seed }
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+
+let tol = 1e-6
+
+(* Relative tolerance for latency comparisons, matching the executor
+   agreement property in the test suite. *)
+let close a b = Float.abs (a -. b) <= tol *. Float.max 1. (Float.abs a)
+
+let pp_opt_latency ppf = function
+  | Some l -> Format.fprintf ppf "%.9g" l
+  | None -> Format.pp_print_string ppf "defeated"
+
+(* Reconstruct the bipartite candidate graph of one DAG edge from the
+   final schedule, mirroring the MC-FTSA construction of §4.2: a source
+   replica colocated with one of the destination's processors has a
+   single forced edge to that colocated destination replica; every
+   other source replica may feed any destination replica.  Weights are
+   the completion time the destination would reach through that edge
+   alone. *)
+let candidate_edges s ~src ~dst ~volume =
+  let inst = Schedule.instance s in
+  let k = Schedule.eps s + 1 in
+  let srcs = Schedule.replicas s src and dsts = Schedule.replicas s dst in
+  List.concat
+    (List.init k (fun l ->
+         let sr = srcs.(l) in
+         match
+           Array.find_opt
+             (fun (dr : Schedule.replica) -> dr.proc = sr.proc)
+             dsts
+         with
+         | Some dr ->
+             [
+               {
+                 Edge_select.left = l;
+                 right = dr.index;
+                 weight = sr.finish +. Instance.exec inst dst dr.proc;
+                 forced = true;
+               };
+             ]
+         | None ->
+             List.init k (fun r ->
+                 let dr = dsts.(r) in
+                 {
+                   Edge_select.left = l;
+                   right = r;
+                   weight =
+                     sr.finish
+                     +. Instance.comm_time inst ~volume ~src:sr.proc
+                          ~dst:dr.proc
+                     +. Instance.exec inst dst dr.proc;
+                   forced = false;
+                 })))
+
+let check sched case =
+  let { instance = inst; eps; sched_seed } = case in
+  match sched.run ~seed:sched_seed inst ~eps with
+  | exception e ->
+      [
+        {
+          oracle = Crash;
+          detail = Printf.sprintf "scheduler raised %s" (Printexc.to_string e);
+        };
+      ]
+  | s ->
+      let acc = ref [] in
+      let add oracle fmt =
+        Format.kasprintf (fun detail -> acc := { oracle; detail } :: !acc) fmt
+      in
+      let guarded oracle f =
+        try f ()
+        with e ->
+          add oracle "oracle raised %s" (Printexc.to_string e)
+      in
+      let m = Instance.n_procs inst in
+      let seps = Schedule.eps s in
+      (* (a) structural invariants *)
+      guarded Structural (fun () ->
+          (match Validate.check s with
+          | Ok () -> ()
+          | Error errs ->
+              add Structural "%s"
+                (String.concat "; "
+                   (List.map (Format.asprintf "%a" Validate.pp_error) errs)));
+          let lb = Schedule.latency_lower_bound s
+          and ub = Schedule.latency_upper_bound s in
+          if lb > ub +. tol then add Structural "M* %.9g exceeds M %.9g" lb ub);
+      (* (a') survivability *)
+      guarded Survivability (fun () ->
+          match Schedule.comm s with
+          | Comm_plan.All_to_all ->
+              if not (Validate.survives_all_subsets s) then
+                add Survivability
+                  "defeated by some %d-failure subset (Theorem 4.1)" seps
+          | Comm_plan.Selected _ ->
+              (* The strict-policy gap of Prop. 4.3 is documented and
+                 expected; the reroute repair must always deliver. *)
+              List.iter
+                (fun sc ->
+                  match
+                    (Crash_exec.run ~policy:Crash_exec.Reroute s sc)
+                      .Crash_exec.latency
+                  with
+                  | Some _ -> ()
+                  | None ->
+                      add Survivability "reroute defeated by %a" Scenario.pp
+                        sc)
+                (Scenario.all_of_size ~m ~count:seps));
+      (* (b) executor agreement: structural re-timing vs event-driven *)
+      guarded Executor_agreement (fun () ->
+          let scenarios =
+            Scenario.none :: List.init m (fun p -> Scenario.of_list [ p ])
+          in
+          List.iter
+            (fun sc ->
+              let a =
+                (Crash_exec.run ~policy:Crash_exec.Strict s sc)
+                  .Crash_exec.latency
+              in
+              let b = (Event_sim.run_crash s sc).Event_sim.latency in
+              match (a, b) with
+              | None, None -> ()
+              | Some x, Some y when close x y -> ()
+              | _ ->
+                  add Executor_agreement
+                    "scenario %a: crash_exec=%a event_sim=%a" Scenario.pp sc
+                    pp_opt_latency a pp_opt_latency b)
+            scenarios;
+          (* dynamic re-timing only ever starts replicas earlier, so the
+             fault-free replay cannot exceed the planned lower bound *)
+          match
+            (Crash_exec.run ~policy:Crash_exec.Strict s Scenario.none)
+              .Crash_exec.latency
+          with
+          | None -> add Executor_agreement "fault-free replay defeated"
+          | Some l ->
+              let lb = Schedule.latency_lower_bound s in
+              if l > lb +. (tol *. Float.max 1. lb) then
+                add Executor_agreement
+                  "fault-free replay %.9g exceeds M* %.9g" l lb);
+      (* (c) serializer round-trip *)
+      guarded Round_trip (fun () ->
+          let str = Serialize.schedule_to_string s in
+          let s' = Serialize.schedule_of_string str in
+          let str' = Serialize.schedule_to_string s' in
+          if str <> str' then
+            add Round_trip "re-serialization differs from original");
+      (* (d) MC selection legality, differentially against Edge_select *)
+      guarded Selection (fun () ->
+          match Schedule.comm s with
+          | Comm_plan.All_to_all -> ()
+          | Comm_plan.Selected sel ->
+              let g = Instance.dag inst in
+              let k = seps + 1 in
+              let one_to_one pairs =
+                Comm_plan.is_one_to_one
+                  (List.map
+                     (fun (l, r) ->
+                       { Comm_plan.src_replica = l; dst_replica = r })
+                     pairs)
+                  ~eps:seps
+              in
+              Array.iteri
+                (fun e pairs ->
+                  let src, dst = Dag.edge_endpoints g e in
+                  let volume = Dag.edge_volume g e in
+                  let cand = candidate_edges s ~src ~dst ~volume in
+                  let opt = Edge_select.bottleneck_value ~eps:seps cand in
+                  let gsel = Edge_select.greedy ~eps:seps cand in
+                  let bsel = Edge_select.bottleneck ~eps:seps cand in
+                  if not (one_to_one gsel) then
+                    add Selection "edge %d: greedy selection not one-to-one" e;
+                  if not (one_to_one bsel) then
+                    add Selection
+                      "edge %d: bottleneck selection not one-to-one" e;
+                  let bmax = Edge_select.max_weight cand bsel in
+                  if not (close bmax opt) then
+                    add Selection
+                      "edge %d: bottleneck certificate mismatch (max %.9g vs \
+                       value %.9g)"
+                      e bmax opt;
+                  let gmax = Edge_select.max_weight cand gsel in
+                  if gmax +. tol < opt then
+                    add Selection
+                      "edge %d: greedy max %.9g beats optimal bottleneck %.9g"
+                      e gmax opt;
+                  (* the schedule's own pairs: pure selections must be
+                     one-to-one and built from admissible edges, and no
+                     admissible one-to-one selection can beat the
+                     optimum *)
+                  if List.length pairs = k then begin
+                    if not (Comm_plan.is_one_to_one pairs ~eps:seps) then
+                      add Selection
+                        "edge %d (%d→%d): schedule selection not one-to-one" e
+                        src dst;
+                    match
+                      Edge_select.max_weight cand
+                        (List.map
+                           (fun { Comm_plan.src_replica; dst_replica } ->
+                             (src_replica, dst_replica))
+                           pairs)
+                    with
+                    | exception Edge_select.Infeasible msg ->
+                        add Selection
+                          "edge %d: schedule selection uses inadmissible \
+                           pair: %s"
+                          e msg
+                    | w ->
+                        if w +. tol < opt then
+                          add Selection
+                            "edge %d: schedule selection max %.9g below \
+                             optimal bottleneck %.9g"
+                            e w opt
+                  end)
+                sel);
+      List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+
+(* Rebuild an instance without task [t] (indices above [t] shift down). *)
+let drop_task inst t =
+  let g = Instance.dag inst in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let b = Dag.Builder.create ~expected_tasks:(v - 1) () in
+  for i = 0 to v - 1 do
+    if i <> t then ignore (Dag.Builder.add_task ~label:(Dag.label g i) b)
+  done;
+  let remap i = if i < t then i else i - 1 in
+  Dag.iter_edges g (fun _e ~src ~dst ~volume ->
+      if src <> t && dst <> t then
+        Dag.Builder.add_edge b ~src:(remap src) ~dst:(remap dst) ~volume);
+  let dag = Dag.Builder.build b in
+  let exec =
+    Array.init (v - 1) (fun i ->
+        let old = if i < t then i else i + 1 in
+        Array.init m (fun p -> Instance.exec inst old p))
+  in
+  Instance.create ~dag ~platform:(Instance.platform inst) ~exec
+
+(* Rebuild an instance without processor [p]. *)
+let drop_proc inst p =
+  let g = Instance.dag inst in
+  let pl = Instance.platform inst in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let remap q = if q < p then q else q + 1 in
+  let delay =
+    Array.init (m - 1) (fun k ->
+        Array.init (m - 1) (fun h -> Platform.delay pl (remap k) (remap h)))
+  in
+  let exec =
+    Array.init v (fun t ->
+        Array.init (m - 1) (fun q -> Instance.exec inst t (remap q)))
+  in
+  Instance.create ~dag:g ~platform:(Platform.create ~delay) ~exec
+
+(* Rebuild an instance keeping only the listed edge ids. *)
+let keep_edges inst keep =
+  let g = Instance.dag inst in
+  let v = Dag.n_tasks g and m = Instance.n_procs inst in
+  let kept = Hashtbl.create (2 * List.length keep) in
+  List.iter (fun e -> Hashtbl.replace kept e ()) keep;
+  let b = Dag.Builder.create ~expected_tasks:v () in
+  for i = 0 to v - 1 do
+    ignore (Dag.Builder.add_task ~label:(Dag.label g i) b)
+  done;
+  Dag.iter_edges g (fun e ~src ~dst ~volume ->
+      if Hashtbl.mem kept e then Dag.Builder.add_edge b ~src ~dst ~volume);
+  let exec =
+    Array.init v (fun t -> Array.init m (fun p -> Instance.exec inst t p))
+  in
+  Instance.create ~dag:(Dag.Builder.build b) ~platform:(Instance.platform inst)
+    ~exec
+
+(* ddmin over a list of edge ids: repeatedly try to remove one chunk of
+   the current list, doubling the chunk count when nothing can go. *)
+let ddmin still_fails ids =
+  let rec go ids n =
+    let len = List.length ids in
+    if len <= 1 || n > len then ids
+    else begin
+      let chunk = max 1 (len / n) in
+      let rec try_chunks i =
+        if i * chunk >= len then None
+        else
+          let kept =
+            List.filteri
+              (fun j _ -> j < i * chunk || j >= min len ((i + 1) * chunk))
+              ids
+          in
+          if still_fails kept then Some kept else try_chunks (i + 1)
+      in
+      match try_chunks 0 with
+      | Some kept -> go kept (max 2 (n - 1))
+      | None -> if n >= len then ids else go ids (min len (2 * n))
+    end
+  in
+  if ids = [] then [] else if still_fails [] then [] else go ids 2
+
+let shrink ?(max_evals = 2000) sched case oracle =
+  let evals = ref 0 and steps = ref 0 in
+  let fails c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      List.exists (fun v -> v.oracle = oracle) (check sched c)
+    end
+  in
+  let current = ref case in
+  let progress = ref true in
+  while !progress && !evals < max_evals do
+    progress := false;
+    let c = !current in
+    let g = Instance.dag c.instance in
+    let m = Instance.n_procs c.instance in
+    let eps_cands =
+      if c.eps > 0 then
+        List.sort_uniq compare [ c.eps / 2; c.eps - 1 ]
+        |> List.map (fun e -> { c with eps = e })
+      else []
+    in
+    let task_cands =
+      if Dag.n_tasks g > 1 then
+        List.sort_uniq compare (Dag.entries g @ Dag.exits g)
+        |> List.map (fun t -> { c with instance = drop_task c.instance t })
+      else []
+    in
+    let proc_cands =
+      if m > 1 && m - 1 > c.eps then
+        List.init m (fun p -> { c with instance = drop_proc c.instance p })
+      else []
+    in
+    match List.find_opt fails (eps_cands @ task_cands @ proc_cands) with
+    | Some c' ->
+        current := c';
+        incr steps;
+        progress := true
+    | None ->
+        let ids = List.init (Dag.n_edges g) Fun.id in
+        if ids <> [] then begin
+          let kept =
+            ddmin
+              (fun keep ->
+                fails { c with instance = keep_edges c.instance keep })
+              ids
+          in
+          if List.length kept < List.length ids then begin
+            current := { c with instance = keep_edges c.instance kept };
+            incr steps;
+            progress := true
+          end
+        end
+  done;
+  (!current, !steps, !evals)
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+
+type counterexample = {
+  seed : int;
+  scheduler : string;
+  violation : violation;
+  original : case;
+  shrunk : case;
+  shrink_steps : int;
+  evaluations : int;
+}
+
+let run_seed ?(schedulers = schedulers) seed =
+  let case = gen_case ~seed in
+  List.concat_map
+    (fun sched ->
+      check sched case
+      |> List.map (fun v ->
+             let shrunk, shrink_steps, evaluations =
+               shrink sched case v.oracle
+             in
+             (* prefer the violation detail as seen on the minimal
+                witness — that is what the witness file reproduces *)
+             let violation =
+               match
+                 List.find_opt
+                   (fun v' -> v'.oracle = v.oracle)
+                   (check sched shrunk)
+               with
+               | Some v' -> v'
+               | None -> v
+             in
+             {
+               seed;
+               scheduler = sched.name;
+               violation;
+               original = case;
+               shrunk;
+               shrink_steps;
+               evaluations;
+             }))
+    schedulers
+
+(* ------------------------------------------------------------------ *)
+(* Witness files                                                       *)
+
+let write_case ~path ~scheduler ~oracle case =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ftsched-fuzz v1\n";
+  Printf.bprintf buf "scheduler %s\n" scheduler;
+  Printf.bprintf buf "eps %d\n" case.eps;
+  Printf.bprintf buf "sched-seed %d\n" case.sched_seed;
+  Printf.bprintf buf "oracle %s\n" (oracle_name oracle);
+  Buffer.add_string buf (Serialize.instance_to_string case.instance);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let read_case ~path =
+  let ic = open_in path in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = String.split_on_char '\n' body in
+  (match lines with
+  | magic :: _ when String.trim magic = "ftsched-fuzz v1" -> ()
+  | _ -> failwith (path ^ ": bad magic (expected \"ftsched-fuzz v1\")"));
+  let header, rest =
+    let rec split acc = function
+      | [] -> failwith (path ^ ": missing instance document")
+      | l :: tl when String.trim l = "ftsched v1" -> (List.rev acc, l :: tl)
+      | l :: tl -> split (l :: acc) tl
+    in
+    split [] (List.tl lines)
+  in
+  let find key =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' (String.trim l) with
+        | k :: rest when k = key -> Some (String.concat " " rest)
+        | _ -> None)
+      header
+  in
+  let req key =
+    match find key with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing %S header" path key)
+  in
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "%s: bad %s %S" path key v)
+  in
+  let scheduler = req "scheduler" in
+  let eps = int_of "eps" (req "eps") in
+  let sched_seed = int_of "sched-seed" (req "sched-seed") in
+  let oracle = Option.bind (find "oracle") oracle_of_name in
+  let instance = Serialize.instance_of_string (String.concat "\n" rest) in
+  (scheduler, oracle, { instance; eps; sched_seed })
+
+let replay ?(schedulers = schedulers) path =
+  match read_case ~path with
+  | exception e -> Error (Printexc.to_string e)
+  | name, _oracle, case -> (
+      match List.find_opt (fun s -> s.name = name) schedulers with
+      | None -> Error (Printf.sprintf "unknown scheduler %S" name)
+      | Some sched -> Ok (name, check sched case))
+
+let replay_command ~path = Printf.sprintf "ftsched fuzz --replay %s" path
+
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  seeds_requested : int;
+  seeds_run : int;
+  schedulers_run : int;
+  counterexamples : (counterexample * string option) list;
+}
+
+let witness_path ~dir ce =
+  Filename.concat dir
+    (Printf.sprintf "seed%d-%s-%s.case" ce.seed ce.scheduler
+       (oracle_name ce.violation.oracle))
+
+let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
+    ?(dir = "_fuzz") ?(save = true) ~seeds () =
+  let jobs_eff = match jobs with Some j -> j | None -> Par.default_jobs () in
+  let chunk = max 1 (jobs_eff * 4) in
+  let ces = ref [] and start = ref 0 in
+  while !start < seeds && not (should_stop ()) do
+    let n = min chunk (seeds - !start) in
+    let base = !start in
+    let results =
+      Par.parallel_init ?jobs n (fun i ->
+          run_seed ~schedulers (base + i))
+    in
+    ces := !ces @ List.concat results;
+    start := !start + n
+  done;
+  let counterexamples =
+    List.map
+      (fun ce ->
+        if save then begin
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = witness_path ~dir ce in
+          write_case ~path ~scheduler:ce.scheduler
+            ~oracle:ce.violation.oracle ce.shrunk;
+          (ce, Some path)
+        end
+        else (ce, None))
+      !ces
+  in
+  {
+    seeds_requested = seeds;
+    seeds_run = !start;
+    schedulers_run = List.length schedulers;
+    counterexamples;
+  }
+
+let pp_counterexample ppf ce =
+  let size c =
+    Format.asprintf "%d tasks / %d edges / %d procs / eps %d"
+      (Instance.n_tasks c.instance)
+      (Dag.n_edges (Instance.dag c.instance))
+      (Instance.n_procs c.instance)
+      c.eps
+  in
+  Format.fprintf ppf
+    "seed %d / %s: [%s] %s@,  original: %s@,  shrunk:   %s (%d steps, %d \
+     evaluations)"
+    ce.seed ce.scheduler
+    (oracle_name ce.violation.oracle)
+    ce.violation.detail (size ce.original) (size ce.shrunk) ce.shrink_steps
+    ce.evaluations

@@ -1,0 +1,158 @@
+(** Differential fuzzing of the scheduling pipeline.
+
+    The paper's correctness claims are structural invariants — every
+    task replicated on [ε+1] distinct processors (Prop. 4.1), per-edge
+    one-to-one MC selections (Prop. 4.3), schedules that survive any
+    [ε] crashes (Theorem 4.1) — and the repo now has four independent
+    executors of those semantics ({!Ftsched_schedule.Validate}, the
+    structural re-timing of {!Ftsched_sim.Crash_exec}, the event-driven
+    {!Ftsched_sim.Event_sim}, and {!Ftsched_schedule.Serialize}'s
+    round-trip).  Independent implementations drift silently; this
+    harness makes the drift loud.
+
+    Per seed it generates a small random instance, runs every
+    registered scheduler policy, and cross-checks four oracle families:
+
+    - {b structural}: [Validate.check] plus [M* <= M];
+    - {b survivability}: [survives_all_subsets] for all-to-all plans
+      (Theorem 4.1); exhaustive reroute-replay completion for selected
+      plans (the strict-policy gap of Prop. 4.3 is documented and
+      expected, so the strict policy is {e not} a survivability
+      oracle);
+    - {b executor agreement}: [Crash_exec] (strict) and
+      [Event_sim.run_crash] must agree on the fault-free scenario and
+      every single-crash scenario, and the fault-free replay must not
+      exceed [M*];
+    - {b round-trip}: [schedule_of_string ∘ schedule_to_string] is the
+      identity (compared on the re-serialized bytes);
+    - {b selection} (selected plans only): the schedule's pairs are
+      one-to-one and admissible, and [Edge_select]'s greedy/bottleneck
+      selectors on the reconstructed bipartite graph are one-to-one
+      with [max_weight(bottleneck) = bottleneck_value <=
+      max_weight(greedy)].
+
+    On a violation the counterexample is shrunk — drop DAG
+    sources/sinks, halve/decrement [ε], remove processors, ddmin over
+    edge subsets — to a 1-minimal witness (no single remaining shrink
+    step still fails), serialized under [_fuzz/], and reported with a
+    replay command.
+
+    Everything is a pure function of the seed, so campaigns parallelize
+    over seeds with {!Ftsched_par.Par} and are bit-identical for any
+    job count. *)
+
+type case = {
+  instance : Ftsched_model.Instance.t;
+  eps : int;
+  sched_seed : int;  (** seed handed to the scheduler (tie-breaking) *)
+}
+
+type scheduler = {
+  name : string;
+  run :
+    seed:int -> Ftsched_model.Instance.t -> eps:int ->
+    Ftsched_schedule.Schedule.t;
+}
+
+val schedulers : scheduler list
+(** The full registry: every policy instantiation of the scheduling
+    kernel — ftsa, mc-greedy, mc-bottleneck, mc-redundant, ca-ftsa,
+    r-ftsa (fixed heterogeneous rates), ftsa-domains (deterministic
+    [min m (ε+2)]-way partition), ftbar, heft, peft, cpop.  The
+    fault-free baselines ignore [eps] and produce [ε = 0] schedules,
+    which still exercise every oracle. *)
+
+type oracle =
+  | Crash  (** the scheduler itself raised *)
+  | Structural
+  | Survivability
+  | Executor_agreement
+  | Round_trip
+  | Selection
+
+val oracle_name : oracle -> string
+val oracle_of_name : string -> oracle option
+
+type violation = { oracle : oracle; detail : string }
+
+val gen_case : seed:int -> case
+(** Deterministic random instance: 2–5 processors, 3–14 tasks drawn
+    from five DAG families (layered, Erdős–Rényi, fork–join, out-tree,
+    chain), random platform/cost matrices, [ε] in [0 .. min 2 (m-1)]. *)
+
+val check : scheduler -> case -> violation list
+(** Run the scheduler on the case and evaluate every applicable oracle.
+    Empty list = clean.  Exceptions anywhere in the pipeline become
+    {!Crash} / per-oracle violations, never escape. *)
+
+val shrink :
+  ?max_evals:int -> scheduler -> case -> oracle -> case * int * int
+(** [shrink sched case oracle] minimizes a failing case while the same
+    oracle keeps failing.  Returns [(minimal, accepted_steps,
+    evaluations)].  Deterministic; bounded by [max_evals] (default
+    2000) oracle evaluations. *)
+
+type counterexample = {
+  seed : int;
+  scheduler : string;
+  violation : violation;  (** re-evaluated on the shrunk case *)
+  original : case;
+  shrunk : case;
+  shrink_steps : int;
+  evaluations : int;
+}
+
+val run_seed : ?schedulers:scheduler list -> int -> counterexample list
+(** [run_seed seed] generates, checks every scheduler, shrinks every
+    violation.  Pure function of the seed (and the scheduler list). *)
+
+type report = {
+  seeds_requested : int;
+  seeds_run : int;  (** < requested only when [should_stop] fired *)
+  schedulers_run : int;
+  counterexamples : (counterexample * string option) list;
+      (** with the witness path when saving was enabled *)
+}
+
+val campaign :
+  ?schedulers:scheduler list ->
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  ?dir:string ->
+  ?save:bool ->
+  seeds:int ->
+  unit ->
+  report
+(** Fuzz seeds [0 .. seeds-1], parallel over seeds ([jobs] worker
+    domains, default {!Ftsched_par.Par.default_jobs}); results are
+    bit-identical for any job count.  [should_stop] (the [--time-budget]
+    hook) is polled between seed chunks: the run then stops early with
+    [seeds_run < seeds_requested] — the only way output depends on
+    anything but the seeds.  Witnesses are written under [dir] (default
+    ["_fuzz"], created on demand) unless [save = false]; writing happens
+    after the parallel phase, in seed order. *)
+
+(** {2 Witness files} *)
+
+val write_case :
+  path:string -> scheduler:string -> oracle:oracle -> case -> unit
+(** Versioned header (scheduler, eps, scheduler seed, oracle) followed
+    by the {!Ftsched_schedule.Serialize} instance document. *)
+
+val read_case : path:string -> string * oracle option * case
+(** [(scheduler_name, oracle, case)].  Raises [Failure] on a malformed
+    file. *)
+
+val replay :
+  ?schedulers:scheduler list ->
+  string ->
+  (string * violation list, string) result
+(** [replay path] re-runs every oracle on a saved witness:
+    [Ok (scheduler, violations)] ([violations = []] means the bug no
+    longer reproduces), or [Error] for an unreadable file / unknown
+    scheduler. *)
+
+val replay_command : path:string -> string
+(** The CLI invocation reported next to a saved witness. *)
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -6,13 +6,34 @@ module Instance = Ftsched_model.Instance
    exact bit pattern. *)
 let fl x = Printf.sprintf "%h" x
 
+(* The textual format stores labels as the tail of a space-separated
+   line, so only labels that survive trimming and whitespace
+   normalization can round-trip.  Anything else is rejected up front —
+   at the serialization site — instead of silently coming back
+   different. *)
+let label_round_trips label =
+  let rejoined =
+    String.split_on_char ' ' label
+    |> List.filter (fun w -> w <> "")
+    |> String.concat " "
+  in
+  (not (String.exists (fun c -> c = '\n' || c = '\r' || c = '\t') label))
+  && rejoined = label
+
 let buf_add_instance buf inst =
   let g = Instance.dag inst in
   let pl = Instance.platform inst in
   let v = Dag.n_tasks g and m = Platform.n_procs pl in
   Buffer.add_string buf (Printf.sprintf "instance %d %d %d\n" v m (Dag.n_edges g));
   for t = 0 to v - 1 do
-    Buffer.add_string buf (Printf.sprintf "label %s\n" (Dag.label g t))
+    let label = Dag.label g t in
+    if not (label_round_trips label) then
+      invalid_arg
+        (Printf.sprintf
+           "Serialize: task %d label %S does not round-trip (newlines, \
+            leading/trailing or repeated whitespace are not representable)"
+           t label);
+    Buffer.add_string buf (Printf.sprintf "label %s\n" label)
   done;
   Dag.iter_edges g (fun _e ~src ~dst ~volume ->
       Buffer.add_string buf (Printf.sprintf "edge %d %d %s\n" src dst (fl volume)));
@@ -91,19 +112,23 @@ let parse_instance cur =
         | _ -> fail cur "expected edge line"
       done;
       let dag = Dag.Builder.build b in
-      let delay =
-        Array.init m (fun _ ->
-            let row = expect_tag cur "delay" (next cur) in
-            if List.length row <> m then fail cur "delay row arity";
-            Array.of_list (List.map (float_of_word cur) row))
+      (* Explicit in-order loops: [Array.init] with a side-effecting
+         closure would tie the cursor position to the stdlib's
+         (unspecified) evaluation order. *)
+      let parse_row tag =
+        let row = expect_tag cur tag (next cur) in
+        if List.length row <> m then fail cur "%s row arity" tag;
+        Array.of_list (List.map (float_of_word cur) row)
       in
+      let delay = Array.make m [||] in
+      for k = 0 to m - 1 do
+        delay.(k) <- parse_row "delay"
+      done;
       let platform = Platform.create ~delay in
-      let exec =
-        Array.init v (fun _ ->
-            let row = expect_tag cur "exec" (next cur) in
-            if List.length row <> m then fail cur "exec row arity";
-            Array.of_list (List.map (float_of_word cur) row))
-      in
+      let exec = Array.make v [||] in
+      for t = 0 to v - 1 do
+        exec.(t) <- parse_row "exec"
+      done;
       Instance.create ~dag ~platform ~exec
   | _ -> fail cur "expected instance header"
 
@@ -161,26 +186,38 @@ let schedule_of_string s =
   check_magic cur;
   let inst = parse_instance cur in
   let v = Instance.n_tasks inst in
+  let m = Instance.n_procs inst in
   let eps =
     match words (next cur) with
-    | [ "schedule"; e ] -> int_of_word cur e
+    | [ "schedule"; e ] ->
+        let eps = int_of_word cur e in
+        if eps < 0 || eps >= m then
+          fail cur "eps %d out of range (m=%d)" eps m;
+        eps
     | _ -> fail cur "expected schedule header"
   in
-  let replicas =
-    Array.init v (fun _ -> Array.make (eps + 1) None)
-  in
+  let replicas = Array.make v [||] in
+  for task = 0 to v - 1 do
+    replicas.(task) <- Array.make (eps + 1) None
+  done;
   for _ = 1 to v * (eps + 1) do
     match words (next cur) with
     | [ "replica"; task; index; proc; st; fi; ps; pf ] ->
         let task = int_of_word cur task and index = int_of_word cur index in
         if task < 0 || task >= v || index < 0 || index > eps then
           fail cur "replica out of range";
+        let proc = int_of_word cur proc in
+        (* Validated here so that a corrupt file fails at its own line
+           instead of crashing far away inside [Schedule.create] or an
+           array access in a consumer. *)
+        if proc < 0 || proc >= m then
+          fail cur "replica processor %d out of range (m=%d)" proc m;
         replicas.(task).(index) <-
           Some
             {
               Schedule.task;
               index;
-              proc = int_of_word cur proc;
+              proc;
               start = float_of_word cur st;
               finish = float_of_word cur fi;
               pess_start = float_of_word cur ps;
@@ -211,10 +248,15 @@ let schedule_of_string s =
                   (fun w ->
                     match String.split_on_char ':' w with
                     | [ a; b ] ->
-                        {
-                          Comm_plan.src_replica = int_of_word cur a;
-                          dst_replica = int_of_word cur b;
-                        }
+                        let src_replica = int_of_word cur a
+                        and dst_replica = int_of_word cur b in
+                        if
+                          src_replica < 0 || src_replica > eps
+                          || dst_replica < 0 || dst_replica > eps
+                        then
+                          fail cur "pair %S replica out of range (eps=%d)" w
+                            eps;
+                        { Comm_plan.src_replica; dst_replica }
                     | _ -> fail cur "bad pair %S" w)
                   body
           | _ -> fail cur "expected pairs line"

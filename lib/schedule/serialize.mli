@@ -10,13 +10,22 @@
     tooling. *)
 
 val instance_to_string : Ftsched_model.Instance.t -> string
+(** Raises [Invalid_argument] on a task label the line-oriented format
+    cannot represent faithfully (newlines, tabs, leading/trailing or
+    repeated spaces): such labels would come back different, so they are
+    rejected at the serialization site. *)
+
 val instance_of_string : string -> Ftsched_model.Instance.t
 
 val schedule_to_string : Schedule.t -> string
-(** Embeds the instance. *)
+(** Embeds the instance.  Same label restriction as
+    {!instance_to_string}. *)
 
 val schedule_of_string : string -> Schedule.t
-(** Raises [Failure] with a line-numbered message on malformed input. *)
+(** Raises [Failure] with a line-numbered message on malformed input.
+    Out-of-range fields (replica processors vs [m], selection pair
+    replica indices vs [eps], [eps] vs [m]) are rejected at their own
+    line rather than surfacing later as array errors in consumers. *)
 
 val save_schedule : Schedule.t -> path:string -> unit
 val load_schedule : path:string -> Schedule.t

@@ -22,13 +22,26 @@ let stddev xs =
     sqrt (ss /. float_of_int (n - 1))
   end
 
+(* [Float.compare], not polymorphic [compare]: no boxing-driven generic
+   comparison on the hot path, and NaN ordering is at least defined.
+   NaNs are still garbage for order statistics (they sort below every
+   real sample and silently shift every rank), so the entry points
+   reject them outright. *)
 let sorted_copy xs =
   let ys = Array.copy xs in
-  Array.sort compare ys;
+  Array.sort Float.compare ys;
   ys
+
+let reject_nan fname xs =
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then
+        invalid_arg (Printf.sprintf "Stats.%s: NaN input sample" fname))
+    xs
 
 let percentile xs p =
   assert (Array.length xs > 0 && p >= 0. && p <= 100.);
+  reject_nan "percentile" xs;
   let ys = sorted_copy xs in
   let n = Array.length ys in
   if n = 1 then ys.(0)
@@ -45,6 +58,7 @@ let median xs = percentile xs 50.
 let summarize xs =
   let n = Array.length xs in
   assert (n > 0);
+  reject_nan "summarize" xs;
   let m = mean xs in
   let sd = stddev xs in
   let ys = sorted_copy xs in

@@ -16,7 +16,9 @@ type summary = {
 
 val summarize : float array -> summary
 (** [summarize xs] computes all summary fields.  Requires a non-empty
-    array.  For [n = 1] the dispersion fields are 0. *)
+    array.  For [n = 1] the dispersion fields are 0.  Raises
+    [Invalid_argument] on a NaN sample — a NaN would otherwise sort to
+    an arbitrary rank and silently corrupt every order statistic. *)
 
 val mean : float array -> float
 val stddev : float array -> float
@@ -24,7 +26,8 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using linear
-    interpolation between closest ranks. *)
+    interpolation between closest ranks.  Raises [Invalid_argument] on a
+    NaN sample (see {!summarize}); {!median} inherits the check. *)
 
 val ci95_halfwidth : summary -> float
 (** Half-width of a normal-approximation 95% confidence interval

@@ -53,6 +53,23 @@ let test_greedy_conflicting_forced () =
        false
      with Edge_select.Infeasible _ -> true)
 
+(* regression: [max_weight] on a pair with no backing edge used to
+   escape as [Not_found] from the linear scan; it is now an indexed
+   lookup raising a descriptive [Infeasible] *)
+let test_max_weight_missing_pair () =
+  let edges = [ e 0 0 3. false; e 1 1 4. false ] in
+  check_float "known pairs" 4.
+    (Edge_select.max_weight edges [ (0, 0); (1, 1) ]);
+  check_bool "missing pair raises Infeasible" true
+    (try
+       ignore (Edge_select.max_weight edges [ (0, 1) ]);
+       false
+     with Edge_select.Infeasible _ -> true);
+  (* duplicate (left, right) entries: first occurrence wins, as in the
+     old first-match scan *)
+  let dup = [ e 0 0 7. false; e 0 0 2. false ] in
+  check_float "first duplicate wins" 7. (Edge_select.max_weight dup [ (0, 0) ])
+
 let test_bottleneck_optimal_simple () =
   (* bottleneck picks {0->1, 1->0} with max 5 over {0->0, 1->1} max 10 *)
   let edges =
@@ -754,6 +771,8 @@ let () =
           Alcotest.test_case "greedy forced first" `Quick test_greedy_forced_first;
           Alcotest.test_case "conflicting forced" `Quick
             test_greedy_conflicting_forced;
+          Alcotest.test_case "max_weight missing pair" `Quick
+            test_max_weight_missing_pair;
           Alcotest.test_case "bottleneck simple" `Quick
             test_bottleneck_optimal_simple;
           quick prop_bottleneck_matches_brute_force;

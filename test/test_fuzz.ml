@@ -1,0 +1,223 @@
+(* Tests for Ftsched_fuzz: the differential harness itself.
+
+   The central test seeds a known bug — a scheduler that stacks two
+   replicas of every task on the same processor, which
+   [Schedule.create] accepts but Prop. 4.1 forbids — and proves the
+   pipeline end to end: the structural oracle fires, the shrinker
+   converges to the 1-task / 2-processor / 0-edge minimal witness, the
+   witness file under [_fuzz/] is replayable, and the replay reproduces
+   the same violation. *)
+
+module Fuzz = Ftsched_fuzz.Fuzz
+module Schedule = Ftsched_schedule.Schedule
+module Serialize = Ftsched_schedule.Serialize
+module Instance = Ftsched_model.Instance
+module Dag = Ftsched_dag.Dag
+open Helpers
+
+let check_size = Alcotest.(check (pair (pair int int) (pair int int)))
+
+(* FTSA with every task's replica 1 forced onto replica 0's processor.
+   Only misbehaves when eps >= 1, so eps cannot shrink below 1. *)
+let dup_proc_bug =
+  {
+    Fuzz.name = "ftsa-dup-proc";
+    run =
+      (fun ~seed inst ~eps ->
+        let s = Ftsched_core.Ftsa.schedule ~seed inst ~eps in
+        if eps = 0 then s
+        else begin
+          let v = Instance.n_tasks inst in
+          let replicas =
+            Array.init v (fun t -> Array.copy (Schedule.replicas s t))
+          in
+          Array.iter
+            (fun row ->
+              row.(1) <-
+                { row.(1) with Schedule.proc = row.(0).Schedule.proc })
+            replicas;
+          Schedule.create ~instance:inst ~eps ~replicas ~comm:(Schedule.comm s)
+        end);
+  }
+
+(* the first generated case with eps >= 1 (so the bug can express) *)
+let buggy_seed =
+  let rec go seed =
+    if (Fuzz.gen_case ~seed).Fuzz.eps >= 1 then seed else go (seed + 1)
+  in
+  go 0
+
+(* ((tasks, edges), (procs, eps)) *)
+let case_size (c : Fuzz.case) =
+  ( (Instance.n_tasks c.instance, Dag.n_edges (Instance.dag c.instance)),
+    (Instance.n_procs c.instance, c.eps) )
+
+let test_registry () =
+  check_int "eleven schedulers" 11 (List.length Fuzz.schedulers);
+  let names = List.map (fun s -> s.Fuzz.name) Fuzz.schedulers in
+  check_int "distinct names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun n ->
+      match Fuzz.oracle_of_name n with
+      | Some o -> Alcotest.(check string) "name round-trip" n (Fuzz.oracle_name o)
+      | None -> Alcotest.failf "oracle_of_name %S" n)
+    [
+      "crash"; "structural"; "survivability"; "executor-agreement";
+      "round-trip"; "selection";
+    ];
+  check_bool "unknown oracle" true (Fuzz.oracle_of_name "bogus" = None)
+
+let test_clean_seeds () =
+  (* every registered scheduler passes every oracle on the first seeds *)
+  for seed = 0 to 4 do
+    match Fuzz.run_seed seed with
+    | [] -> ()
+    | ce :: _ ->
+        Alcotest.failf "seed %d: %a" seed
+          (fun ppf -> Fuzz.pp_counterexample ppf)
+          ce
+  done
+
+let test_gen_case_deterministic () =
+  let a = Fuzz.gen_case ~seed:7 and b = Fuzz.gen_case ~seed:7 in
+  check_bool "same shape" true (case_size a = case_size b);
+  check_bool "seed changes shape or costs" true
+    (Serialize.instance_to_string a.instance
+    <> Serialize.instance_to_string (Fuzz.gen_case ~seed:8).Fuzz.instance)
+
+let test_injected_bug_detected () =
+  let case = Fuzz.gen_case ~seed:buggy_seed in
+  let violations = Fuzz.check dup_proc_bug case in
+  check_bool "structural oracle fires" true
+    (List.exists (fun v -> v.Fuzz.oracle = Fuzz.Structural) violations)
+
+let test_shrinker_converges () =
+  let case = Fuzz.gen_case ~seed:buggy_seed in
+  let shrunk, steps, evals = Fuzz.shrink dup_proc_bug case Fuzz.Structural in
+  check_bool "made progress" true (steps > 0);
+  check_bool "bounded evals" true (evals <= 2000);
+  (* 1-minimal witness: one task, zero edges, two processors, eps 1 *)
+  check_size "minimal witness" ((1, 0), (2, 1)) (case_size shrunk);
+  check_bool "still fails" true
+    (List.exists
+       (fun v -> v.Fuzz.oracle = Fuzz.Structural)
+       (Fuzz.check dup_proc_bug shrunk))
+
+let test_witness_roundtrip () =
+  let case = Fuzz.gen_case ~seed:buggy_seed in
+  let path = Filename.temp_file "ftsched_fuzz" ".case" in
+  Fuzz.write_case ~path ~scheduler:"ftsa-dup-proc" ~oracle:Fuzz.Structural case;
+  let name, oracle, case' = Fuzz.read_case ~path in
+  Sys.remove path;
+  Alcotest.(check string) "scheduler" "ftsa-dup-proc" name;
+  check_bool "oracle" true (oracle = Some Fuzz.Structural);
+  check_int "eps" case.eps case'.Fuzz.eps;
+  check_int "sched seed" case.sched_seed case'.Fuzz.sched_seed;
+  Alcotest.(check string)
+    "instance bytes"
+    (Serialize.instance_to_string case.instance)
+    (Serialize.instance_to_string case'.Fuzz.instance)
+
+let test_campaign_saves_replayable_witness () =
+  (* end-to-end: campaign with the buggy scheduler finds, shrinks and
+     saves a witness under _fuzz/ that replays to the same violation *)
+  let report =
+    Fuzz.campaign
+      ~schedulers:[ dup_proc_bug ]
+      ~jobs:2 ~seeds:(buggy_seed + 1) ()
+  in
+  check_int "all seeds run" (buggy_seed + 1) report.Fuzz.seeds_run;
+  (* duplicated processors defeat several oracles at once; one
+     counterexample (and one witness file) per violated oracle *)
+  let ce, path =
+    match
+      List.filter
+        (fun (ce, _) ->
+          ce.Fuzz.seed = buggy_seed
+          && ce.Fuzz.violation.oracle = Fuzz.Structural)
+        report.Fuzz.counterexamples
+    with
+    | [ (ce, Some path) ] -> (ce, path)
+    | [ (_, None) ] -> Alcotest.fail "witness not saved"
+    | l ->
+        Alcotest.failf "expected one structural counterexample, got %d"
+          (List.length l)
+  in
+  check_bool "under _fuzz/" true (String.length path >= 6 && String.sub path 0 6 = "_fuzz/");
+  check_bool "witness exists" true (Sys.file_exists path);
+  check_size "witness is minimal" ((1, 0), (2, 1)) (case_size ce.Fuzz.shrunk);
+  check_bool "replay command mentions file" true
+    (Helpers.contains (Fuzz.replay_command ~path) path);
+  (match Fuzz.replay ~schedulers:[ dup_proc_bug ] path with
+  | Ok (name, violations) ->
+      Alcotest.(check string) "replayed scheduler" "ftsa-dup-proc" name;
+      check_bool "replay reproduces" true
+        (List.exists (fun v -> v.Fuzz.oracle = Fuzz.Structural) violations)
+  | Error msg -> Alcotest.failf "replay failed: %s" msg);
+  (* the fixed scheduler registry does not know the buggy name *)
+  (match Fuzz.replay path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "replay should reject an unknown scheduler");
+  List.iter
+    (fun (_, p) -> Option.iter Sys.remove p)
+    report.Fuzz.counterexamples
+
+let test_campaign_bit_identical_across_jobs () =
+  let run jobs =
+    let r =
+      Fuzz.campaign ~schedulers:[ dup_proc_bug ] ~jobs ~save:false
+        ~seeds:(buggy_seed + 3) ()
+    in
+    List.map
+      (fun (ce, _) ->
+        ( ce.Fuzz.seed,
+          ce.Fuzz.scheduler,
+          Fuzz.oracle_name ce.Fuzz.violation.oracle,
+          ce.Fuzz.violation.detail,
+          case_size ce.Fuzz.shrunk,
+          ce.Fuzz.shrink_steps,
+          ce.Fuzz.evaluations ))
+      r.Fuzz.counterexamples
+  in
+  check_bool "j1 = j3" true (run 1 = run 3)
+
+let test_replay_errors () =
+  (match Fuzz.replay "/nonexistent/witness.case" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing file should error");
+  let path = Filename.temp_file "ftsched_fuzz" ".case" in
+  let oc = open_out path in
+  output_string oc "not a witness\n";
+  close_out oc;
+  (match Fuzz.replay path with
+  | Error msg -> check_bool "mentions magic" true (Helpers.contains msg "magic")
+  | Ok _ -> Alcotest.fail "bad magic should error");
+  Sys.remove path
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "harness",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "clean seeds" `Quick test_clean_seeds;
+          Alcotest.test_case "gen_case deterministic" `Quick
+            test_gen_case_deterministic;
+        ] );
+      ( "injected-bug",
+        [
+          Alcotest.test_case "detected" `Quick test_injected_bug_detected;
+          Alcotest.test_case "shrinker converges" `Quick test_shrinker_converges;
+          Alcotest.test_case "campaign saves replayable witness" `Quick
+            test_campaign_saves_replayable_witness;
+          Alcotest.test_case "bit-identical across jobs" `Quick
+            test_campaign_bit_identical_across_jobs;
+        ] );
+      ( "witness-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_witness_roundtrip;
+          Alcotest.test_case "replay errors" `Quick test_replay_errors;
+        ] );
+    ]

@@ -408,6 +408,111 @@ let test_serialize_file_roundtrip () =
   Sys.remove path;
   check_bool "file roundtrip" true (same_schedule s s')
 
+(* ---- regression: label whitespace handling --------------------------
+   The format stores a label as the tail of a space-separated line, so
+   only labels invariant under whitespace normalization can come back
+   identical.  Offending labels used to round-trip silently changed;
+   they are now rejected at serialization time. *)
+
+let instance_with_label label =
+  let b = Dag.Builder.create () in
+  ignore (Dag.Builder.add_task ~label b);
+  Instance.create
+    ~dag:(Dag.Builder.build b)
+    ~platform:(Platform.homogeneous ~m:2 ~unit_delay:0.5)
+    ~exec:[| [| 1.; 2. |] |]
+
+let test_serialize_label_rejection () =
+  let rejected label =
+    try
+      ignore (Serialize.instance_to_string (instance_with_label label));
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "trailing space" true (rejected "task ");
+  check_bool "leading space" true (rejected " task");
+  check_bool "double space" true (rejected "a  b");
+  check_bool "tab" true (rejected "a\tb");
+  check_bool "newline" true (rejected "a\nb");
+  check_bool "single internal space ok" false (rejected "matrix multiply");
+  let inst' =
+    Serialize.instance_of_string
+      (Serialize.instance_to_string (instance_with_label "matrix multiply"))
+  in
+  Alcotest.(check string)
+    "label preserved" "matrix multiply"
+    (Dag.label (Instance.dag inst') 0)
+
+let prop_label_roundtrip_or_reject =
+  QCheck.Test.make
+    ~name:"adversarial labels either round-trip exactly or are rejected"
+    ~count:300
+    QCheck.(
+      string_gen_of_size
+        Gen.(int_range 0 12)
+        (Gen.oneofl [ ' '; '\t'; '\n'; '\r'; 'a'; 'b'; '_'; '-'; '.' ]))
+    (fun label ->
+      match Serialize.instance_to_string (instance_with_label label) with
+      | exception Invalid_argument _ -> true
+      | str -> Dag.label (Instance.dag (Serialize.instance_of_string str)) 0
+               = label)
+
+(* ---- regression: out-of-range fields rejected at their own line ---- *)
+
+let map_first_line pred f s =
+  let seen = ref false in
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         if (not !seen) && pred l then begin
+           seen := true;
+           f l
+         end
+         else l)
+  |> String.concat "\n"
+
+let starts_with prefix l =
+  String.length l >= String.length prefix
+  && String.sub l 0 (String.length prefix) = prefix
+
+let rejects_with_line_error str =
+  try
+    ignore (Serialize.schedule_of_string str);
+    false
+  with Failure msg -> contains msg "line" && contains msg "out of range"
+
+let test_serialize_rejects_out_of_range () =
+  let base = Serialize.schedule_to_string (hand_schedule ()) in
+  (* replica on a processor the platform does not have *)
+  let bad_proc =
+    map_first_line (starts_with "replica ")
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | tag :: task :: index :: _proc :: rest ->
+            String.concat " " (tag :: task :: index :: "9" :: rest)
+        | _ -> l)
+      base
+  in
+  check_bool "replica proc out of range" true (rejects_with_line_error bad_proc);
+  (* eps >= m in the schedule header *)
+  let bad_eps =
+    map_first_line (starts_with "schedule ") (fun _ -> "schedule 5") base
+  in
+  check_bool "eps out of range" true (rejects_with_line_error bad_eps);
+  (* MC pair referencing a replica index beyond eps *)
+  let sel =
+    Serialize.schedule_to_string (Mc_ftsa.schedule ~seed:0 (tiny_instance ()) ~eps:1)
+  in
+  let bad_pair =
+    map_first_line (starts_with "pairs ")
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | tag :: idx :: _first :: rest ->
+            String.concat " " (tag :: idx :: "7:0" :: rest)
+        | _ -> l)
+      sel
+  in
+  check_bool "pair replica out of range" true (rejects_with_line_error bad_pair)
+
 let test_serialize_rejects_garbage () =
   check_bool "bad magic" true
     (try
@@ -420,6 +525,25 @@ let test_serialize_rejects_garbage () =
          (Serialize.schedule_of_string "ftsched v1\ninstance 2 2 0\nlabel a\n");
        false
      with Failure _ -> true)
+
+(* ---- regression: unsorted timelines are an explicit error ----------
+   The overlap scan only compares adjacent entries; on an unsorted
+   timeline it used to silently miss overlaps. *)
+
+let test_validate_unsorted_timeline () =
+  let early = r ~task:1 ~index:0 ~proc:0 ~s:2. ~f:3. ~ps:2. ~pf:3. in
+  let late = r ~task:0 ~index:0 ~proc:0 ~s:5. ~f:6. ~ps:5. ~pf:6. in
+  let errs = Validate.timeline_errors ~proc:0 [ late; early ] in
+  check_bool "reports unsorted-timeline" true
+    (List.exists (fun e -> e.Validate.check = "unsorted-timeline") errs);
+  check_int "sorted order clean" 0
+    (List.length (Validate.timeline_errors ~proc:0 [ early; late ]));
+  (* an overlap is still an overlap when the list is sorted *)
+  let clash = r ~task:2 ~index:0 ~proc:0 ~s:2.5 ~f:4. ~ps:2.5 ~pf:4. in
+  check_bool "overlap still reported" true
+    (List.exists
+       (fun e -> e.Validate.check = "no-overlap")
+       (Validate.timeline_errors ~proc:0 [ early; clash; late ]))
 
 (* ------------------------------------------------------------------ *)
 (* Gantt                                                               *)
@@ -486,6 +610,8 @@ let () =
           Alcotest.test_case "forced internal rule" `Quick
             test_validate_forced_internal;
           Alcotest.test_case "survives" `Quick test_survives_hand;
+          Alcotest.test_case "unsorted timeline" `Quick
+            test_validate_unsorted_timeline;
         ] );
       ( "metrics",
         [
@@ -502,7 +628,12 @@ let () =
             test_serialize_redundant_plan_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_serialize_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_serialize_rejects_garbage;
+          Alcotest.test_case "label rejection" `Quick
+            test_serialize_label_rejection;
+          Alcotest.test_case "out-of-range fields" `Quick
+            test_serialize_rejects_out_of_range;
           quick prop_serialize_roundtrip_random;
+          quick prop_label_roundtrip_or_reject;
         ] );
       ( "gantt",
         [

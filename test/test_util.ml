@@ -185,6 +185,29 @@ let test_ci95 () =
   let s = Stats.summarize (Array.make 100 1.) in
   check_float "ci of constants" 0. (Stats.ci95_halfwidth s)
 
+(* regression: NaN samples used to sort below every real value under
+   polymorphic compare and silently shift every rank *)
+let test_stats_reject_nan () =
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "percentile rejects NaN" true
+    (rejects (fun () -> Stats.percentile [| 1.; Float.nan; 3. |] 50.));
+  check_bool "median rejects NaN" true
+    (rejects (fun () -> Stats.median [| Float.nan |]));
+  check_bool "summarize rejects NaN" true
+    (rejects (fun () -> Stats.summarize [| 2.; Float.nan |]))
+
+(* regression: Float.compare keeps order statistics total and exact on
+   the non-NaN edge cases (signed zero, infinities) *)
+let test_stats_float_compare_order () =
+  check_float "p0 with -0." (-1.) (Stats.percentile [| 0.; -1.; -0. |] 0.);
+  check_float "median with infinities" 1.
+    (Stats.percentile [| Float.infinity; 1.; Float.neg_infinity |] 50.)
+
 let prop_mean_bounds =
   QCheck.Test.make ~name:"Stats.mean between min and max" ~count:300
     QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
@@ -338,6 +361,9 @@ let () =
           Alcotest.test_case "median odd" `Quick test_median_odd;
           Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
           Alcotest.test_case "ci95 of constants" `Quick test_ci95;
+          Alcotest.test_case "reject NaN" `Quick test_stats_reject_nan;
+          Alcotest.test_case "Float.compare order" `Quick
+            test_stats_float_compare_order;
           quick prop_mean_bounds;
         ] );
       ( "float-utils",

@@ -7,7 +7,10 @@
      bicriteria  explore the latency/failure trade-off of §4.3
      reliability probability of surviving random failures
      inspect     validate and summarize a saved schedule
-     experiment  regenerate the paper's figures, Table 1 and the ablations *)
+     experiment  regenerate the paper's figures, Table 1 and the ablations
+     fuzz        differential fuzzing with corpus replay
+     stream      online multi-DAG streaming under chaos (admission, shadow
+                 plans, never-lost oracle) *)
 
 open Cmdliner
 
@@ -35,6 +38,7 @@ module Event_sim = Ftsched_sim.Event_sim
 module Recovery = Ftsched_recovery.Recovery
 module Workload = Ftsched_exp.Workload
 module Figures = Ftsched_exp.Figures
+module Stream = Ftsched_stream.Stream
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -57,8 +61,14 @@ let prob_conv =
     ~msg:"expected a probability in [0, 1]"
 
 let nonneg_float_conv =
-  conv_of_float ~docv:"D" ~check:(fun v -> v >= 0.)
-    ~msg:"expected a non-negative number"
+  conv_of_float ~docv:"D"
+    ~check:(fun v -> v >= 0. && v < infinity)
+    ~msg:"expected a finite non-negative number"
+
+let pos_float_conv =
+  conv_of_float ~docv:"X"
+    ~check:(fun v -> v > 0. && v < infinity)
+    ~msg:"expected a finite positive number"
 
 let int_conv_of ~docv ~check ~msg =
   let parse s =
@@ -706,12 +716,14 @@ let experiment_cmd =
                          ("rftsa", `Rftsa);
                          ("reliability", `Reliability);
                          ("recovery", `Recov);
-                         ("linkloss", `Linkloss) ])
+                         ("linkloss", `Linkloss);
+                         ("stream", `Stream7) ])
         `F1
       & info [] ~docv:"WHAT"
           ~doc:
             "fig1 | fig2 | fig3 | fig4 | table1 | contention | redundancy | \
-             claims | procs | rftsa | reliability | recovery | linkloss")
+             claims | procs | rftsa | reliability | recovery | linkloss | \
+             stream")
   in
   let full =
     Arg.(
@@ -774,9 +786,177 @@ let experiment_cmd =
         Table.print p.Figures.exact_eps
     | `Linkloss ->
         Table.print (Figures.link_loss_ablation ~spec ~master_seed:seed ~eps:2 ())
+    | `Stream7 ->
+        let seeds_per_point =
+          match graphs with
+          | Some n -> n
+          | None -> if full then 30 else 10
+        in
+        Table.print
+          (Figures.stream_ablation ~master_seed:seed ~seeds_per_point ())
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
     Term.(const run $ what $ full $ graphs $ seed_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stream                                                              *)
+
+let stream_cmd =
+  let m_arg =
+    Arg.(
+      value & opt pos_int_conv 8
+      & info [ "m"; "procs" ] ~docv:"M" ~doc:"Shared platform size.")
+  in
+  let eps_arg =
+    Arg.(
+      value & opt nonneg_int_conv 1
+      & info [ "eps" ] ~docv:"E"
+          ~doc:"Requested survivability per job (replicas = $(docv)+1).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt pos_int_conv 8
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Admission bound: jobs holding reservations at once; beyond \
+             it arrivals are rejected with a typed backpressure reason.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt pos_float_conv 0.5
+      & info [ "rate" ] ~docv:"R"
+          ~doc:"Job arrivals per unit time (Poisson).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt pos_float_conv 100.
+      & info [ "duration" ] ~docv:"T" ~doc:"Arrival window length.")
+  in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Inject the default chaos trace: Poisson processor crashes \
+             (rate 0.05, reboot after 10) and link outage windows.")
+  in
+  let crash_rate_arg =
+    Arg.(
+      value & opt (some nonneg_float_conv) None
+      & info [ "crash-rate" ] ~docv:"R"
+          ~doc:
+            "Override the chaos crash rate (crashes per unit time); \
+             implies $(b,--chaos).")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt (some prob_conv) None
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Per-message loss probability; implies $(b,--chaos).")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt nonneg_float_conv 1.
+      & info [ "delta" ] ~docv:"D"
+          ~doc:
+            "Failure detection + re-planning latency paid when a shadow \
+             plan goes stale.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt pos_int_conv 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Trace seeds 0..N-1 (campaign, parallel over seeds).")
+  in
+  let no_shadow_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shadow" ]
+          ~doc:
+            "Disable shadow plans: jobs run their static replicated \
+             plans with no mid-stream re-injection.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print every job of every trace.")
+  in
+  let run m eps capacity rate duration chaos crash_rate loss delta seeds
+      no_shadow trace jobs =
+    apply_jobs jobs;
+    let base =
+      if chaos || crash_rate <> None || loss <> None then Stream.default_chaos
+      else Stream.no_chaos
+    in
+    let chaos_cfg =
+      {
+        base with
+        Stream.crash_rate =
+          Option.value crash_rate ~default:base.Stream.crash_rate;
+        loss = Option.value loss ~default:base.Stream.loss;
+      }
+    in
+    let config =
+      {
+        Stream.default_config with
+        Stream.m;
+        eps;
+        capacity;
+        rate;
+        duration;
+        delta;
+        chaos = chaos_cfg;
+        shadow = not no_shadow;
+      }
+    in
+    let reports =
+      try Stream.campaign ~config ?jobs ~seeds ()
+      with Invalid_argument msg ->
+        Printf.eprintf "stream: %s\n" msg;
+        exit 2
+    in
+    if trace then
+      List.iter
+        (fun r -> Format.printf "@[<v>%a@]@.@." Stream.pp_report r)
+        reports;
+    Table.print (Stream.totals_table [ ("stream", Stream.merge_totals reports) ]);
+    let digest =
+      Digest.to_hex
+        (Digest.string (String.concat "" (List.map Stream.report_digest reports)))
+    in
+    Printf.printf "campaign digest: %s\n" digest;
+    let violations =
+      List.concat_map
+        (fun r ->
+          List.map (fun e -> (r.Stream.seed, e)) (Stream.check_report r))
+        reports
+    in
+    if violations = [] then
+      Printf.printf "never-lost oracle: clean, 0 lost jobs across %d seed(s)\n"
+        seeds
+    else begin
+      Printf.printf "never-lost oracle: %d violation(s)\n"
+        (List.length violations);
+      List.iter
+        (fun (seed, e) -> Printf.printf "  seed %d: %s\n" seed e)
+        violations;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Online multi-DAG streaming on a shared platform: Poisson \
+          arrivals through residual-timeline admission control \
+          (equation-(1) placement, graceful replication degradation, \
+          bounded-queue backpressure), per-job shadow recovery plans, \
+          and a chaos runner injecting crashes and link outages \
+          mid-stream.  Every submitted job ends in a typed fate; the \
+          never-lost oracle is checked on every trace.")
+    Term.(
+      const run $ m_arg $ eps_arg $ capacity_arg $ rate_arg $ duration_arg
+      $ chaos_arg $ crash_rate_arg $ loss_arg $ delta_arg $ seeds_arg
+      $ no_shadow_arg $ trace_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -812,12 +992,47 @@ let fuzz_cmd =
   let replay_arg =
     Arg.(
       value & opt (some string) None
-      & info [ "replay" ] ~docv:"FILE"
-          ~doc:"Re-check a saved witness file instead of fuzzing.")
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Re-check a saved witness instead of fuzzing.  A file \
+             replays that witness; a directory replays every $(b,.case) \
+             file in it (corpus regression), exiting non-zero if any \
+             replay still fires an oracle.")
+  in
+  let print_violations vs =
+    List.iter
+      (fun v ->
+        Printf.printf "  [%s] %s\n"
+          (Fuzz.oracle_name v.Fuzz.oracle)
+          v.Fuzz.detail)
+      vs
   in
   let run seeds budget dir no_save replay jobs =
     apply_jobs jobs;
     match replay with
+    | Some path when Sys.file_exists path && Sys.is_directory path ->
+        let results = Fuzz.replay_corpus path in
+        if results = [] then begin
+          Printf.printf "%s: no .case files to replay\n" path;
+          exit 0
+        end;
+        let firing = ref 0 in
+        List.iter
+          (fun (p, res) ->
+            match res with
+            | Error msg ->
+                incr firing;
+                Printf.printf "%s: replay failed: %s\n" p msg
+            | Ok (name, []) -> Printf.printf "%s: %s is clean\n" p name
+            | Ok (name, violations) ->
+                incr firing;
+                Printf.printf "%s: %s still fails %d oracle check(s)\n" p name
+                  (List.length violations);
+                print_violations violations)
+          results;
+        Printf.printf "corpus: %d/%d witness(es) still firing\n" !firing
+          (List.length results);
+        if !firing > 0 then exit 1
     | Some path -> (
         match Fuzz.replay path with
         | Error msg ->
@@ -830,12 +1045,7 @@ let fuzz_cmd =
         | Ok (name, violations) ->
             Printf.printf "%s: %s still fails %d oracle check(s)\n" path name
               (List.length violations);
-            List.iter
-              (fun v ->
-                Printf.printf "  [%s] %s\n"
-                  (Fuzz.oracle_name v.Fuzz.oracle)
-                  v.Fuzz.detail)
-              violations;
+            print_violations violations;
             exit 1)
     | None ->
         let should_stop =
@@ -848,10 +1058,13 @@ let fuzz_cmd =
         let report =
           Fuzz.campaign ?jobs ~should_stop ~dir ~save:(not no_save) ~seeds ()
         in
-        Printf.printf "fuzz: %d/%d seeds x %d schedulers, %d violation(s)\n"
+        Printf.printf
+          "fuzz: %d/%d seeds x %d schedulers, %d violation(s), %d stream \
+           violation(s)\n"
           report.Fuzz.seeds_run report.Fuzz.seeds_requested
           report.Fuzz.schedulers_run
-          (List.length report.Fuzz.counterexamples);
+          (List.length report.Fuzz.counterexamples)
+          (List.length report.Fuzz.stream_violations);
         List.iter
           (fun (ce, path) ->
             Format.printf "@[<v>%a@]@." Fuzz.pp_counterexample ce;
@@ -861,7 +1074,20 @@ let fuzz_cmd =
                   (Fuzz.replay_command ~path:p))
               path)
           report.Fuzz.counterexamples;
-        if report.Fuzz.counterexamples <> [] then exit 1
+        List.iter
+          (fun (seed, violations, path) ->
+            Printf.printf "stream seed %d: never-lost oracle fired\n" seed;
+            print_violations violations;
+            Option.iter
+              (fun p ->
+                Printf.printf "  witness: %s\n  replay:  %s\n" p
+                  (Fuzz.replay_command ~path:p))
+              path)
+          report.Fuzz.stream_violations;
+        if
+          report.Fuzz.counterexamples <> []
+          || report.Fuzz.stream_violations <> []
+        then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -887,4 +1113,5 @@ let () =
           [
             gen_cmd; schedule_cmd; simulate_cmd; bicriteria_cmd;
             reliability_cmd; inspect_cmd; experiment_cmd; fuzz_cmd;
+            stream_cmd;
           ]))

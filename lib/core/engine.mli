@@ -35,6 +35,7 @@ val run :
   instance:Ftsched_model.Instance.t ->
   eps:int ->
   mode:mode ->
+  ?release:float array ->
   ?deadlines:float array ->
   ?trace:Ftsched_kernel.Trace.t ->
   unit ->
@@ -43,6 +44,8 @@ val run :
     [eps] must satisfy [0 ≤ eps < m].  With [?deadlines] (one per task),
     the per-step feasibility check of §4.3 is enabled and the first missed
     deadline aborts the run.  [rng] drives only priority tie-breaking.
+    [?release] pre-occupies each processor until the given instant
+    (residual timelines — see {!Ftsched_kernel.Driver.run}).
     [?trace] records every scheduling decision (see
     {!Ftsched_kernel.Trace}).  Raises [Invalid_argument] on malformed
     parameters. *)

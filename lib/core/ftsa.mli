@@ -11,6 +11,7 @@
 val schedule :
   ?seed:int ->
   ?rng:Ftsched_util.Rng.t ->
+  ?release:float array ->
   ?trace:Ftsched_kernel.Trace.t ->
   Ftsched_model.Instance.t ->
   eps:int ->
@@ -18,7 +19,10 @@ val schedule :
 (** [schedule inst ~eps] runs FTSA.  [eps = 0] yields the fault-free
     (replication-less) variant used as the baseline in the figures.
     Randomness ([?rng], or [?seed], default 0) only breaks priority ties.
-    [?trace] records every scheduling decision.
+    [?release] (one instant per processor) places the job on residual
+    timelines: processor [p] carries foreign work until [release.(p)] and
+    equation (1) starts its ready queue there — the online admission path
+    of {!Ftsched_stream}.  [?trace] records every scheduling decision.
     Raises [Invalid_argument] unless [0 ≤ eps < m]. *)
 
 val fault_free : ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t

@@ -692,3 +692,72 @@ let table1 ?(sizes = [ 100; 500; 1000 ]) ?(m = 50) ?(eps = 5) ?(seed = 1)
         ])
     sizes;
   table
+
+(* ------------------------------------------------------------------ *)
+(* A7: streaming & chaos                                               *)
+
+let stream_ablation ?(master_seed = 2008) ?(seeds_per_point = 10)
+    ?(rates = [ 0.3; 0.6; 1.0 ]) ?(crash_rates = [ 0.; 0.05; 0.15 ]) ?jobs ()
+    =
+  let module Stream = Ftsched_stream.Stream in
+  let point ~rate ~crash_rate ~shadow =
+    let config =
+      {
+        Stream.default_config with
+        Stream.rate;
+        duration = 40.;
+        chaos = { Stream.default_chaos with Stream.crash_rate };
+        shadow;
+      }
+    in
+    let reports =
+      Par.parallel_init ?jobs seeds_per_point (fun i ->
+          Stream.run_trace ~config ~seed:(master_seed + i) ())
+    in
+    let clean =
+      List.for_all (fun r -> Stream.check_report r = []) reports
+    in
+    (Stream.merge_totals reports, clean)
+  in
+  let miss (t : Stream.totals) =
+    if t.Stream.admitted = 0 then 0.
+    else float_of_int t.Stream.deadline_misses /. float_of_int t.Stream.admitted
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          "arrival rate";
+          "crash rate";
+          "admitted";
+          "thr shadow";
+          "thr static";
+          "miss shadow";
+          "miss static";
+          "hits";
+          "stale";
+          "oracle";
+        ]
+  in
+  List.iter
+    (fun rate ->
+      List.iter
+        (fun crash_rate ->
+          let sh, clean_sh = point ~rate ~crash_rate ~shadow:true in
+          let st, clean_st = point ~rate ~crash_rate ~shadow:false in
+          Table.add_row table
+            [
+              fmt3 rate;
+              fmt3 crash_rate;
+              string_of_int sh.Stream.admitted;
+              Printf.sprintf "%.4g" sh.Stream.throughput;
+              Printf.sprintf "%.4g" st.Stream.throughput;
+              fmt3 (miss sh);
+              fmt3 (miss st);
+              string_of_int sh.Stream.shadow_hits;
+              string_of_int sh.Stream.shadow_stale;
+              (if clean_sh && clean_st then "ok" else "VIOLATED");
+            ])
+        crash_rates)
+    rates;
+  table

@@ -189,3 +189,22 @@ val redundancy_ablation :
     redundant MC-FTSA variant as the per-input sender count sweeps from 1
     (the paper's MC-FTSA) to [eps+1] (FTSA's full fan-in), quantifying
     the end-to-end-robustness gap documented in DESIGN.md. *)
+
+val stream_ablation :
+  ?master_seed:int ->
+  ?seeds_per_point:int ->
+  ?rates:float list ->
+  ?crash_rates:float list ->
+  ?jobs:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (A7): online streaming under chaos.  A grid of
+    arrival rate x crash rate; each cell runs [seeds_per_point] seeded
+    stream traces twice — with shadow plans (precomputed recovery
+    re-injection, stale plans re-planned at latency delta) and without
+    (static eps+1 replication only) — and reports the merged
+    throughput, deadline-miss ratio, shadow hit/stale counts and the
+    never-lost oracle verdict.  The headline claim: with crashes, the
+    shadow column shows strictly fewer deadline misses than the static
+    column, because mid-stream re-injection converts aborts and partial
+    completions back into (possibly late) completions. *)

@@ -12,6 +12,7 @@ module Scenario = Ftsched_sim.Scenario
 module Crash_exec = Ftsched_sim.Crash_exec
 module Event_sim = Ftsched_sim.Event_sim
 module Par = Ftsched_par.Par
+module Stream = Ftsched_stream.Stream
 
 type case = { instance : Instance.t; eps : int; sched_seed : int }
 
@@ -104,6 +105,7 @@ type oracle =
   | Executor_agreement
   | Round_trip
   | Selection
+  | Stream_lost
 
 let oracle_name = function
   | Crash -> "crash"
@@ -112,6 +114,7 @@ let oracle_name = function
   | Executor_agreement -> "executor-agreement"
   | Round_trip -> "round-trip"
   | Selection -> "selection"
+  | Stream_lost -> "stream-lost"
 
 let oracle_of_name = function
   | "crash" -> Some Crash
@@ -120,6 +123,7 @@ let oracle_of_name = function
   | "executor-agreement" -> Some Executor_agreement
   | "round-trip" -> Some Round_trip
   | "selection" -> Some Selection
+  | "stream-lost" -> Some Stream_lost
   | _ -> None
 
 type violation = { oracle : oracle; detail : string }
@@ -610,13 +614,102 @@ let read_case ~path =
   let instance = Serialize.instance_of_string (String.concat "\n" rest) in
   (scheduler, oracle, { instance; eps; sched_seed })
 
+(* ------------------------------------------------------------------ *)
+(* Stream traces: the fifth oracle family.  A whole streaming trace —
+   arrivals, admission, chaos, execution — is a pure function of one
+   trace seed, so the case IS the seed: nothing to shrink, and the
+   witness file only needs to store it.  The oracle is the never-lost
+   invariant of [Stream.check_report]. *)
+
+let stream_config =
+  {
+    Stream.default_config with
+    Stream.m = 4;
+    duration = 12.;
+    rate = 1.0;
+    capacity = 3;
+    chaos =
+      { Stream.default_chaos with Stream.crash_rate = 0.2; loss = 0.05 };
+  }
+
+let check_stream ~seed =
+  match Stream.run_trace ~config:stream_config ~seed () with
+  | exception e ->
+      [ { oracle = Stream_lost; detail = "raised " ^ Printexc.to_string e } ]
+  | report ->
+      List.map
+        (fun detail -> { oracle = Stream_lost; detail })
+        (Stream.check_report report)
+
+let stream_magic = "ftsched-stream v1"
+
+let write_stream_case ~path ~seed violations =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\nseed %d\n" stream_magic seed;
+      List.iter (fun v -> Printf.fprintf oc "# %s\n" v.detail) violations)
+
+let read_stream_case ~path =
+  let ic = open_in path in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match String.split_on_char '\n' body with
+  | magic :: rest when String.trim magic = stream_magic -> (
+      let seed_line =
+        List.find_opt
+          (fun l ->
+            match String.split_on_char ' ' (String.trim l) with
+            | "seed" :: _ -> true
+            | _ -> false)
+          rest
+      in
+      match seed_line with
+      | Some l -> (
+          match String.split_on_char ' ' (String.trim l) with
+          | [ _; v ] when int_of_string_opt v <> None ->
+              int_of_string v
+          | _ -> failwith (path ^ ": bad seed line"))
+      | None -> failwith (path ^ ": missing \"seed\" header"))
+  | _ ->
+      failwith
+        (path ^ ": bad magic (expected \"" ^ stream_magic ^ "\")")
+
+(* ------------------------------------------------------------------ *)
+
+let file_magic path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> try String.trim (input_line ic) with End_of_file -> "")
+
 let replay ?(schedulers = schedulers) path =
-  match read_case ~path with
+  match file_magic path with
   | exception e -> Error (Printexc.to_string e)
-  | name, _oracle, case -> (
-      match List.find_opt (fun s -> s.name = name) schedulers with
-      | None -> Error (Printf.sprintf "unknown scheduler %S" name)
-      | Some sched -> Ok (name, check sched case))
+  | magic when magic = stream_magic -> (
+      match read_stream_case ~path with
+      | exception e -> Error (Printexc.to_string e)
+      | seed -> Ok (Printf.sprintf "stream seed %d" seed, check_stream ~seed))
+  | _ -> (
+      match read_case ~path with
+      | exception e -> Error (Printexc.to_string e)
+      | name, _oracle, case -> (
+          match List.find_opt (fun s -> s.name = name) schedulers with
+          | None -> Error (Printf.sprintf "unknown scheduler %S" name)
+          | Some sched -> Ok (name, check sched case)))
+
+let replay_corpus ?schedulers dir =
+  let entries = Sys.readdir dir in
+  Array.sort compare entries;
+  Array.to_list entries
+  |> List.filter (fun f -> Filename.check_suffix f ".case")
+  |> List.map (fun f ->
+         let path = Filename.concat dir f in
+         (path, replay ?schedulers path))
 
 let replay_command ~path = Printf.sprintf "ftsched fuzz --replay %s" path
 
@@ -627,6 +720,7 @@ type report = {
   seeds_run : int;
   schedulers_run : int;
   counterexamples : (counterexample * string option) list;
+  stream_violations : (int * violation list * string option) list;
 }
 
 let witness_path ~dir ce =
@@ -638,7 +732,7 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
     ?(dir = "_fuzz") ?(save = true) ~seeds () =
   let jobs_eff = match jobs with Some j -> j | None -> Par.default_jobs () in
   let chunk = max 1 (jobs_eff * 4) in
-  let ces = ref [] and start = ref 0 in
+  let ces = ref [] and svs = ref [] and start = ref 0 in
   while !start < seeds && not (should_stop ()) do
     let n = min chunk (seeds - !start) in
     let base = !start in
@@ -646,14 +740,23 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
       Par.parallel_init ?jobs n (fun i ->
           run_seed ~schedulers (base + i))
     in
+    let stream_results =
+      Par.parallel_init ?jobs n (fun i -> check_stream ~seed:(base + i))
+    in
     ces := !ces @ List.concat results;
+    List.iteri
+      (fun i vs -> if vs <> [] then svs := (base + i, vs) :: !svs)
+      stream_results;
     start := !start + n
   done;
+  let ensure_dir () =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  in
   let counterexamples =
     List.map
       (fun ce ->
         if save then begin
-          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          ensure_dir ();
           let path = witness_path ~dir ce in
           write_case ~path ~scheduler:ce.scheduler
             ~oracle:ce.violation.oracle ce.shrunk;
@@ -662,11 +765,26 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
         else (ce, None))
       !ces
   in
+  let stream_violations =
+    List.rev_map
+      (fun (seed, vs) ->
+        if save then begin
+          ensure_dir ();
+          let path =
+            Filename.concat dir (Printf.sprintf "stream-seed%d.case" seed)
+          in
+          write_stream_case ~path ~seed vs;
+          (seed, vs, Some path)
+        end
+        else (seed, vs, None))
+      !svs
+  in
   {
     seeds_requested = seeds;
     seeds_run = !start;
     schedulers_run = List.length schedulers;
     counterexamples;
+    stream_violations;
   }
 
 let pp_counterexample ppf ce =

@@ -31,6 +31,12 @@
       with [max_weight(bottleneck) = bottleneck_value <=
       max_weight(greedy)].
 
+    A fifth family runs per trace seed rather than per scheduler:
+    {b stream-lost}, the never-lost invariant of
+    {!Ftsched_stream.Stream.check_report} over a chaotic streaming
+    trace (crashes, outages, message loss) — no submitted job may end
+    without a typed fate.
+
     On a violation the counterexample is shrunk — drop DAG
     sources/sinks, halve/decrement [ε], remove processors, ddmin over
     edge subsets — to a 1-minimal witness (no single remaining shrink
@@ -69,6 +75,10 @@ type oracle =
   | Executor_agreement
   | Round_trip
   | Selection
+  | Stream_lost
+      (** the fifth family: {!Ftsched_stream.Stream.check_report} on a
+          seeded streaming trace — a submitted job left without a typed
+          fate, inconsistent accounting, or a deadline-violating fate *)
 
 val oracle_name : oracle -> string
 val oracle_of_name : string -> oracle option
@@ -84,6 +94,15 @@ val check : scheduler -> case -> violation list
 (** Run the scheduler on the case and evaluate every applicable oracle.
     Empty list = clean.  Exceptions anywhere in the pipeline become
     {!Crash} / per-oracle violations, never escape. *)
+
+val stream_config : Ftsched_stream.Stream.config
+(** The small chaotic fixture the stream oracle fuzzes: 4 processors,
+    Poisson crashes and message loss, tight admission capacity. *)
+
+val check_stream : seed:int -> violation list
+(** Run one streaming trace on {!stream_config} and evaluate the
+    never-lost oracle.  Exceptions become {!Stream_lost} violations,
+    never escape.  Pure function of the seed. *)
 
 val shrink :
   ?max_evals:int -> scheduler -> case -> oracle -> case * int * int
@@ -112,6 +131,9 @@ type report = {
   schedulers_run : int;
   counterexamples : (counterexample * string option) list;
       (** with the witness path when saving was enabled *)
+  stream_violations : (int * violation list * string option) list;
+      (** per trace seed that violated the stream oracle: the
+          violations and the witness path when saving was enabled *)
 }
 
 val campaign :
@@ -150,7 +172,19 @@ val replay :
 (** [replay path] re-runs every oracle on a saved witness:
     [Ok (scheduler, violations)] ([violations = []] means the bug no
     longer reproduces), or [Error] for an unreadable file / unknown
-    scheduler. *)
+    scheduler.  Dispatches on the file magic: ["ftsched-fuzz v1"]
+    witnesses replay the saved instance through the saved scheduler;
+    ["ftsched-stream v1"] witnesses re-run the saved trace seed through
+    the stream oracle. *)
+
+val replay_corpus :
+  ?schedulers:scheduler list ->
+  string ->
+  (string * (string * violation list, string) result) list
+(** [replay_corpus dir] replays every [*.case] file under [dir] (sorted
+    by name, non-recursive): corpus regression testing for previously
+    shrunk witnesses.  Each entry pairs the file path with its {!replay}
+    result. *)
 
 val replay_command : path:string -> string
 (** The CLI invocation reported next to a saved witness. *)

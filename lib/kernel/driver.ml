@@ -181,12 +181,17 @@ module Alpha = Ftsched_ds.Avl.Make (Prio_key)
 
 let now () = Sys.time ()
 
-let run ~rng ~instance ~policy ?deadlines ?trace () =
+let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
   let g = Instance.dag instance in
   let v = Dag.n_tasks g in
   let m = Instance.n_procs instance in
   if policy.replicas < 1 || policy.replicas > m then
     invalid_arg "Driver.run: need 1 <= replicas <= number of processors";
+  (match release with
+  | Some r when Array.length r <> m -> invalid_arg "Driver.run: release size"
+  | Some r when Array.exists (fun x -> not (x >= 0. && x < infinity)) r ->
+      invalid_arg "Driver.run: release entries must be finite and >= 0"
+  | _ -> ());
   (match deadlines with
   | Some d when Array.length d <> v -> invalid_arg "Driver.run: deadlines size"
   | _ -> ());
@@ -205,6 +210,17 @@ let run ~rng ~instance ~policy ?deadlines ?trace () =
       tmp_pess = Array.make m 0.;
     }
   in
+  (* Residual timelines: pre-commit each processor's foreign busy tail as
+     an opaque slot so ready times and gap searches alike start there. *)
+  (match release with
+  | None -> ()
+  | Some r ->
+      Array.iteri
+        (fun p rel ->
+          if rel > 0. then
+            Proc_state.commit_slot st.timeline p ~start:0. ~finish:rel
+              ~pess_finish:rel)
+        r);
   (match trace with
   | Some tr -> Trace.start tr ~algorithm:policy.name
   | None -> ());

@@ -109,15 +109,26 @@ val run :
   rng:Ftsched_util.Rng.t ->
   instance:Ftsched_model.Instance.t ->
   policy:policy ->
+  ?release:float array ->
   ?deadlines:float array ->
   ?trace:Trace.t ->
   unit ->
   (Ftsched_schedule.Schedule.t, deadline_failure) result
 (** Run the loop to completion.  With [?deadlines] (one per task) the
     per-step feasibility check of §4.3 aborts at the first missed
-    deadline.  [?trace] records every decision (see {!Trace}).  Raises
-    [Invalid_argument] if [deadlines] has the wrong size or
-    [policy.replicas] is not in [1, m]. *)
+    deadline.  [?trace] records every decision (see {!Trace}).
+
+    [?release] (one entry per processor, default all zero) models
+    {e residual} timelines: processor [p] is busy with foreign work until
+    [release.(p)] and no replica may start before that instant.  Each
+    positive entry is pre-committed as an opaque busy slot
+    [\[0, release.(p))], so both the ready times of the FTSA family and
+    the insertion gap searches of the baselines respect it — this is how
+    an online admission controller ({!Ftsched_stream}) places a new job
+    on a platform already running others.  Raises [Invalid_argument] if
+    [release] has the wrong size or holds a negative, NaN or infinite
+    entry, if [deadlines] has the wrong size, or if [policy.replicas] is
+    not in [1, m]. *)
 
 (** {2 Equation-(1)/(3) helpers}
 

@@ -16,7 +16,7 @@ type outcome = {
   detected_failures : int;
 }
 
-let run ?network ?faults ?(delta = 0.) ?rounds s ~fail_times =
+let run ?network ?faults ?release ?(delta = 0.) ?rounds s ~fail_times =
   let inst = Schedule.instance s in
   let g = Instance.dag inst in
   let pl = Instance.platform inst in
@@ -32,7 +32,7 @@ let run ?network ?faults ?(delta = 0.) ?rounds s ~fail_times =
     | None -> m
   in
   let det = Detector.create ~fail_times ~delta in
-  let eng = Engine.create ?network ?faults s ~fail_times in
+  let eng = Engine.create ?network ?faults ?release s ~fail_times in
   let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
   let detected = Array.make m false in
   (* Per-replica potential input sources, as (src_task, src_rep) lists per
@@ -279,7 +279,7 @@ let run ?network ?faults ?(delta = 0.) ?rounds s ~fail_times =
     detected_failures = Detector.n_failures det;
   }
 
-let run_timed ?network ?faults ?delta ?rounds s timed =
+let run_timed ?network ?faults ?release ?delta ?rounds s timed =
   let m = Instance.n_procs (Schedule.instance s) in
   let fail_times = Array.make m infinity in
   List.iter
@@ -287,4 +287,4 @@ let run_timed ?network ?faults ?delta ?rounds s timed =
       if proc < 0 || proc >= m then invalid_arg "Recovery.run_timed";
       fail_times.(proc) <- Float.min fail_times.(proc) at)
     timed;
-  run ?network ?faults ?delta ?rounds s ~fail_times
+  run ?network ?faults ?release ?delta ?rounds s ~fail_times

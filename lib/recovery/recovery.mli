@@ -58,6 +58,7 @@ type outcome = {
 val run :
   ?network:Event_sim.network_model ->
   ?faults:Ftsched_sim.Scenario.comm_faults ->
+  ?release:float array ->
   ?delta:float ->
   ?rounds:int ->
   Ftsched_schedule.Schedule.t ->
@@ -66,15 +67,23 @@ val run :
 (** [delta] defaults to [0.] (instant detection); [rounds] defaults to
     the platform size.  With the default budget and at least one
     processor alive at the end, the run always completes every task
-    (defeat is impossible — see the property tests).  [faults] (default
-    reliable) subjects {e planned} messages and [On_completion]
-    re-wirings to the communication-fault model; recovery's own
-    [Resend]s are priced by the controller and stay reliable, so
-    recovery remains an effective answer to message loss. *)
+    (defeat is impossible — see the property tests).  A detection
+    latency larger than every replica's slack — even one exceeding the
+    whole static horizon — still terminates in a {e typed} outcome:
+    sweeps fire at [fail + δ] however late that is, and the worst case
+    is a degraded outcome ([degraded.complete = false]), never a hang or
+    an exception.  [faults] (default reliable) subjects {e planned}
+    messages and [On_completion] re-wirings to the communication-fault
+    model; recovery's own [Resend]s are priced by the controller and
+    stay reliable, so recovery remains an effective answer to message
+    loss.  [release] forwards residual processor occupancy to the engine
+    (see {!Event_sim.Engine.create}); the recovery sweeps price
+    injections against it through [Engine.free_at]. *)
 
 val run_timed :
   ?network:Event_sim.network_model ->
   ?faults:Ftsched_sim.Scenario.comm_faults ->
+  ?release:float array ->
   ?delta:float ->
   ?rounds:int ->
   Ftsched_schedule.Schedule.t ->

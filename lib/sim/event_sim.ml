@@ -178,8 +178,8 @@ module Engine = struct
       try_advance eng (Queue.pop eng.dirty)
     done
 
-  let create ?(network = Contention_free) ?(faults = Scenario.reliable) s
-      ~fail_times =
+  let create ?(network = Contention_free) ?(faults = Scenario.reliable) ?release
+      s ~fail_times =
     let inst = Schedule.instance s in
     let g = Instance.dag inst in
     let pl = Instance.platform inst in
@@ -187,6 +187,11 @@ module Engine = struct
     let plan = Schedule.comm s in
     let v = Dag.n_tasks g and m = Instance.n_procs inst in
     if Array.length fail_times <> m then invalid_arg "Event_sim.run: fail_times";
+    (match release with
+    | Some r when Array.length r <> m -> invalid_arg "Event_sim.run: release size"
+    | Some r when Array.exists (fun x -> not (x >= 0. && x < infinity)) r ->
+        invalid_arg "Event_sim.run: release entries must be finite and >= 0"
+    | _ -> ());
     if not (faults.Scenario.loss >= 0. && faults.Scenario.loss <= 1.) then
       invalid_arg "Event_sim.run: loss probability outside [0, 1]";
     if faults.Scenario.retries < 0 then
@@ -250,7 +255,12 @@ module Engine = struct
         lost_messages = 0;
         fail_times; g; pl; inst; eps; plan; v; m;
         in_edges; edge_pos_of; reps; queues;
-        free_at = Array.make m 0.;
+        (* Residual occupancy: the processor is busy with foreign work
+           until its release instant and cannot start replicas before. *)
+        free_at =
+          (match release with
+          | Some r -> Array.copy r
+          | None -> Array.make m 0.);
         ports; recv_ports;
         heap = Heap.empty;
         seq = 0;
@@ -577,12 +587,12 @@ module Engine = struct
     }
 end
 
-let run ?network ?faults s ~fail_times =
-  let eng = Engine.create ?network ?faults s ~fail_times in
+let run ?network ?faults ?release s ~fail_times =
+  let eng = Engine.create ?network ?faults ?release s ~fail_times in
   Engine.drain eng;
   Engine.result eng
 
-let run_timed ?network ?faults s timed =
+let run_timed ?network ?faults ?release s timed =
   let m = Instance.n_procs (Schedule.instance s) in
   let fail_times = Array.make m infinity in
   List.iter
@@ -590,7 +600,7 @@ let run_timed ?network ?faults s timed =
       if proc < 0 || proc >= m then invalid_arg "Event_sim.run_timed";
       fail_times.(proc) <- Float.min fail_times.(proc) at)
     timed;
-  run ?network ?faults s ~fail_times
+  run ?network ?faults ?release s ~fail_times
 
 let run_crash ?network ?faults s scenario =
   let m = Instance.n_procs (Schedule.instance s) in

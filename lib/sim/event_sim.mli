@@ -111,12 +111,19 @@ module Engine : sig
   val create :
     ?network:network_model ->
     ?faults:Scenario.comm_faults ->
+    ?release:float array ->
     Ftsched_schedule.Schedule.t ->
     fail_times:float array ->
     t
-  (** Raises [Invalid_argument] on a malformed [fail_times] length, a
-      loss probability outside [[0, 1]], negative retries, or an outage
-      naming a processor the platform does not have. *)
+  (** [?release] (one instant per processor, default all zero) models
+      residual occupancy: processor [p] is busy with foreign work until
+      [release.(p)] and cannot start a replica before — the execution
+      counterpart of scheduling against residual timelines
+      ({!Ftsched_kernel.Driver.run}'s [?release]).  Raises
+      [Invalid_argument] on a malformed [fail_times]/[release] length, a
+      negative/NaN/infinite release entry, a loss probability outside
+      [[0, 1]], negative retries, or an outage naming a processor the
+      platform does not have. *)
 
   val advance_until : t -> float -> unit
   (** Process every pending event with timestamp [<= horizon]; virtual
@@ -161,15 +168,18 @@ end
 val run :
   ?network:network_model ->
   ?faults:Scenario.comm_faults ->
+  ?release:float array ->
   Ftsched_schedule.Schedule.t ->
   fail_times:float array ->
   result
 (** [fail_times] has one entry per processor.  [network] defaults to
-    [Contention_free]; [faults] to {!Scenario.reliable}. *)
+    [Contention_free]; [faults] to {!Scenario.reliable}; [release] to
+    all-idle (see {!Engine.create}). *)
 
 val run_timed :
   ?network:network_model ->
   ?faults:Scenario.comm_faults ->
+  ?release:float array ->
   Ftsched_schedule.Schedule.t ->
   Scenario.timed list ->
   result

@@ -1,0 +1,87 @@
+(** Online admission control on a shared platform.
+
+    The paper schedules one DAG on an idle platform; here jobs arrive
+    continuously and the platform is never idle.  The controller owns the
+    {e residual} per-processor timelines — the instant from which each
+    processor is free of already-admitted work — and admits a new job
+    only if an equation-(1) placement {e on those residual timelines}
+    (FTSA through {!Ftsched_kernel.Driver}'s [?release] hook, so the same
+    kernel code path as offline scheduling) meets the job's deadline with
+    the requested [ε]-survivability:
+
+    [now + M(plan) <= deadline]
+
+    with [M] the equation-(4) guaranteed latency of the residual-aware
+    plan.  When the fully replicated plan cannot meet the deadline the
+    controller degrades gracefully: it retries with [ε-1, …, 0] replicas
+    and admits at the largest survivability that still fits, flagging the
+    job as a {e degraded admission} (it runs, but with less than the
+    requested failure tolerance).  When even the replication-less plan
+    misses, or the in-flight bound is reached (backpressure), the job is
+    rejected with a typed reason — jobs are never silently dropped.
+
+    Admission commits a reservation: the plan's per-processor busy tails
+    (pessimistic finishes) are folded into the residual timelines, so
+    subsequent jobs are placed after them.  Reservations are honest for
+    up to [ε] crashes {e within} a plan (equation (3) prices every
+    replica); recovery re-injections beyond that may run past their
+    reservation — the chaos runner measures, the controller does not
+    re-reserve. *)
+
+type reject_reason =
+  | Backpressure of { inflight : int; capacity : int }
+      (** the bounded admission queue is full: [inflight >= capacity]
+          jobs still hold reservations past the arrival instant *)
+  | Deadline_infeasible of { needed : float; deadline : float }
+      (** even the replication-less residual plan finishes at [needed]
+          (absolute), past the deadline *)
+
+val pp_reject : Format.formatter -> reject_reason -> unit
+
+type plan = {
+  schedule : Ftsched_schedule.Schedule.t;
+      (** residual-aware plan; times are relative to the admission
+          instant and respect [release] *)
+  release : float array;
+      (** the residual tails (relative to admission) the plan was placed
+          against — feed them to the executor so simulation and plan
+          agree *)
+  eps_planned : int;  (** survivability actually provisioned *)
+  degraded_admission : bool;  (** [eps_planned] < requested [ε] *)
+  rel_finish : float;
+      (** guaranteed (equation-(4)) finish, relative to admission *)
+}
+
+type t
+
+val create : m:int -> capacity:int -> t
+(** [capacity] bounds the jobs simultaneously holding reservations.
+    Raises [Invalid_argument] on [m <= 0] or [capacity <= 0]. *)
+
+val n_procs : t -> int
+
+val inflight : t -> now:float -> int
+(** Admitted jobs whose guaranteed finish lies after [now]. *)
+
+val residual : t -> now:float -> float array
+(** Current residual timelines, relative to [now] (entry [p] is how much
+    longer processor [p] stays busy; 0 = idle). *)
+
+val occupy : t -> proc:int -> until:float -> unit
+(** External unavailability (e.g. a crashed processor rebooting at
+    [until], absolute): the residual tail of [proc] is raised to at least
+    [until].  Raises [Invalid_argument] on an unknown processor or a
+    non-finite instant. *)
+
+val try_admit :
+  t ->
+  now:float ->
+  deadline:float ->
+  eps:int ->
+  seed:int ->
+  Ftsched_model.Instance.t ->
+  (plan, reject_reason) result
+(** Place the job on the residual timelines and, on success, commit its
+    reservation.  [Error] leaves the controller state untouched.  The
+    instance must live on the controller's platform size; raises
+    [Invalid_argument] otherwise, or on [eps < 0] or [eps >= m]. *)

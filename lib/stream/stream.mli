@@ -1,0 +1,170 @@
+(** Online multi-DAG streaming runtime with shadow plans and chaos.
+
+    Jobs — a random DAG bound to the shared platform, plus a deadline —
+    arrive as a seeded Poisson process.  Each arrival goes through the
+    {!Admission} controller (equation-(1) placement on residual
+    timelines, graceful replication degradation, bounded-queue
+    backpressure) and every admitted job is executed through the
+    discrete-event simulator under a seeded {e chaos} trace: timed
+    processor crashes (with reboot after a downtime), link outage
+    windows and message loss injected mid-stream.
+
+    {b Shadow plans.}  For every admitted job the runtime precomputes,
+    {e ahead of any failure}, one recovery re-injection schedule per
+    processor its plan uses: the full {!Ftsched_recovery.Recovery} run
+    under "that processor is lost" (crash at the job's start).  When
+    chaos then kills exactly that processor before it started the job's
+    work, the precomputed reaction applies directly — recovery proceeds
+    with zero re-planning latency (a {e shadow hit}).  When reality
+    diverges from the precomputed assumption — the crash strikes after
+    the processor already ran part of the job, several processors die,
+    or a processor without a shadow entry is hit — the shadow plan is
+    {e stale}: the runtime detects the invalidation and re-plans online,
+    paying the configured detection/re-planning latency [δ].  Without
+    shadow plans ([shadow = false]) the runtime has no mid-stream
+    re-injection at all: jobs run their static [ε+1]-replicated plans
+    and survive only what static replication survives.
+
+    {b The never-lost invariant.}  Every submitted job is accounted for
+    by exactly one typed fate: completed by its deadline, completed
+    degraded (late, partial, or admitted below the requested [ε]),
+    rejected (backpressure / infeasible deadline) or aborted (defeated),
+    each with a typed reason.  {!check_report} is the oracle; the fuzz
+    harness ({!Ftsched_fuzz}) and the CI chaos smoke job run it on every
+    stream trace.
+
+    Everything is a pure function of [(config, seed)]; campaigns
+    parallelize over trace seeds with {!Ftsched_par.Par} and are
+    bit-identical for any worker count. *)
+
+type chaos = {
+  crash_rate : float;
+      (** expected processor crashes per unit time, platform-wide *)
+  downtime : float;  (** a crashed processor reboots after this long *)
+  outage_rate : float;  (** expected link outages per unit time *)
+  outage_len : float;  (** length of each outage window *)
+  loss : float;  (** per-message loss probability, in [[0, 1]] *)
+}
+
+val no_chaos : chaos
+val default_chaos : chaos
+
+type config = {
+  m : int;  (** shared platform size *)
+  rate : float;  (** job arrivals per unit time, > 0 *)
+  duration : float;  (** arrival window [\[0, duration)], > 0 *)
+  eps : int;  (** requested survivability per job *)
+  capacity : int;  (** admission in-flight bound (backpressure) *)
+  slack : float * float;
+      (** deadline = arrival + U[slack] × the job's isolated guaranteed
+          makespan *)
+  delta : float;
+      (** failure-detection plus re-planning latency paid when a shadow
+          plan is stale (and the detection latency used to decide which
+          chaos crashes the admission controller already knows about) *)
+  chaos : chaos;
+  shadow : bool;  (** precompute shadow plans; [false] = static plans *)
+  tasks : int * int;  (** tasks per job, inclusive range *)
+}
+
+val default_config : config
+(** 8 processors, rate 0.5, duration 100, ε = 1, capacity 8,
+    slack [(2, 4)], δ = 1, {!no_chaos}, shadow plans on, 3–8 tasks. *)
+
+type shadow_status =
+  | No_shadow  (** shadow plans disabled for this run *)
+  | Fault_free  (** no crash touched the job's plan *)
+  | Shadow_hit  (** single covered crash: precomputed reaction applied *)
+  | Shadow_stale
+      (** precomputed assumption invalidated — re-planned online at
+          latency [δ] *)
+
+val shadow_status_name : shadow_status -> string
+
+type abort_reason =
+  | Defeated of { completed_tasks : int; total_tasks : int }
+      (** execution lost every sink — no result was delivered *)
+
+type degrade_reason =
+  | Late of { finish : float }  (** complete, but past the deadline *)
+  | Partial of {
+      completed_tasks : int;
+      total_tasks : int;
+      completed_sinks : int;
+      total_sinks : int;
+    }  (** some sinks delivered, some tasks never completed *)
+  | Without_tolerance of { finish : float; eps_planned : int }
+      (** on time, but admitted below the requested [ε] *)
+
+type fate =
+  | Completed of { finish : float }
+  | Degraded of degrade_reason
+  | Rejected of Admission.reject_reason
+  | Aborted of abort_reason
+
+val pp_fate : Format.formatter -> fate -> unit
+
+type job = {
+  id : int;
+  arrival : float;
+  deadline : float;
+  n_tasks : int;
+  eps_planned : int option;  (** [None] for rejected jobs *)
+  crashes_seen : int;  (** chaos crashes striking inside the job's window *)
+  shadow : shadow_status;
+  fate : fate;
+}
+
+type totals = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  completed : int;  (** on time, full tolerance *)
+  degraded : int;
+  aborted : int;
+  deadline_misses : int;  (** late + partial + aborted, over admitted jobs *)
+  shadow_hits : int;
+  shadow_stale : int;
+  crash_events : int;  (** chaos crashes drawn over the whole trace *)
+  outage_events : int;
+  mean_response : float;
+      (** mean (finish − arrival) over on-time completions; 0 if none *)
+  throughput : float;  (** on-time completions per unit time *)
+}
+
+type report = { seed : int; jobs : job list; totals : totals }
+
+val run_trace : ?config:config -> seed:int -> unit -> report
+(** One stream trace — a pure function of [(config, seed)].  Raises
+    [Invalid_argument] on a malformed config (non-positive [rate],
+    [duration], [m], [capacity] or task range, negative [delta] or chaos
+    rates, [loss] outside [[0, 1]], [eps] outside [[0, m)]). *)
+
+val check_report : report -> string list
+(** The never-lost oracle.  Empty list = clean; each entry is one
+    violated invariant: every job must carry exactly one fate consistent
+    with its deadline, counts must satisfy
+    [submitted = admitted + rejected] and
+    [admitted = completed + degraded + aborted], backpressure rejections
+    must witness a full queue, and ids must be dense. *)
+
+val campaign :
+  ?config:config -> ?jobs:int -> seeds:int -> unit -> report list
+(** [campaign ~seeds ()] runs traces for seeds [0 .. seeds-1] in
+    parallel over [jobs] worker domains
+    (default {!Ftsched_par.Par.default_jobs}); the result is
+    bit-identical for any worker count. *)
+
+val merge_totals : report list -> totals
+(** Aggregate totals over a campaign ([throughput] and [mean_response]
+    weighted accordingly). *)
+
+val report_digest : report -> string
+(** MD5 hex digest of the fully rendered report — the determinism
+    witness compared across [-j] values. *)
+
+val pp_totals : Format.formatter -> totals -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val totals_table : (string * totals) list -> Ftsched_util.Table.t
+(** One labelled row per totals value — the CLI summary table. *)

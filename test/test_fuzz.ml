@@ -196,6 +196,78 @@ let test_replay_errors () =
   | Ok _ -> Alcotest.fail "bad magic should error");
   Sys.remove path
 
+(* ---------------- stream oracle & corpus replay ---------------- *)
+
+let test_stream_oracle_clean_and_deterministic () =
+  for seed = 0 to 4 do
+    (match Fuzz.check_stream ~seed with
+    | [] -> ()
+    | v :: _ ->
+        Alcotest.failf "stream seed %d fired: %s" seed v.Fuzz.detail);
+    check_bool "pure function of the seed" true
+      (Fuzz.check_stream ~seed = Fuzz.check_stream ~seed)
+  done
+
+let test_stream_witness_roundtrip_via_replay () =
+  let dir = Filename.temp_file "ftsched_corpus" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  (* a stream witness replays through the stream oracle... *)
+  let spath = Filename.concat dir "stream-seed3.case" in
+  let oc = open_out spath in
+  output_string oc "ftsched-stream v1\nseed 3\n";
+  close_out oc;
+  (match Fuzz.replay spath with
+  | Ok (name, violations) ->
+      check_bool "named after the seed" true (Helpers.contains name "3");
+      check_bool "clean seed replays clean" true (violations = [])
+  | Error msg -> Alcotest.failf "stream replay failed: %s" msg);
+  (* ...an instance witness through its scheduler, from the same dir *)
+  let case = Fuzz.gen_case ~seed:1 in
+  Fuzz.write_case
+    ~path:(Filename.concat dir "seed1-ftsa-structural.case")
+    ~scheduler:"ftsa" ~oracle:Fuzz.Structural case;
+  (* non-.case files are ignored *)
+  let oc = open_out (Filename.concat dir "README.txt") in
+  output_string oc "not a witness\n";
+  close_out oc;
+  let results = Fuzz.replay_corpus dir in
+  check_int "one result per .case file" 2 (List.length results);
+  List.iter
+    (fun (path, res) ->
+      match res with
+      | Ok (_, []) -> ()
+      | Ok (_, v :: _) -> Alcotest.failf "%s fired: %s" path v.Fuzz.detail
+      | Error msg -> Alcotest.failf "%s: %s" path msg)
+    results;
+  (* paths come back sorted by file name *)
+  let paths = List.map fst results in
+  check_bool "sorted" true (paths = List.sort compare paths);
+  (* a corrupt file surfaces as an Error entry, not an exception *)
+  let oc = open_out (Filename.concat dir "zz-bad.case") in
+  output_string oc "ftsched-stream v1\nno seed here\n";
+  close_out oc;
+  (match Fuzz.replay_corpus dir with
+  | [ _; _; (_, Error msg) ] ->
+      check_bool "mentions the missing header" true
+        (Helpers.contains msg "seed")
+  | _ -> Alcotest.fail "corrupt witness should yield an Error entry");
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_campaign_reports_stream_violations_field () =
+  (* a clean campaign must report no stream violations — and the field
+     must stay bit-identical across worker counts *)
+  let run jobs =
+    Fuzz.campaign ~schedulers:[] ~jobs ~save:false ~seeds:6 ()
+  in
+  let r1 = run 1 and r3 = run 3 in
+  check_bool "clean" true (r1.Fuzz.stream_violations = []);
+  check_bool "j1 = j3" true
+    (r1.Fuzz.stream_violations = r3.Fuzz.stream_violations)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -219,5 +291,14 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_witness_roundtrip;
           Alcotest.test_case "replay errors" `Quick test_replay_errors;
+        ] );
+      ( "stream-oracle",
+        [
+          Alcotest.test_case "clean and deterministic" `Quick
+            test_stream_oracle_clean_and_deterministic;
+          Alcotest.test_case "corpus replay" `Quick
+            test_stream_witness_roundtrip_via_replay;
+          Alcotest.test_case "campaign stream field" `Quick
+            test_campaign_reports_stream_violations_field;
         ] );
     ]

@@ -248,6 +248,45 @@ let prop_recovery_never_loses_with_survivor =
       o.Recovery.degraded.Metrics.complete
       && o.Recovery.result.Event_sim.latency <> None)
 
+(* Regression (issue 6, satellite): a detection latency exceeding every
+   replica's slack — here 10x the whole static horizon, so every sweep
+   fires long after the plan has run dry — must still terminate in a
+   typed outcome on reliable AND lossy links: complete when a processor
+   survives, a degraded report when none does, never a hang or an
+   uncaught defeat. *)
+let test_huge_delta_degrades_typed () =
+  let m = 4 in
+  let inst = random_instance ~seed:91 ~n_tasks:20 ~m () in
+  let s = Ftsa.schedule ~seed:91 inst ~eps:1 in
+  let horizon = Schedule.latency_upper_bound s in
+  let delta = 10. *. horizon in
+  let faults_of = function
+    | `Reliable -> Scenario.reliable
+    | `Lossy -> Scenario.lossy ~loss:0.3 ~retries:2 ~seed:5 ()
+  in
+  List.iter
+    (fun link ->
+      let faults = faults_of link in
+      (* beyond eps, one survivor: late sweeps must still finish the job *)
+      let fail_times =
+        [| horizon /. 5.; horizon /. 4.; horizon /. 3.; infinity |]
+      in
+      let o = Recovery.run ~faults ~delta s ~fail_times in
+      check_bool "typed completion with a survivor" true
+        o.Recovery.degraded.Metrics.complete;
+      (* no survivor: typed degradation, not an exception *)
+      let all_dead = Array.make m (horizon /. 5.) in
+      let o' = Recovery.run ~faults ~delta s ~fail_times:all_dead in
+      check_bool "defeat reported as degraded outcome" false
+        o'.Recovery.degraded.Metrics.complete;
+      check_bool "no latency claimed" true
+        (o'.Recovery.result.Event_sim.latency = None);
+      check_bool "progress accounting stays sane" true
+        (let d = o'.Recovery.degraded in
+         d.Metrics.completed_tasks >= 0
+         && d.Metrics.completed_tasks < d.Metrics.total_tasks))
+    [ `Reliable; `Lossy ]
+
 (* Recovery replays deterministically: same inputs, same outcome. *)
 let test_recovery_deterministic () =
   let inst = random_instance ~seed:36 ~n_tasks:25 ~m:5 () in
@@ -313,6 +352,8 @@ let () =
             test_degrades_beyond_eps_without_raising;
           Alcotest.test_case "degradation monotone in survivors" `Quick
             test_degradation_monotone_in_survivors;
+          Alcotest.test_case "huge delta degrades typed (regression)" `Quick
+            test_huge_delta_degrades_typed;
           Alcotest.test_case "deterministic replay" `Quick
             test_recovery_deterministic;
           quick prop_recovery_never_loses_with_survivor;

@@ -1,0 +1,322 @@
+(* Tests for Ftsched_stream: admission control on residual timelines,
+   the never-lost oracle over chaos traces, campaign determinism across
+   worker counts, and the ?release residual-timeline hook threaded
+   through Driver/Ftsa/Event_sim. *)
+
+module Rng = Ftsched_util.Rng
+module Platform = Ftsched_platform.Platform
+module Instance = Ftsched_model.Instance
+module Schedule = Ftsched_schedule.Schedule
+module Ftsa = Ftsched_core.Ftsa
+module Event_sim = Ftsched_sim.Event_sim
+module Admission = Ftsched_stream.Admission
+module Stream = Ftsched_stream.Stream
+open Helpers
+
+let chaos_config =
+  {
+    Stream.default_config with
+    Stream.duration = 30.;
+    rate = 0.8;
+    chaos = { Stream.default_chaos with crash_rate = 0.15; loss = 0.05 };
+  }
+
+(* ---------------- ?release: residual timelines ---------------- *)
+
+let test_release_delays_schedule () =
+  let inst = random_instance ~n_tasks:12 ~m:3 ~seed:42 () in
+  let release = [| 5.; 0.; 7. |] in
+  let s = Ftsa.schedule ~seed:1 ~release inst ~eps:1 in
+  for t = 0 to Instance.n_tasks inst - 1 do
+    Array.iter
+      (fun (r : Schedule.replica) ->
+        check_bool "replica starts after its processor's release" true
+          (r.Schedule.start +. 1e-9 >= release.(r.Schedule.proc)))
+      (Schedule.replicas s t)
+  done;
+  (* An all-zero release is the plain schedule, bit for bit. *)
+  let s0 = Ftsa.schedule ~seed:1 ~release:[| 0.; 0.; 0. |] inst ~eps:1 in
+  let plain = Ftsa.schedule ~seed:1 inst ~eps:1 in
+  check_float "zero release = no release"
+    (Schedule.latency_upper_bound plain)
+    (Schedule.latency_upper_bound s0)
+
+let test_release_validation () =
+  let inst = random_instance ~n_tasks:6 ~m:2 ~seed:7 () in
+  let expect_invalid label release =
+    match Ftsa.schedule ~release inst ~eps:0 with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect_invalid "wrong-size release" [| 1. |];
+  expect_invalid "negative release" [| -1.; 0. |];
+  expect_invalid "NaN release" [| Float.nan; 0. |];
+  expect_invalid "infinite release" [| infinity; 0. |]
+
+let test_release_delays_execution () =
+  let inst = random_instance ~n_tasks:10 ~m:3 ~seed:9 () in
+  let release = [| 4.; 4.; 4. |] in
+  let s = Ftsa.schedule ~seed:2 ~release inst ~eps:1 in
+  let fail_times = Array.make 3 infinity in
+  let r = Event_sim.run ~release s ~fail_times in
+  (match r.Event_sim.latency with
+  | None -> Alcotest.fail "fault-free run defeated"
+  | Some l -> check_bool "execution cannot finish before release" true (l > 4.));
+  (* The engine is work-conserving: without the release it would start
+     at 0 and finish strictly earlier. *)
+  let plain = Ftsa.schedule ~seed:2 inst ~eps:1 in
+  let r0 = Event_sim.run plain ~fail_times in
+  match (r0.Event_sim.latency, r.Event_sim.latency) with
+  | Some l0, Some l -> check_bool "release postpones the finish" true (l >= l0)
+  | _ -> Alcotest.fail "unexpected defeat"
+
+(* ---------------- admission controller ---------------- *)
+
+let test_admission_backpressure () =
+  let inst = random_instance ~n_tasks:8 ~m:3 ~seed:11 () in
+  let ctrl = Admission.create ~m:3 ~capacity:1 in
+  (match Admission.try_admit ctrl ~now:0. ~deadline:1e6 ~eps:1 ~seed:3 inst with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "first job rejected: %a" Admission.pp_reject r);
+  (match Admission.try_admit ctrl ~now:0. ~deadline:1e6 ~eps:1 ~seed:4 inst with
+  | Error (Admission.Backpressure { inflight; capacity }) ->
+      check_int "inflight" 1 inflight;
+      check_int "capacity" 1 capacity
+  | Ok _ -> Alcotest.fail "second job admitted past capacity"
+  | Error r -> Alcotest.failf "wrong reject reason: %a" Admission.pp_reject r);
+  (* Reservations expire: far in the future the queue has drained. *)
+  match
+    Admission.try_admit ctrl ~now:1e5 ~deadline:1e6 ~eps:1 ~seed:5 inst
+  with
+  | Ok _ -> ()
+  | Error r -> Alcotest.failf "drained queue rejected: %a" Admission.pp_reject r
+
+let test_admission_infeasible_deadline () =
+  let inst = random_instance ~n_tasks:8 ~m:3 ~seed:13 () in
+  let ctrl = Admission.create ~m:3 ~capacity:4 in
+  match Admission.try_admit ctrl ~now:10. ~deadline:10.1 ~eps:2 ~seed:6 inst with
+  | Error (Admission.Deadline_infeasible { needed; deadline }) ->
+      check_float "deadline echoed" 10.1 deadline;
+      check_bool "needed past deadline" true (needed > deadline)
+  | Ok _ -> Alcotest.fail "hopeless deadline admitted"
+  | Error r -> Alcotest.failf "wrong reject reason: %a" Admission.pp_reject r
+
+let test_admission_degrades_eps () =
+  (* A deadline generous enough for eps = 0 but (on this instance) not
+     for the fully replicated plan: the controller lands between. *)
+  let inst = random_instance ~n_tasks:10 ~m:3 ~seed:17 () in
+  let full = Ftsa.schedule ~seed:8 inst ~eps:2 in
+  let bare = Ftsa.schedule ~seed:8 inst ~eps:0 in
+  let needed_full = Schedule.latency_upper_bound full in
+  let needed_bare = Schedule.latency_upper_bound bare in
+  check_bool "fixture: replication costs latency" true
+    (needed_bare < needed_full);
+  let deadline = (needed_bare +. needed_full) /. 2. in
+  let ctrl = Admission.create ~m:3 ~capacity:4 in
+  match Admission.try_admit ctrl ~now:0. ~deadline ~eps:2 ~seed:8 inst with
+  | Ok plan ->
+      check_bool "degraded admission flagged" true
+        plan.Admission.degraded_admission;
+      check_bool "eps below requested" true (plan.Admission.eps_planned < 2);
+      check_bool "still meets deadline" true
+        (plan.Admission.rel_finish <= deadline)
+  | Error r -> Alcotest.failf "degradable job rejected: %a" Admission.pp_reject r
+
+let test_admission_occupy_shifts_residual () =
+  let ctrl = Admission.create ~m:3 ~capacity:4 in
+  Admission.occupy ctrl ~proc:1 ~until:12.;
+  let res = Admission.residual ctrl ~now:2. in
+  check_float "occupied processor" 10. res.(1);
+  check_float "idle processor" 0. res.(0);
+  let res' = Admission.residual ctrl ~now:20. in
+  check_float "occupation expires" 0. res'.(1)
+
+(* ---------------- the never-lost oracle ---------------- *)
+
+let test_never_lost_under_chaos () =
+  for seed = 0 to 9 do
+    let r = Stream.run_trace ~config:chaos_config ~seed () in
+    match Stream.check_report r with
+    | [] -> ()
+    | errs ->
+        Alcotest.failf "seed %d violates never-lost: %s" seed
+          (String.concat "; " errs)
+  done
+
+let test_chaos_actually_bites () =
+  (* The chaos fixture must exercise the interesting paths, otherwise
+     the oracle checks nothing. *)
+  let reports =
+    List.init 10 (fun seed -> Stream.run_trace ~config:chaos_config ~seed ())
+  in
+  let t = Stream.merge_totals reports in
+  check_bool "some jobs submitted" true (t.Stream.submitted > 20);
+  check_bool "some crashes drawn" true (t.Stream.crash_events > 0);
+  check_bool "some jobs hit by crashes" true
+    (List.exists
+       (fun (j : Stream.job) -> j.Stream.crashes_seen > 0)
+       (List.concat_map (fun r -> r.Stream.jobs) reports))
+
+let prop_accounting =
+  QCheck.Test.make ~name:"accepted + rejected + aborted = submitted" ~count:15
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let config =
+        {
+          Stream.default_config with
+          Stream.duration = 15.;
+          rate = 1.0;
+          capacity = 3;
+          chaos = { Stream.default_chaos with crash_rate = 0.2 };
+        }
+      in
+      let r = Stream.run_trace ~config ~seed () in
+      let t = r.Stream.totals in
+      Stream.check_report r = []
+      && t.Stream.submitted = t.Stream.admitted + t.Stream.rejected
+      && t.Stream.admitted
+         = t.Stream.completed + t.Stream.degraded + t.Stream.aborted)
+
+let test_backpressure_surfaces_in_stream () =
+  let config =
+    {
+      Stream.default_config with
+      Stream.duration = 20.;
+      rate = 3.0;
+      capacity = 2;
+    }
+  in
+  let some_backpressure =
+    List.exists
+      (fun seed ->
+        let r = Stream.run_trace ~config ~seed () in
+        List.exists
+          (fun (j : Stream.job) ->
+            match j.Stream.fate with
+            | Stream.Rejected (Admission.Backpressure _) -> true
+            | _ -> false)
+          r.Stream.jobs)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  check_bool "overload produces typed backpressure rejections" true
+    some_backpressure
+
+(* ---------------- determinism across worker counts ---------------- *)
+
+let test_campaign_jobs_bit_identical () =
+  let digests jobs =
+    List.map Stream.report_digest
+      (Stream.campaign ~config:chaos_config ~jobs ~seeds:6 ())
+  in
+  let d1 = digests 1 and d4 = digests 4 in
+  check_bool "-j 1 = -j 4 (byte-identical reports)" true (d1 = d4)
+
+let prop_trace_deterministic =
+  QCheck.Test.make ~name:"run_trace is a pure function of its seed" ~count:10
+    QCheck.(int_bound 9999)
+    (fun seed ->
+      let config = { chaos_config with Stream.duration = 10. } in
+      let a = Stream.run_trace ~config ~seed () in
+      let b = Stream.run_trace ~config ~seed () in
+      Stream.report_digest a = Stream.report_digest b && a = b)
+
+(* ---------------- shadow plans ---------------- *)
+
+let test_shadow_statuses_consistent () =
+  let reports =
+    List.init 12 (fun seed -> Stream.run_trace ~config:chaos_config ~seed ())
+  in
+  List.iter
+    (fun (r : Stream.report) ->
+      List.iter
+        (fun (j : Stream.job) ->
+          match (j.Stream.fate, j.Stream.shadow) with
+          | Stream.Rejected _, s ->
+              check_bool "rejected jobs carry no shadow status" true
+                (s = Stream.No_shadow)
+          | _, Stream.No_shadow ->
+              Alcotest.failf "admitted job %d lost its shadow status"
+                j.Stream.id
+          | _, (Stream.Fault_free | Stream.Shadow_hit | Stream.Shadow_stale) ->
+              ())
+        r.Stream.jobs)
+    reports;
+  let t = Stream.merge_totals reports in
+  check_bool "chaos fixture produces shadow reactions" true
+    (t.Stream.shadow_hits + t.Stream.shadow_stale > 0)
+
+let test_no_shadow_disables_statuses () =
+  let config = { chaos_config with Stream.shadow = false } in
+  let r = Stream.run_trace ~config ~seed:0 () in
+  check_bool "every job is No_shadow" true
+    (List.for_all
+       (fun (j : Stream.job) -> j.Stream.shadow = Stream.No_shadow)
+       r.Stream.jobs);
+  match Stream.check_report r with
+  | [] -> ()
+  | errs -> Alcotest.failf "no-shadow trace: %s" (String.concat "; " errs)
+
+let test_config_validation () =
+  let expect label config =
+    match Stream.run_trace ~config ~seed:0 () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s accepted" label
+  in
+  expect "negative rate" { Stream.default_config with Stream.rate = -1. };
+  expect "NaN rate" { Stream.default_config with Stream.rate = Float.nan };
+  expect "zero duration" { Stream.default_config with Stream.duration = 0. };
+  expect "negative delta" { Stream.default_config with Stream.delta = -0.5 };
+  expect "eps out of range"
+    { Stream.default_config with Stream.eps = Stream.default_config.Stream.m };
+  expect "loss above one"
+    {
+      Stream.default_config with
+      Stream.chaos = { Stream.no_chaos with Stream.loss = 1.5 };
+    }
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "release",
+        [
+          Alcotest.test_case "schedule respects release" `Quick
+            test_release_delays_schedule;
+          Alcotest.test_case "release validation" `Quick
+            test_release_validation;
+          Alcotest.test_case "execution respects release" `Quick
+            test_release_delays_execution;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "backpressure" `Quick test_admission_backpressure;
+          Alcotest.test_case "infeasible deadline" `Quick
+            test_admission_infeasible_deadline;
+          Alcotest.test_case "graceful eps degradation" `Quick
+            test_admission_degrades_eps;
+          Alcotest.test_case "occupy shifts residual" `Quick
+            test_admission_occupy_shifts_residual;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "never lost under chaos" `Quick
+            test_never_lost_under_chaos;
+          Alcotest.test_case "chaos actually bites" `Quick
+            test_chaos_actually_bites;
+          quick prop_accounting;
+          Alcotest.test_case "backpressure surfaces" `Quick
+            test_backpressure_surfaces_in_stream;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "campaign -j digests" `Quick
+            test_campaign_jobs_bit_identical;
+          quick prop_trace_deterministic;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "status consistency" `Quick
+            test_shadow_statuses_consistent;
+          Alcotest.test_case "shadow off" `Quick test_no_shadow_disables_statuses;
+        ] );
+    ]

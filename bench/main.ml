@@ -3,11 +3,14 @@
    Usage: dune exec bench/main.exe [-- target ...] [-j N]
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
-   rftsa reliability recovery linkloss adversary micro kernel par smoke all
-   (default: all; "smoke" is a CI-sized sanity pass over the hot
-   simulation paths and is not part of "all"; "par" measures the Domain
-   pool's wall-clock speedup and checks digest equality vs jobs=1, and
-   additionally *asserts* speedup >= 1 when combined with "smoke").
+   rftsa reliability recovery linkloss adversary micro kernel serve par
+   smoke all (default: all; "smoke" is a CI-sized sanity pass over the
+   hot simulation paths and is not part of "all"; "par" measures the
+   Domain pool's wall-clock speedup and checks digest equality vs
+   jobs=1, and additionally *asserts* speedup >= 1 when combined with
+   "smoke"; "serve" — also outside "all" — measures daemon round-trip
+   latency cold vs LRU-cached and writes BENCH_SERVE.json, path
+   overridable with FTSCHED_BENCH_SERVE_JSON).
    By default the figure sweeps use the reduced "quick" workload (8 graphs
    per point) so the whole harness finishes in a couple of minutes; set
    FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
@@ -591,6 +594,164 @@ let run_par ~strict () =
              name jobs msn ms1))
     rows
 
+(* ------------------------------------------------------------------ *)
+(* "serve" target: end-to-end latency and throughput of the framed
+   scheduling daemon ([lib/serve]), measured in-process over a unix
+   socket.  Three figures: cold requests (distinct payloads computed on
+   the Domain pool), cached repeats of one payload (LRU hits, asserted
+   byte-identical to the cold response), and requests/second for each.
+   Results go to BENCH_SERVE.json (path overridable with
+   FTSCHED_BENCH_SERVE_JSON); the accounting oracle is checked on the
+   final metrics before the numbers are trusted. *)
+
+module Serve = Ftsched_serve.Server
+module Serve_proto = Ftsched_serve.Protocol
+
+let serve_send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | n -> go (off + n)
+  in
+  go 0
+
+let serve_read_response fd reader =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Serve_proto.reader_next reader with
+    | `Frame p -> p
+    | `Error e ->
+        failwith
+          (Format.asprintf "bench serve: protocol error %a"
+             Serve_proto.pp_error e)
+    | `More -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | 0 -> failwith "bench serve: server closed the connection"
+        | n ->
+            Serve_proto.reader_feed reader buf n;
+            go ())
+  in
+  go ()
+
+let run_serve () =
+  section "serve: daemon round-trip latency";
+  let sock = Filename.temp_file "ftsched-bench-" ".sock" in
+  Sys.remove sock;
+  let server =
+    Serve.create
+      ~config:{ Serve.default_config with Serve.capacity = 128 }
+      (Serve.Unix_socket sock)
+  in
+  let final = ref None in
+  let th = Thread.create (fun () -> final := Some (Serve.serve server)) () in
+  let cold_n = 32 and cached_n = 256 in
+  let spec =
+    {
+      Workload.quick with
+      Workload.n_procs = 6;
+      tasks_lo = 40;
+      tasks_hi = 40;
+      graphs_per_point = 1;
+    }
+  in
+  let payload i =
+    let inst =
+      Workload.instance spec ~master_seed:(7 + i) ~granularity:1.0 ~index:0
+    in
+    Printf.sprintf "schedule ftsa 1 %d %h\n%s" i infinity
+      (Ftsched_schedule.Serialize.instance_to_string inst)
+  in
+  let cold_ms, cached_ms =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.stop server;
+        Thread.join th;
+        try Sys.remove sock with Sys_error _ -> ())
+    @@ fun () ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    let reader = Serve_proto.create_reader () in
+    let roundtrip p =
+      serve_send_all fd (Serve_proto.encode_frame p);
+      let resp = serve_read_response fd reader in
+      (match Serve_proto.classify_response resp with
+      | `Ok _ -> ()
+      | `Error (code, detail) ->
+          failwith
+            (Printf.sprintf "bench serve: error %s (%s)" code detail)
+      | `Junk -> failwith "bench serve: junk response");
+      resp
+    in
+    let payloads = Array.init cold_n payload in
+    let (), cold_ms =
+      wall_clock (fun () -> Array.iter (fun p -> ignore (roundtrip p)) payloads)
+    in
+    (* prime the cache, then time byte-identical repeats *)
+    let hot = payload 0 in
+    let reference = roundtrip hot in
+    let (), cached_ms =
+      wall_clock (fun () ->
+          for _ = 1 to cached_n do
+            if not (String.equal (roundtrip hot) reference) then
+              failwith "bench serve: cached response differs from cold"
+          done)
+    in
+    (cold_ms, cached_ms)
+  in
+  (match !final with
+  | None -> failwith "bench serve: server thread produced no metrics"
+  | Some m -> (
+      match Serve.check_accounting m with
+      | [] -> ()
+      | problems ->
+          failwith
+            ("bench serve: accounting oracle violated: "
+            ^ String.concat "; " problems)));
+  let per_req total n = total /. float_of_int n in
+  let rps total n = 1000. *. float_of_int n /. total in
+  let table =
+    Table.create ~columns:[ "path"; "requests"; "ms/request"; "requests/s" ]
+  in
+  Table.add_row table
+    [
+      "cold (pool)"; string_of_int cold_n;
+      Printf.sprintf "%.3f" (per_req cold_ms cold_n);
+      Printf.sprintf "%.0f" (rps cold_ms cold_n);
+    ];
+  Table.add_row table
+    [
+      "cached (LRU)"; string_of_int cached_n;
+      Printf.sprintf "%.3f" (per_req cached_ms cached_n);
+      Printf.sprintf "%.0f" (rps cached_ms cached_n);
+    ];
+  show "serve" table;
+  let path =
+    Option.value ~default:"BENCH_SERVE.json"
+      (Sys.getenv_opt "FTSCHED_BENCH_SERVE_JSON")
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"jobs\": %d,\n\
+    \  \"cold\": {\"requests\": %d, \"ms_per_request\": %.3f, \
+     \"requests_per_s\": %.1f},\n\
+    \  \"cached\": {\"requests\": %d, \"ms_per_request\": %.3f, \
+     \"requests_per_s\": %.1f},\n\
+    \  \"cache_speedup\": %.2f\n\
+     }\n"
+    (Par.default_jobs ()) cold_n (per_req cold_ms cold_n) (rps cold_ms cold_n)
+    cached_n
+    (per_req cached_ms cached_n)
+    (rps cached_ms cached_n)
+    (per_req cold_ms cold_n /. Float.max 1e-9 (per_req cached_ms cached_n));
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
 let () =
   let rec parse_jobs acc = function
     | [] -> List.rev acc
@@ -608,7 +769,8 @@ let () =
     | rest -> rest
   in
   let want t =
-    List.mem t args || (List.mem "all" args && t <> "smoke" && t <> "par")
+    List.mem t args
+    || (List.mem "all" args && t <> "smoke" && t <> "par" && t <> "serve")
   in
   if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
   if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
@@ -627,6 +789,7 @@ let () =
   if want "smoke" then run_smoke ();
   if want "micro" then run_micro ();
   if want "kernel" then run_kernel ();
+  if want "serve" then run_serve ();
   if want "par" then run_par ~strict:(List.mem "smoke" args) ();
   write_bench_json ();
   Printf.printf "\nDone.\n"

@@ -10,7 +10,9 @@
      experiment  regenerate the paper's figures, Table 1 and the ablations
      fuzz        differential fuzzing with corpus replay
      stream      online multi-DAG streaming under chaos (admission, shadow
-                 plans, never-lost oracle) *)
+                 plans, never-lost oracle)
+     serve       crash-only scheduling-as-a-service daemon (typed overload
+                 control, LRU response cache, self-chaos harness) *)
 
 open Cmdliner
 
@@ -43,50 +45,15 @@ module Stream = Ftsched_stream.Stream
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
 
-(* Validating converters: malformed values die as cmdliner usage errors
-   instead of surfacing as Invalid_argument exceptions from deep inside a
-   library call. *)
-let conv_of_float ~docv ~check ~msg =
-  let parse s =
-    match float_of_string_opt s with
-    | Some v when check v -> Ok v
-    | Some _ -> Error (`Msg msg)
-    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected a number" s))
-  in
-  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
-
-let prob_conv =
-  conv_of_float ~docv:"P"
-    ~check:(fun v -> v >= 0. && v <= 1.)
-    ~msg:"expected a probability in [0, 1]"
-
-let nonneg_float_conv =
-  conv_of_float ~docv:"D"
-    ~check:(fun v -> v >= 0. && v < infinity)
-    ~msg:"expected a finite non-negative number"
-
-let pos_float_conv =
-  conv_of_float ~docv:"X"
-    ~check:(fun v -> v > 0. && v < infinity)
-    ~msg:"expected a finite positive number"
-
-let int_conv_of ~docv ~check ~msg =
-  let parse s =
-    match int_of_string_opt s with
-    | Some v when check v -> Ok v
-    | Some _ -> Error (`Msg msg)
-    | None ->
-        Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
-  in
-  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%d" v)
-
-let pos_int_conv =
-  int_conv_of ~docv:"N" ~check:(fun v -> v > 0)
-    ~msg:"expected a positive integer"
-
-let nonneg_int_conv =
-  int_conv_of ~docv:"N" ~check:(fun v -> v >= 0)
-    ~msg:"expected a non-negative integer"
+(* Validating converters (Ftsched_cli.Converters): malformed values die
+   as cmdliner usage errors instead of surfacing as Invalid_argument
+   exceptions from deep inside a library call.  Every numeric flag of
+   every subcommand routes through these. *)
+let prob_conv = Ftsched_cli.Converters.prob
+let nonneg_float_conv = Ftsched_cli.Converters.nonneg_float
+let pos_float_conv = Ftsched_cli.Converters.pos_float
+let pos_int_conv = Ftsched_cli.Converters.pos_int
+let nonneg_int_conv = Ftsched_cli.Converters.nonneg_int
 
 let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -111,22 +78,22 @@ let apply_jobs = function
 
 let tasks_arg =
   Arg.(
-    value & opt int 100
+    value & opt pos_int_conv 100
     & info [ "n"; "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
 
 let procs_arg =
   Arg.(
-    value & opt int 20
+    value & opt pos_int_conv 20
     & info [ "m"; "procs" ] ~docv:"M" ~doc:"Number of processors.")
 
 let eps_arg =
   Arg.(
-    value & opt int 1
+    value & opt nonneg_int_conv 1
     & info [ "eps" ] ~docv:"E" ~doc:"Number of tolerated failures.")
 
 let gran_arg =
   Arg.(
-    value & opt float 1.0
+    value & opt pos_float_conv 1.0
     & info [ "granularity" ] ~docv:"G"
         ~doc:"Target granularity g(G,P) of the instance.")
 
@@ -154,7 +121,7 @@ let algo_arg =
 
 let redundancy_arg =
   Arg.(
-    value & opt (some int) None
+    value & opt (some pos_int_conv) None
     & info [ "redundancy" ] ~docv:"K"
         ~doc:
           "With mc-ftsa: keep $(docv) senders per input instead of one \
@@ -360,12 +327,12 @@ let schedule_cmd =
 let simulate_cmd =
   let fail =
     Arg.(
-      value & opt (list int) []
+      value & opt (list nonneg_int_conv) []
       & info [ "fail" ] ~docv:"P1,P2" ~doc:"Processors to fail (from t=0).")
   in
   let crashes =
     Arg.(
-      value & opt (some int) None
+      value & opt (some nonneg_int_conv) None
       & info [ "crashes" ] ~docv:"K"
           ~doc:"Fail $(docv) random processors instead of an explicit list.")
   in
@@ -387,7 +354,7 @@ let simulate_cmd =
   in
   let ports =
     Arg.(
-      value & opt (some int) None
+      value & opt (some pos_int_conv) None
       & info [ "ports" ] ~docv:"K"
           ~doc:
             "Replay under the bounded multi-port contention model with \
@@ -601,13 +568,13 @@ let reliability_cmd =
   let module R = Ftsched_reliability.Reliability in
   let p_fail =
     Arg.(
-      value & opt float 0.1
+      value & opt prob_conv 0.1
       & info [ "p-fail" ] ~docv:"P"
           ~doc:"Per-processor failure probability (crash-at-start model).")
   in
   let rate =
     Arg.(
-      value & opt (some float) None
+      value & opt (some pos_float_conv) None
       & info [ "rate" ] ~docv:"R"
           ~doc:
             "Exponential failure rate per unit time: switch to the timed \
@@ -615,7 +582,7 @@ let reliability_cmd =
   in
   let trials =
     Arg.(
-      value & opt int 5000
+      value & opt pos_int_conv 5000
       & info [ "trials" ] ~docv:"N" ~doc:"Monte-Carlo trials.")
   in
   let strict =
@@ -662,7 +629,7 @@ let reliability_cmd =
 let bicriteria_cmd =
   let latency =
     Arg.(
-      required & opt (some float) None
+      required & opt (some pos_float_conv) None
       & info [ "latency" ] ~docv:"L" ~doc:"Latency target.")
   in
   let dual =
@@ -732,7 +699,7 @@ let experiment_cmd =
   in
   let graphs =
     Arg.(
-      value & opt (some int) None
+      value & opt (some pos_int_conv) None
       & info [ "graphs" ] ~docv:"N" ~doc:"Override graphs per point.")
   in
   let run what full graphs seed jobs =
@@ -959,6 +926,175 @@ let stream_cmd =
       $ no_shadow_arg $ trace_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let module Server = Ftsched_serve.Server in
+  let module Chaos = Ftsched_serve.Chaos_client in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv); a stale socket \
+             file left by a crashed predecessor is replaced.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt (some nonneg_int_conv) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Listen on TCP port $(docv) (0 auto-assigns).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Bind address for $(b,--port).")
+  in
+  let self_test_arg =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Boot an in-process server on a temporary socket, flood it \
+             with seeded adversarial client sessions (corrupt frames, \
+             floods, disconnects, slow writes), then assert the \
+             accounting oracle and exit non-zero on any violation.")
+  in
+  let probe_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "probe" ] ~docv:"PATH"
+          ~doc:
+            "Send one health request — to the unix socket $(docv) when \
+             given, else to $(b,--socket)/$(b,--port) — and exit 0 iff \
+             a well-formed response arrives.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt pos_int_conv 25
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Chaos sessions for $(b,--self-test).")
+  in
+  let threads_arg =
+    Arg.(
+      value & opt pos_int_conv 4
+      & info [ "threads" ] ~docv:"N"
+          ~doc:"Concurrent client threads for $(b,--self-test).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt (some pos_int_conv) None
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Bounded work-queue depth; beyond it requests are rejected \
+             with a typed overloaded error (default 64; 8 under \
+             $(b,--self-test) so floods actually reach the bound).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value & opt pos_int_conv Ftsched_serve.Protocol.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Per-frame payload cap, checked before any allocation.")
+  in
+  let idle_arg =
+    Arg.(
+      value & opt pos_float_conv 30.
+      & info [ "idle-timeout" ] ~docv:"S"
+          ~doc:"Reap connections idle for $(docv) seconds.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt nonneg_float_conv 5.
+      & info [ "drain-grace" ] ~docv:"S"
+          ~doc:
+            "On SIGTERM/SIGINT: stop accepting and keep executing queued \
+             work for up to $(docv) seconds; the rest is abandoned with \
+             typed draining responses.")
+  in
+  let run socket port host self_test probe seeds threads capacity max_frame
+      idle_timeout drain_grace jobs =
+    apply_jobs jobs;
+    let config capacity_default =
+      {
+        Server.default_config with
+        Server.capacity = Option.value capacity ~default:capacity_default;
+        max_frame;
+        idle_timeout;
+        drain_grace;
+        jobs;
+      }
+    in
+    let address () =
+      match (socket, port) with
+      | Some path, None -> Server.Unix_socket path
+      | None, Some port -> Server.Tcp { host; port }
+      | Some _, Some _ ->
+          prerr_endline "serve: --socket and --port are mutually exclusive";
+          exit 2
+      | None, None ->
+          prerr_endline "serve: need --socket PATH or --port N";
+          exit 2
+    in
+    if self_test then begin
+      let r = Chaos.self_test ~config:(config 8) ?jobs ~threads ~seeds () in
+      let o = r.Chaos.outcome in
+      Printf.printf
+        "serve self-test: %d sessions, %d requests sent, %d ok, %d typed \
+         errors, %d identity checks\n"
+        o.Chaos.sessions o.Chaos.requests_sent o.Chaos.responses_ok
+        o.Chaos.responses_error o.Chaos.identity_checks;
+      print_endline (Server.accounting_line r.Chaos.metrics);
+      let all = o.Chaos.violations @ r.Chaos.accounting in
+      if all = [] then print_endline "chaos oracle: clean"
+      else begin
+        Printf.printf "chaos oracle: %d violation(s)\n" (List.length all);
+        List.iter (Printf.printf "  %s\n") all;
+        exit 1
+      end
+    end
+    else
+      match probe with
+      | Some path -> (
+          let addr =
+            if path = "" then address () else Server.Unix_socket path
+          in
+          match Chaos.probe addr with
+          | Ok body -> Printf.printf "ok health %s\n" body
+          | Error msg ->
+              Printf.eprintf "probe failed: %s\n" msg;
+              exit 1)
+      | None ->
+          let server = Server.create ~config:(config 64) (address ()) in
+          let handle = Sys.Signal_handle (fun _ -> Server.stop server) in
+          Sys.set_signal Sys.sigterm handle;
+          Sys.set_signal Sys.sigint handle;
+          (match (Server.bound_port server, socket) with
+          | Some p, _ ->
+              Printf.printf "ftsched-serve: listening on port %d\n%!" p
+          | None, Some path ->
+              Printf.printf "ftsched-serve: listening on %s\n%!" path
+          | None, None -> ());
+          let m = Server.serve server in
+          print_endline (Server.accounting_line m);
+          if Server.check_accounting m <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Crash-only scheduling-as-a-service daemon: a length-prefixed \
+          binary protocol over Unix or TCP sockets carrying serialized \
+          schedule/simulate/stream requests, with bounds-checked frames, \
+          typed overload and deadline rejections from a bounded admission \
+          queue, an LRU response cache, execution on the worker-domain \
+          pool, graceful SIGTERM drain, and a built-in seeded chaos \
+          harness ($(b,--self-test)).")
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ self_test_arg $ probe_arg
+      $ seeds_arg $ threads_arg $ capacity_arg $ max_frame_arg $ idle_arg
+      $ drain_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 
 let fuzz_cmd =
@@ -1060,11 +1196,12 @@ let fuzz_cmd =
         in
         Printf.printf
           "fuzz: %d/%d seeds x %d schedulers, %d violation(s), %d stream \
-           violation(s)\n"
+           violation(s), %d parser violation(s)\n"
           report.Fuzz.seeds_run report.Fuzz.seeds_requested
           report.Fuzz.schedulers_run
           (List.length report.Fuzz.counterexamples)
-          (List.length report.Fuzz.stream_violations);
+          (List.length report.Fuzz.stream_violations)
+          (List.length report.Fuzz.parser_violations);
         List.iter
           (fun (ce, path) ->
             Format.printf "@[<v>%a@]@." Fuzz.pp_counterexample ce;
@@ -1084,9 +1221,20 @@ let fuzz_cmd =
                   (Fuzz.replay_command ~path:p))
               path)
           report.Fuzz.stream_violations;
+        List.iter
+          (fun (seed, violations, path) ->
+            Printf.printf "parser seed %d: parser-safety oracle fired\n" seed;
+            print_violations violations;
+            Option.iter
+              (fun p ->
+                Printf.printf "  witness: %s\n  replay:  %s\n" p
+                  (Fuzz.replay_command ~path:p))
+              path)
+          report.Fuzz.parser_violations;
         if
           report.Fuzz.counterexamples <> []
           || report.Fuzz.stream_violations <> []
+          || report.Fuzz.parser_violations <> []
         then exit 1
   in
   Cmd.v
@@ -1113,5 +1261,5 @@ let () =
           [
             gen_cmd; schedule_cmd; simulate_cmd; bicriteria_cmd;
             reliability_cmd; inspect_cmd; experiment_cmd; fuzz_cmd;
-            stream_cmd;
+            stream_cmd; serve_cmd;
           ]))

@@ -1,0 +1,46 @@
+open Cmdliner
+
+let conv_of_float ~docv ~check ~msg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when check v -> Ok v
+    | Some _ -> Error (`Msg msg)
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid value %S, expected a number" s))
+  in
+  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%g" v)
+
+let conv_of_int ~docv ~check ~msg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when check v -> Ok v
+    | Some _ -> Error (`Msg msg)
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Arg.conv ~docv (parse, fun ppf v -> Format.fprintf ppf "%d" v)
+
+let pos_int =
+  conv_of_int ~docv:"N"
+    ~check:(fun v -> v > 0)
+    ~msg:"expected a positive integer"
+
+let nonneg_int =
+  conv_of_int ~docv:"N"
+    ~check:(fun v -> v >= 0)
+    ~msg:"expected a non-negative integer"
+
+let pos_float =
+  conv_of_float ~docv:"X"
+    ~check:(fun v -> v > 0. && v < infinity)
+    ~msg:"expected a finite positive number"
+
+let nonneg_float =
+  conv_of_float ~docv:"D"
+    ~check:(fun v -> v >= 0. && v < infinity)
+    ~msg:"expected a finite non-negative number"
+
+let prob =
+  conv_of_float ~docv:"P"
+    ~check:(fun v -> v >= 0. && v <= 1.)
+    ~msg:"expected a probability in [0, 1]"

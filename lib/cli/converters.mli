@@ -1,0 +1,29 @@
+(** Shared validating {!Cmdliner} converters.
+
+    Every numeric flag of the [ftsched] executables goes through one of
+    these, so a malformed value dies as a cmdliner usage error with a
+    descriptive message instead of surfacing as an [Invalid_argument]
+    from deep inside a library call — and so that the same flag means
+    the same thing on every subcommand ([--seeds], [--retries],
+    [--capacity], [-j], … historically disagreed about accepting 0 or
+    negatives). *)
+
+val pos_int : int Cmdliner.Arg.conv
+(** Strictly positive integer ([>= 1]).  The converter for counts that
+    must be non-empty: [--seeds], [--capacity], [-j]/[--jobs],
+    [--tasks], [--procs], [--trials], [--graphs], [--rounds],
+    [--redundancy]. *)
+
+val nonneg_int : int Cmdliner.Arg.conv
+(** Non-negative integer ([>= 0]): [--retries], [--eps], [--links],
+    [--crashes]. *)
+
+val pos_float : float Cmdliner.Arg.conv
+(** Finite, strictly positive float: rates, durations, granularities,
+    latency targets. *)
+
+val nonneg_float : float Cmdliner.Arg.conv
+(** Finite, non-negative float: detection latencies, time budgets. *)
+
+val prob : float Cmdliner.Arg.conv
+(** Probability in [[0, 1]] (NaN rejected). *)

@@ -121,17 +121,23 @@ let verify ?(spec = Workload.quick) ?(master_seed = 2008) () =
     (Printf.sprintf "mean crash2/crash0 = %.3f" (c2 /. c0));
   (* --- Table 1 ------------------------------------------------------- *)
   let time algo n =
-    let rng = Ftsched_util.Rng.create ~seed:(master_seed + n) in
-    let dag = Ftsched_dag.Generators.layered rng ~n_tasks:n () in
-    let platform =
-      Ftsched_platform.Platform.random rng ~m:20 ~delay_lo:0.5 ~delay_hi:1.0 ()
+    (* best of 3: CPU-time ratios get noisy when the test battery runs
+       in parallel with domain-heavy suites *)
+    let once () =
+      let rng = Ftsched_util.Rng.create ~seed:(master_seed + n) in
+      let dag = Ftsched_dag.Generators.layered rng ~n_tasks:n () in
+      let platform =
+        Ftsched_platform.Platform.random rng ~m:20 ~delay_lo:0.5
+          ~delay_hi:1.0 ()
+      in
+      let inst = Instance.random_exec rng ~dag ~platform () in
+      let t0 = Sys.time () in
+      (match algo with
+      | `Ftsa -> ignore (Sys.opaque_identity (Ftsa.schedule inst ~eps:2))
+      | `Ftbar -> ignore (Sys.opaque_identity (Ftbar.schedule inst ~npf:2)));
+      Sys.time () -. t0
     in
-    let inst = Instance.random_exec rng ~dag ~platform () in
-    let t0 = Sys.time () in
-    (match algo with
-    | `Ftsa -> ignore (Sys.opaque_identity (Ftsa.schedule inst ~eps:2))
-    | `Ftbar -> ignore (Sys.opaque_identity (Ftbar.schedule inst ~npf:2)));
-    Sys.time () -. t0
+    Float.min (once ()) (Float.min (once ()) (once ()))
   in
   let f_small = time `Ftsa 100 and f_big = time `Ftsa 800 in
   let b_small = time `Ftbar 100 and b_big = time `Ftbar 800 in

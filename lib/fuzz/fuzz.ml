@@ -106,6 +106,7 @@ type oracle =
   | Round_trip
   | Selection
   | Stream_lost
+  | Parser_safety
 
 let oracle_name = function
   | Crash -> "crash"
@@ -115,6 +116,7 @@ let oracle_name = function
   | Round_trip -> "round-trip"
   | Selection -> "selection"
   | Stream_lost -> "stream-lost"
+  | Parser_safety -> "parser-safety"
 
 let oracle_of_name = function
   | "crash" -> Some Crash
@@ -124,6 +126,7 @@ let oracle_of_name = function
   | "round-trip" -> Some Round_trip
   | "selection" -> Some Selection
   | "stream-lost" -> Some Stream_lost
+  | "parser-safety" -> Some Parser_safety
   | _ -> None
 
 type violation = { oracle : oracle; detail : string }
@@ -651,15 +654,11 @@ let write_stream_case ~path ~seed violations =
       Printf.fprintf oc "%s\nseed %d\n" stream_magic seed;
       List.iter (fun v -> Printf.fprintf oc "# %s\n" v.detail) violations)
 
-let read_stream_case ~path =
-  let ic = open_in path in
-  let body =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
+(* Shared by the seed-only witness formats (stream, parser): versioned
+   magic line, then a "seed N" header. *)
+let read_seed_case ~path ~magic body =
   match String.split_on_char '\n' body with
-  | magic :: rest when String.trim magic = stream_magic -> (
+  | m :: rest when String.trim m = magic -> (
       let seed_line =
         List.find_opt
           (fun l ->
@@ -671,13 +670,118 @@ let read_stream_case ~path =
       match seed_line with
       | Some l -> (
           match String.split_on_char ' ' (String.trim l) with
-          | [ _; v ] when int_of_string_opt v <> None ->
-              int_of_string v
+          | [ _; v ] when int_of_string_opt v <> None -> int_of_string v
           | _ -> failwith (path ^ ": bad seed line"))
       | None -> failwith (path ^ ": missing \"seed\" header"))
-  | _ ->
-      failwith
-        (path ^ ": bad magic (expected \"" ^ stream_magic ^ "\")")
+  | _ -> failwith (path ^ ": bad magic (expected \"" ^ magic ^ "\")")
+
+let read_body path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_stream_case ~path =
+  read_seed_case ~path ~magic:stream_magic (read_body path)
+
+(* ------------------------------------------------------------------ *)
+(* Parser safety: the sixth oracle family.  Like stream traces the case
+   IS the seed: per seed, serialize a random instance and its schedule,
+   derive a deterministic battery of adversarial mutants — truncations,
+   bit flips, huge counts spliced into numeric tokens, line deletions —
+   and require every mutant to either parse or be rejected with the
+   parser's typed exceptions ([Failure] / [Invalid_argument]).  Any
+   other escape (an unchecked-allocation [Out_of_memory], a stray
+   [Not_found], [Stack_overflow]) is a violation. *)
+
+let parser_mutants = 24
+
+let mutate_doc rng doc =
+  let n = String.length doc in
+  if n = 0 then doc
+  else
+    match Rng.int rng 4 with
+    | 0 -> String.sub doc 0 (Rng.int rng n)
+    | 1 ->
+        let b = Bytes.of_string doc in
+        for _ = 1 to 1 + Rng.int rng 8 do
+          let i = Rng.int rng n in
+          Bytes.set b i
+            (Char.chr
+               (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)))
+        done;
+        Bytes.to_string b
+    | 2 ->
+        (* splice huge values into every numeric token of one line: on a
+           header line this declares counts far past the caps and the
+           available input *)
+        let lines = Array.of_list (String.split_on_char '\n' doc) in
+        let i = Rng.int rng (Array.length lines) in
+        lines.(i) <-
+          String.concat " "
+            (List.map
+               (fun w ->
+                 if int_of_string_opt w <> None then
+                   string_of_int (100_000_000 + Rng.int rng 1_000_000_000)
+                 else w)
+               (String.split_on_char ' ' lines.(i)));
+        String.concat "\n" (Array.to_list lines)
+    | _ ->
+        (* delete one line: declared counts now exceed what remains *)
+        let lines = Array.of_list (String.split_on_char '\n' doc) in
+        let i = Rng.int rng (Array.length lines) in
+        String.concat "\n"
+          (List.filteri (fun j _ -> j <> i) (Array.to_list lines))
+
+let check_parser ~seed =
+  let rng = Rng.create ~seed:((7_368_787 * seed) + 5) in
+  let case = gen_case ~seed in
+  let bad = ref [] in
+  let record fmt =
+    Printf.ksprintf
+      (fun detail -> bad := { oracle = Parser_safety; detail } :: !bad)
+      fmt
+  in
+  let battery ~what ~parse doc =
+    (match parse doc with
+    | _ -> ()
+    | exception e ->
+        record "pristine %s document rejected: %s" what (Printexc.to_string e));
+    for _ = 1 to parser_mutants do
+      match parse (mutate_doc rng doc) with
+      | _ -> ()
+      | exception (Failure _ | Invalid_argument _) -> ()
+      | exception e ->
+          record "%s mutant escaped the parser with %s" what
+            (Printexc.to_string e)
+    done
+  in
+  battery ~what:"instance"
+    ~parse:(fun d -> ignore (Serialize.instance_of_string d))
+    (Serialize.instance_to_string case.instance);
+  (match
+     Ftsched_core.Ftsa.schedule ~seed:case.sched_seed case.instance
+       ~eps:case.eps
+   with
+  | exception _ -> () (* scheduler crashes belong to the Crash oracle *)
+  | s ->
+      battery ~what:"schedule"
+        ~parse:(fun d -> ignore (Serialize.schedule_of_string d))
+        (Serialize.schedule_to_string s));
+  List.rev !bad
+
+let parser_magic = "ftsched-parser v1"
+
+let write_parser_case ~path ~seed violations =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\nseed %d\n" parser_magic seed;
+      List.iter (fun v -> Printf.fprintf oc "# %s\n" v.detail) violations)
+
+let read_parser_case ~path =
+  read_seed_case ~path ~magic:parser_magic (read_body path)
 
 (* ------------------------------------------------------------------ *)
 
@@ -694,6 +798,10 @@ let replay ?(schedulers = schedulers) path =
       match read_stream_case ~path with
       | exception e -> Error (Printexc.to_string e)
       | seed -> Ok (Printf.sprintf "stream seed %d" seed, check_stream ~seed))
+  | magic when magic = parser_magic -> (
+      match read_parser_case ~path with
+      | exception e -> Error (Printexc.to_string e)
+      | seed -> Ok (Printf.sprintf "parser seed %d" seed, check_parser ~seed))
   | _ -> (
       match read_case ~path with
       | exception e -> Error (Printexc.to_string e)
@@ -721,6 +829,7 @@ type report = {
   schedulers_run : int;
   counterexamples : (counterexample * string option) list;
   stream_violations : (int * violation list * string option) list;
+  parser_violations : (int * violation list * string option) list;
 }
 
 let witness_path ~dir ce =
@@ -732,7 +841,7 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
     ?(dir = "_fuzz") ?(save = true) ~seeds () =
   let jobs_eff = match jobs with Some j -> j | None -> Par.default_jobs () in
   let chunk = max 1 (jobs_eff * 4) in
-  let ces = ref [] and svs = ref [] and start = ref 0 in
+  let ces = ref [] and svs = ref [] and pvs = ref [] and start = ref 0 in
   while !start < seeds && not (should_stop ()) do
     let n = min chunk (seeds - !start) in
     let base = !start in
@@ -743,10 +852,16 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
     let stream_results =
       Par.parallel_init ?jobs n (fun i -> check_stream ~seed:(base + i))
     in
+    let parser_results =
+      Par.parallel_init ?jobs n (fun i -> check_parser ~seed:(base + i))
+    in
     ces := !ces @ List.concat results;
     List.iteri
       (fun i vs -> if vs <> [] then svs := (base + i, vs) :: !svs)
       stream_results;
+    List.iteri
+      (fun i vs -> if vs <> [] then pvs := (base + i, vs) :: !pvs)
+      parser_results;
     start := !start + n
   done;
   let ensure_dir () =
@@ -779,12 +894,27 @@ let campaign ?(schedulers = schedulers) ?jobs ?(should_stop = fun () -> false)
         else (seed, vs, None))
       !svs
   in
+  let parser_violations =
+    List.rev_map
+      (fun (seed, vs) ->
+        if save then begin
+          ensure_dir ();
+          let path =
+            Filename.concat dir (Printf.sprintf "parser-seed%d.case" seed)
+          in
+          write_parser_case ~path ~seed vs;
+          (seed, vs, Some path)
+        end
+        else (seed, vs, None))
+      !pvs
+  in
   {
     seeds_requested = seeds;
     seeds_run = !start;
     schedulers_run = List.length schedulers;
     counterexamples;
     stream_violations;
+    parser_violations;
   }
 
 let pp_counterexample ppf ce =

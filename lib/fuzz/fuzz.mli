@@ -37,6 +37,16 @@
     trace (crashes, outages, message loss) — no submitted job may end
     without a typed fate.
 
+    A sixth family, {b parser-safety}, also runs per seed: serialized
+    instance and schedule documents are truncated, bit-flipped,
+    spliced with huge declared counts and shorn of lines, and every
+    mutant must either parse or be rejected with the parser's typed
+    exceptions ([Failure] / [Invalid_argument]) — never crash the
+    process or escape with anything else.  This pins the
+    {!Ftsched_schedule.Serialize} hardening caps in place for the
+    network boundary ({!Ftsched_serve}), which feeds the same parser
+    with adversarial bytes.
+
     On a violation the counterexample is shrunk — drop DAG
     sources/sinks, halve/decrement [ε], remove processors, ddmin over
     edge subsets — to a 1-minimal witness (no single remaining shrink
@@ -79,6 +89,10 @@ type oracle =
       (** the fifth family: {!Ftsched_stream.Stream.check_report} on a
           seeded streaming trace — a submitted job left without a typed
           fate, inconsistent accounting, or a deadline-violating fate *)
+  | Parser_safety
+      (** the sixth family: an adversarial mutant of a serialized
+          document escaped {!Ftsched_schedule.Serialize} with something
+          other than [Failure] / [Invalid_argument] *)
 
 val oracle_name : oracle -> string
 val oracle_of_name : string -> oracle option
@@ -103,6 +117,15 @@ val check_stream : seed:int -> violation list
 (** Run one streaming trace on {!stream_config} and evaluate the
     never-lost oracle.  Exceptions become {!Stream_lost} violations,
     never escape.  Pure function of the seed. *)
+
+val check_parser : seed:int -> violation list
+(** Serialize the seed's random instance (and its FTSA schedule), run a
+    deterministic battery of adversarial mutants — truncations, bit
+    flips, huge spliced counts, deleted lines — through
+    {!Ftsched_schedule.Serialize}, and report every mutant that escaped
+    with anything but the typed [Failure] / [Invalid_argument]
+    rejections (plus a pristine document that failed to parse).  Pure
+    function of the seed. *)
 
 val shrink :
   ?max_evals:int -> scheduler -> case -> oracle -> case * int * int
@@ -134,6 +157,8 @@ type report = {
   stream_violations : (int * violation list * string option) list;
       (** per trace seed that violated the stream oracle: the
           violations and the witness path when saving was enabled *)
+  parser_violations : (int * violation list * string option) list;
+      (** per seed that violated the parser-safety oracle *)
 }
 
 val campaign :
@@ -175,7 +200,8 @@ val replay :
     scheduler.  Dispatches on the file magic: ["ftsched-fuzz v1"]
     witnesses replay the saved instance through the saved scheduler;
     ["ftsched-stream v1"] witnesses re-run the saved trace seed through
-    the stream oracle. *)
+    the stream oracle; ["ftsched-parser v1"] witnesses re-run the saved
+    seed through the parser-safety oracle. *)
 
 val replay_corpus :
   ?schedulers:scheduler list ->

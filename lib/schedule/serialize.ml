@@ -65,6 +65,28 @@ type cursor = { lines : string array; mutable pos : int }
 let fail cur fmt =
   Printf.ksprintf (fun s -> failwith (Printf.sprintf "line %d: %s" (cur.pos + 1) s)) fmt
 
+(* Caps on declared sizes.  The parser allocates arrays sized by the
+   counts a document {e declares}, so adversarial bytes ("instance
+   999999999 9 9") could force huge allocations before any per-line
+   validation fires.  Every declared count is checked against these caps
+   — and against the amount of input actually present — before anything
+   is allocated; violations raise a descriptive [Invalid_argument]. *)
+let max_tasks = 200_000
+let max_procs = 4_096
+let max_edges = 2_000_000
+let max_label_length = 4_096
+
+let reject cur fmt =
+  Printf.ksprintf
+    (fun s -> invalid_arg (Printf.sprintf "Serialize: line %d: %s" (cur.pos + 1) s))
+    fmt
+
+let remaining_lines cur = Array.length cur.lines - cur.pos
+
+let check_count cur ~what ~cap n =
+  if n < 0 then reject cur "negative %s count %d" what n;
+  if n > cap then reject cur "%s count %d exceeds the cap %d" what n cap
+
 let next cur =
   let rec skip () =
     if cur.pos >= Array.length cur.lines then fail cur "unexpected end of input"
@@ -96,12 +118,28 @@ let parse_instance cur =
       let v = int_of_word cur v
       and m = int_of_word cur m
       and e = int_of_word cur e in
+      check_count cur ~what:"task" ~cap:max_tasks v;
+      check_count cur ~what:"processor" ~cap:max_procs m;
+      check_count cur ~what:"edge" ~cap:max_edges e;
+      if m = 0 then reject cur "processor count must be positive";
+      (* An instance document needs v labels, e edges, m delay rows and
+         v exec rows; declaring more than the input can possibly hold is
+         rejected here, before any count-sized allocation. *)
+      let needed = v + e + m + v in
+      if needed > remaining_lines cur then
+        reject cur
+          "declared counts (v=%d m=%d e=%d) need %d lines but only %d remain"
+          v m e needed (remaining_lines cur);
       let b = Dag.Builder.create ~expected_tasks:v () in
       for _ = 1 to v do
         let line = next cur in
         match words line with
         | "label" :: rest ->
-            ignore (Dag.Builder.add_task ~label:(String.concat " " rest) b)
+            let label = String.concat " " rest in
+            if String.length label > max_label_length then
+              reject cur "label length %d exceeds the cap %d"
+                (String.length label) max_label_length;
+            ignore (Dag.Builder.add_task ~label b)
         | _ -> fail cur "expected label line"
       done;
       for _ = 1 to e do

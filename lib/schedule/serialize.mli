@@ -16,6 +16,25 @@ val instance_to_string : Ftsched_model.Instance.t -> string
     rejected at the serialization site. *)
 
 val instance_of_string : string -> Ftsched_model.Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input,
+    and [Invalid_argument] when a declared size is adversarial: negative
+    or zero-processor counts, counts beyond {!max_tasks} / {!max_procs}
+    / {!max_edges}, labels longer than {!max_label_length}, or counts
+    that exceed what the remaining input could possibly hold — all
+    checked {e before} any count-sized allocation, so hostile bytes
+    cannot force huge allocations. *)
+
+(** {2 Parser hardening caps}
+
+    Absolute sanity bounds on declared sizes, checked before
+    allocation.  Far above anything the experiment harness produces;
+    network-facing callers ({!Ftsched_serve}) apply their own, tighter
+    per-request caps on top. *)
+
+val max_tasks : int
+val max_procs : int
+val max_edges : int
+val max_label_length : int
 
 val schedule_to_string : Schedule.t -> string
 (** Embeds the instance.  Same label restriction as

@@ -1,0 +1,48 @@
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  slots : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~slots =
+  if slots <= 0 then invalid_arg "Cache.create: slots must be positive";
+  { slots; tbl = Hashtbl.create (2 * slots); tick = 0; hits = 0; misses = 0 }
+
+let find t key =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      e.stamp <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with Some (key, _) -> Hashtbl.remove t.tbl key | None -> ()
+
+let add t key value =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some _ ->
+      Hashtbl.replace t.tbl key { value; stamp = t.tick }
+  | None ->
+      if Hashtbl.length t.tbl >= t.slots then evict_lru t;
+      Hashtbl.add t.tbl key { value; stamp = t.tick }
+
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses

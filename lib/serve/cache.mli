@@ -1,0 +1,24 @@
+(** Bounded LRU response cache.
+
+    Keyed by the MD5 digest of the full request payload — which embeds
+    exactly the (DAG, platform, ε, policy, seed) tuple that determines
+    the answer, since every handler is a pure function of its request.
+    Values are complete response payloads, so a hit is served without
+    rescheduling and is byte-identical to the cold response by
+    construction. *)
+
+type t
+
+val create : slots:int -> t
+(** Raises [Invalid_argument] on [slots <= 0]. *)
+
+val find : t -> string -> string option
+(** Bumps recency on hit; counts hits/misses. *)
+
+val add : t -> string -> string -> unit
+(** Inserts (or refreshes) an entry, evicting the least recently used
+    entry when full. *)
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

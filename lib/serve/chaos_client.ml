@@ -1,0 +1,624 @@
+module Rng = Ftsched_util.Rng
+module Serialize = Ftsched_schedule.Serialize
+module Workload = Ftsched_exp.Workload
+
+type outcome = {
+  sessions : int;
+  requests_sent : int;
+  responses_ok : int;
+  responses_error : int;
+  identity_checks : int;
+  violations : string list;
+}
+
+let empty_outcome =
+  {
+    sessions = 0;
+    requests_sent = 0;
+    responses_ok = 0;
+    responses_error = 0;
+    identity_checks = 0;
+    violations = [];
+  }
+
+let merge a b =
+  {
+    sessions = a.sessions + b.sessions;
+    requests_sent = a.requests_sent + b.requests_sent;
+    responses_ok = a.responses_ok + b.responses_ok;
+    responses_error = a.responses_error + b.responses_error;
+    identity_checks = a.identity_checks + b.identity_checks;
+    violations = a.violations @ b.violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Raw client I/O                                                      *)
+
+let connect address =
+  match address with
+  | Server.Unix_socket path ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      fd
+  | Server.Tcp { host; port } ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+       with e -> (try Unix.close fd with _ -> ()); raise e);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+      fd
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error `Closed
+      | n -> go (off + n)
+    else Ok ()
+  in
+  go 0
+
+let read_response fd reader =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Protocol.reader_next reader with
+    | `Frame p -> Ok p
+    | `Error e -> Error (`Protocol e)
+    | `More -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error `Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> Error `Closed
+        | 0 -> Error `Closed
+        | n ->
+            Protocol.reader_feed reader buf n;
+            go ())
+  in
+  go ()
+
+let probe address =
+  match connect address with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+  | fd ->
+      Fun.protect ~finally:(fun () -> close fd) @@ fun () ->
+      let frame =
+        Protocol.encode_frame
+          (Protocol.request_line Protocol.Health ~budget:infinity)
+      in
+      (match send_all fd frame with
+      | Error `Closed -> Error "send: connection closed"
+      | Ok () -> (
+          match read_response fd (Protocol.create_reader ()) with
+          | Ok payload -> (
+              match Protocol.classify_response payload with
+              | `Ok ("health", body) -> Ok body
+              | `Ok (kind, _) -> Error (Printf.sprintf "unexpected ok %s" kind)
+              | `Error (code, _) -> Error (Printf.sprintf "error %s" code)
+              | `Junk -> Error "junk response")
+          | Error `Timeout -> Error "timeout"
+          | Error `Closed -> Error "closed before response"
+          | Error (`Protocol e) ->
+              Error
+                (Format.asprintf "client framing: %a" Protocol.pp_error e)))
+
+(* ------------------------------------------------------------------ *)
+(* Session state: per-seed deterministic adversarial script            *)
+
+type session = {
+  seed : int;
+  rng : Rng.t;
+  address : Server.address;
+  mutable sent : int;
+  mutable ok : int;
+  mutable errored : int;
+  mutable ident : int;
+  mutable bad : string list;
+}
+
+let violation s fmt =
+  Printf.ksprintf
+    (fun msg -> s.bad <- Printf.sprintf "seed %d: %s" s.seed msg :: s.bad)
+    fmt
+
+(* Small instances keep chaos sessions fast while still exercising the
+   real schedulers; the spec mirrors the Section 6 distributions. *)
+let chaos_spec =
+  {
+    Workload.quick with
+    Workload.n_procs = 6;
+    tasks_lo = 10;
+    tasks_hi = 28;
+    graphs_per_point = 1;
+  }
+
+let fresh_instance s =
+  Workload.instance chaos_spec ~master_seed:(31 * s.seed)
+    ~granularity:1.0 ~index:(Rng.int s.rng 1000)
+
+let schedule_payload s =
+  let inst = fresh_instance s in
+  let algo =
+    List.nth [ "ftsa"; "mc-ftsa"; "heft"; "cpop" ] (Rng.int s.rng 4)
+  in
+  let eps = if algo = "ftsa" || algo = "mc-ftsa" then Rng.int s.rng 3 else 0 in
+  Printf.sprintf "schedule %s %d %d %h\n%s" algo eps (Rng.int s.rng 100)
+    infinity
+    (Serialize.instance_to_string inst)
+
+let simulate_payload s =
+  let inst = fresh_instance s in
+  let sched = Ftsched_core.Ftsa.schedule ~seed:s.seed inst ~eps:1 in
+  Printf.sprintf "simulate %d %d %h\n%s" (Rng.int s.rng 2) (Rng.int s.rng 100)
+    infinity
+    (Serialize.schedule_to_string sched)
+
+let stream_payload s =
+  Printf.sprintf "stream %d %h %d %h" (Rng.int s.rng 1000)
+    (4. +. Rng.float s.rng 8.)
+    (3 + Rng.int s.rng 4)
+    infinity
+
+let work_payload s =
+  match Rng.int s.rng 3 with
+  | 0 -> schedule_payload s
+  | 1 -> simulate_payload s
+  | _ -> stream_payload s
+
+(* A round-trip on an existing connection.  Returns the response
+   payload when one arrived. *)
+let roundtrip s fd reader payload ~expect =
+  s.sent <- s.sent + 1;
+  match send_all fd (Protocol.encode_frame payload) with
+  | Error `Closed ->
+      violation s "server closed the connection during a %s send" expect;
+      None
+  | Ok () -> (
+      match read_response fd reader with
+      | Error `Timeout ->
+          violation s "no response within 10s to a %s request" expect;
+          None
+      | Error `Closed ->
+          violation s "connection closed before the %s response" expect;
+          None
+      | Error (`Protocol e) ->
+          violation s "response framing broken (%s)" (Protocol.error_code e);
+          None
+      | Ok resp -> (
+          (match Protocol.classify_response resp with
+          | `Ok _ -> s.ok <- s.ok + 1
+          | `Error _ -> s.errored <- s.errored + 1
+          | `Junk -> violation s "unclassifiable response to %s" expect);
+          Some resp))
+
+let expect_ok s fd reader payload ~what =
+  match roundtrip s fd reader payload ~expect:what with
+  | None -> None
+  | Some resp -> (
+      match Protocol.classify_response resp with
+      | `Ok (_, _) -> Some resp
+      | `Error (code, detail) ->
+          violation s "%s answered error %s (%s)" what code detail;
+          None
+      | `Junk -> None)
+
+let expect_error s fd reader raw_bytes ~codes ~what =
+  s.sent <- s.sent + 1;
+  match send_all fd raw_bytes with
+  | Error `Closed ->
+      (* The server may tear the connection down right after (or even
+         while) answering a poisoned stream; only a missing typed
+         response is a violation, handled below on read. *)
+      ()
+  | Ok () -> (
+      match read_response fd reader with
+      | Error `Timeout -> violation s "no typed error within 10s to %s" what
+      | Error `Closed ->
+          violation s "connection closed with no typed error for %s" what
+      | Error (`Protocol e) ->
+          violation s "broken error framing for %s (%s)" what
+            (Protocol.error_code e)
+      | Ok resp -> (
+          match Protocol.classify_response resp with
+          | `Error (code, _) when List.mem code codes ->
+              s.errored <- s.errored + 1
+          | `Error (code, _) ->
+              violation s "%s answered %s, wanted one of [%s]" what code
+                (String.concat "; " codes)
+          | `Ok (kind, _) -> violation s "%s answered ok %s" what kind
+          | `Junk -> violation s "unclassifiable response to %s" what))
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial actions                                                 *)
+
+let with_conn s f =
+  match connect s.address with
+  | exception Unix.Unix_error (e, _, _) ->
+      violation s "connect refused: %s" (Unix.error_message e)
+  | fd -> Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)
+
+(* Identical payload twice: the second answer must be byte-identical
+   (it is typically a cache hit; either way determinism demands it).
+   Concurrent flood sessions may saturate admission, so typed
+   overload/deadline rejections are retried, not flagged — admission is
+   allowed to reject under load; only a wrong answer is a violation. *)
+let rec ok_with_retry s fd reader payload ~what ~attempts =
+  match roundtrip s fd reader payload ~expect:what with
+  | None -> None
+  | Some resp -> (
+      match Protocol.classify_response resp with
+      | `Ok _ -> Some resp
+      | `Error
+          ( ("overloaded" | "deadline-infeasible" | "deadline-expired"), _ )
+        when attempts > 1 ->
+          Thread.delay 0.02;
+          ok_with_retry s fd reader payload ~what ~attempts:(attempts - 1)
+      | `Error (("overloaded" | "deadline-infeasible" | "deadline-expired"), _)
+        ->
+          None (* still saturated after the retries: typed, acceptable *)
+      | `Error (code, detail) ->
+          violation s "%s answered error %s (%s)" what code detail;
+          None
+      | `Junk -> None)
+
+let act_identity s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  let payload = work_payload s in
+  match ok_with_retry s fd reader payload ~what:"work request" ~attempts:50 with
+  | None -> ()
+  | Some cold -> (
+      match
+        ok_with_retry s fd reader payload ~what:"repeat work request"
+          ~attempts:50
+      with
+      | None -> ()
+      | Some warm ->
+          s.ident <- s.ident + 1;
+          if cold <> warm then
+            violation s
+              "cached response differs from cold (%d vs %d bytes)"
+              (String.length warm) (String.length cold))
+
+let act_truncated s =
+  with_conn s @@ fun fd ->
+  let payload = work_payload s in
+  let frame = Protocol.encode_frame payload in
+  let keep =
+    Protocol.header_size + Rng.int s.rng (String.length payload)
+  in
+  ignore (send_all fd (String.sub frame 0 keep))
+(* ...and disconnect mid-request: the server must simply drop it. *)
+
+let act_bad_magic s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  expect_error s fd reader
+    ("XXXX\x00\x00\x00\x04junk")
+    ~codes:[ "bad-magic" ] ~what:"a bad-magic frame"
+
+let act_oversized s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  (* Declare 512 MiB; send only the header. *)
+  let header = "FTSB\x20\x00\x00\x00" in
+  expect_error s fd reader header ~codes:[ "too-large" ]
+    ~what:"an oversized declared length"
+
+let act_garbage_line s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  let line =
+    match Rng.int s.rng 4 with
+    | 0 -> "frobnicate 1 2 3"
+    | 1 -> "schedule"
+    | 2 -> "simulate one two three"
+    | _ -> "\x01\x02 binary trash"
+  in
+  expect_error s fd reader
+    (Protocol.encode_frame line)
+    ~codes:[ "malformed"; "unsupported" ]
+    ~what:"a garbage request line"
+
+let act_corrupt_body s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  let payload = Bytes.of_string (schedule_payload s) in
+  let n = Bytes.length payload in
+  (* Flip bits in the document body, past the request line. *)
+  let start = min (n - 1) (Bytes.index payload '\n' + 1) in
+  for _ = 0 to 7 do
+    let i = start + Rng.int s.rng (max 1 (n - start)) in
+    if i < n then
+      Bytes.set payload i
+        (Char.chr (Char.code (Bytes.get payload i) lxor (1 lsl Rng.int s.rng 8)))
+  done;
+  (* admission runs before the body is parsed, so under concurrent
+     floods the typed admission rejections are also legitimate *)
+  expect_error s fd reader
+    (Protocol.encode_frame (Bytes.to_string payload))
+    ~codes:
+      [ "malformed"; "internal"; "overloaded"; "deadline-infeasible";
+        "deadline-expired" ]
+    ~what:"a bit-flipped schedule body"
+
+let act_disconnect_mid_response s =
+  with_conn s @@ fun fd ->
+  let payload = work_payload s in
+  s.sent <- s.sent + 1;
+  ignore (send_all fd (Protocol.encode_frame payload))
+(* with_conn closes immediately: the response (if any) hits a dead
+   socket and the server must swallow the EPIPE. *)
+
+let act_slow_header s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  let frame = Protocol.encode_frame (stream_payload s) in
+  let ok =
+    try
+      for i = 0 to Protocol.header_size - 1 do
+        (match send_all fd (String.sub frame i 1) with
+        | Ok () -> ()
+        | Error `Closed -> raise Exit);
+        Thread.delay 0.002
+      done;
+      true
+    with Exit ->
+      violation s "server closed during a slow header write";
+      false
+  in
+  if ok then begin
+    (match
+       send_all fd
+         (String.sub frame Protocol.header_size
+            (String.length frame - Protocol.header_size))
+     with
+    | Ok () -> ()
+    | Error `Closed -> violation s "server closed after a slow header");
+    s.sent <- s.sent + 1;
+    match read_response fd reader with
+    | Ok resp -> (
+        match Protocol.classify_response resp with
+        | `Ok _ -> s.ok <- s.ok + 1
+        | `Error _ -> s.errored <- s.errored + 1
+        | `Junk -> violation s "junk response after a slow header write")
+    | Error `Timeout -> violation s "no response after a slow header write"
+    | Error `Closed -> violation s "closed after a slow header write"
+    | Error (`Protocol e) ->
+        violation s "broken framing after a slow header (%s)"
+          (Protocol.error_code e)
+  end
+
+(* Flood: several connections, each firing a burst without reading, to
+   push the admission queue to its bound.  Every response must still be
+   typed; [overloaded] and [deadline-*] are acceptable fates here. *)
+let act_flood s =
+  let conns = 4 and burst = 6 in
+  let payloads = List.init burst (fun _ -> stream_payload s) in
+  let fds =
+    List.filter_map
+      (fun _ ->
+        match connect s.address with
+        | exception Unix.Unix_error _ -> None
+        | fd -> Some fd)
+      (List.init conns Fun.id)
+  in
+  List.iter
+    (fun fd ->
+      List.iter
+        (fun p ->
+          s.sent <- s.sent + 1;
+          ignore (send_all fd (Protocol.encode_frame p)))
+        payloads)
+    fds;
+  List.iter
+    (fun fd ->
+      let reader = Protocol.create_reader () in
+      let rec drain k =
+        if k > 0 then
+          match read_response fd reader with
+          | Ok resp -> (
+              (match Protocol.classify_response resp with
+              | `Ok _ -> s.ok <- s.ok + 1
+              | `Error _ -> s.errored <- s.errored + 1
+              | `Junk -> violation s "junk response during a flood");
+              drain (k - 1))
+          | Error `Timeout -> violation s "flood response missing after 10s"
+          | Error `Closed -> violation s "flood connection dropped early"
+          | Error (`Protocol e) ->
+              violation s "flood framing broken (%s)" (Protocol.error_code e)
+      in
+      drain burst;
+      close fd)
+    fds
+
+let act_info s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  ignore
+    (expect_ok s fd reader
+       (Protocol.request_line Protocol.Health ~budget:infinity)
+       ~what:"health");
+  ignore
+    (expect_ok s fd reader
+       (Protocol.request_line Protocol.Metrics ~budget:infinity)
+       ~what:"metrics")
+
+let act_tiny_budget s =
+  with_conn s @@ fun fd ->
+  let reader = Protocol.create_reader () in
+  let payload = schedule_payload s in
+  let line, body =
+    match String.index_opt payload '\n' with
+    | Some i ->
+        ( String.sub payload 0 i,
+          String.sub payload (i + 1) (String.length payload - i - 1) )
+    | None -> (payload, "")
+  in
+  let line =
+    match String.rindex_opt line ' ' with
+    | Some i -> String.sub line 0 i ^ " 1e-12"
+    | None -> line
+  in
+  match roundtrip s fd reader (line ^ "\n" ^ body) ~expect:"tiny-budget" with
+  | None -> ()
+  | Some resp -> (
+      match Protocol.classify_response resp with
+      | `Error (("deadline-infeasible" | "deadline-expired" | "overloaded"), _)
+      | `Ok _ ->
+          (* a fast machine may still beat 1 ps on the post-compute
+             check only if the clock did not advance; both are typed *)
+          ()
+      | `Error (code, _) ->
+          violation s "tiny budget answered %s" code
+      | `Junk -> ())
+
+let actions =
+  [|
+    act_identity; act_truncated; act_bad_magic; act_oversized;
+    act_garbage_line; act_corrupt_body; act_disconnect_mid_response;
+    act_slow_header; act_flood; act_info; act_tiny_budget;
+  |]
+
+let run_session ~address seed =
+  let s =
+    {
+      seed;
+      rng = Rng.create ~seed:(0x5EED + (31 * seed));
+      address;
+      sent = 0;
+      ok = 0;
+      errored = 0;
+      ident = 0;
+      bad = [];
+    }
+  in
+  (* Always exercise the identity oracle, then 3..8 random actions. *)
+  act_identity s;
+  let n = 3 + Rng.int s.rng 6 in
+  for _ = 1 to n do
+    actions.(Rng.int s.rng (Array.length actions)) s
+  done;
+  {
+    sessions = 1;
+    requests_sent = s.sent;
+    responses_ok = s.ok;
+    responses_error = s.errored;
+    identity_checks = s.ident;
+    violations = List.rev s.bad;
+  }
+
+let run_campaign ~address ~seeds ~threads ~first_seed =
+  let threads = max 1 (min threads seeds) in
+  let lock = Mutex.create () in
+  let acc = ref empty_outcome in
+  let next = ref 0 in
+  let worker () =
+    let rec go () =
+      let i =
+        Mutex.lock lock;
+        let i = !next in
+        if i < seeds then incr next;
+        Mutex.unlock lock;
+        i
+      in
+      if i < seeds then begin
+        let o =
+          try run_session ~address (first_seed + i)
+          with e ->
+            {
+              empty_outcome with
+              sessions = 1;
+              violations =
+                [
+                  Printf.sprintf "seed %d: client crashed: %s" (first_seed + i)
+                    (Printexc.to_string e);
+                ];
+            }
+        in
+        Mutex.lock lock;
+        acc := merge !acc o;
+        Mutex.unlock lock;
+        go ()
+      end
+    in
+    go ()
+  in
+  let ts = List.init threads (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join ts;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Self-test                                                           *)
+
+type report = {
+  outcome : outcome;
+  metrics : Server.metrics;
+  accounting : string list;
+}
+
+let self_test_config =
+  {
+    Server.default_config with
+    Server.capacity = 8;
+    idle_timeout = 60.;
+    drain_grace = 10.;
+  }
+
+let self_test ?(config = self_test_config) ?jobs ?(threads = 4) ~seeds () =
+  let config =
+    match jobs with None -> config | Some _ -> { config with Server.jobs }
+  in
+  let path =
+    Filename.temp_file "ftsched-serve-" ".sock"
+  in
+  Sys.remove path;
+  let address = Server.Unix_socket path in
+  let server = Server.create ~config address in
+  let final = ref None in
+  let server_thread =
+    Thread.create (fun () -> final := Some (Server.serve server)) ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Server.stop server;
+      Thread.join server_thread;
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let outcome = run_campaign ~address ~seeds ~threads ~first_seed:1 in
+  let outcome =
+    match probe address with
+    | Ok _ -> outcome
+    | Error msg ->
+        merge outcome
+          {
+            empty_outcome with
+            violations =
+              [ Printf.sprintf "post-campaign health probe failed: %s" msg ];
+          }
+  in
+  (* Let in-flight responses settle before the drain snapshot. *)
+  let rec quiesce k =
+    let m = Server.metrics server in
+    if (m.Server.queue_depth > 0 || m.Server.in_flight > 0) && k > 0 then begin
+      Thread.delay 0.05;
+      quiesce (k - 1)
+    end
+  in
+  quiesce 200;
+  Server.stop server;
+  Thread.join server_thread;
+  let metrics =
+    match !final with Some m -> m | None -> Server.metrics server
+  in
+  { outcome; metrics; accounting = Server.check_accounting metrics }

@@ -1,0 +1,52 @@
+(** Seeded self-chaos harness for {!Server}.
+
+    [ftsched serve --self-test] starts an in-process server on a
+    temporary Unix socket and floods it with seeded adversarial client
+    sessions: valid requests (asserting cached responses are
+    byte-identical to cold ones), truncated and bit-flipped frames,
+    oversized declared lengths, garbage request lines, corrupt bodies,
+    mid-request and mid-response disconnects, byte-at-a-time slow
+    header writes, and connection floods past the admission capacity.
+
+    After the campaign the harness asserts the accounting oracle:
+
+    - the server answered a [health] probe after everything above (it
+      never died);
+    - every accepted request reached exactly one typed fate
+      ({!Server.check_accounting});
+    - [overloaded] rejections only happened with a full queue;
+    - identical request payloads produced identical response bytes. *)
+
+type outcome = {
+  sessions : int;
+  requests_sent : int;  (** well-formed work + info requests sent *)
+  responses_ok : int;
+  responses_error : int;
+  identity_checks : int;  (** byte-identity assertions that ran *)
+  violations : string list;  (** empty = clean *)
+}
+
+val run_campaign :
+  address:Server.address -> seeds:int -> threads:int -> first_seed:int ->
+  outcome
+(** Run [seeds] adversarial sessions (seeded [first_seed],
+    [first_seed + 1], …) against an already-running server, spread
+    over [threads] client threads.  Sessions are deterministic given
+    their seed; thread interleaving only affects arrival order. *)
+
+type report = {
+  outcome : outcome;
+  metrics : Server.metrics;
+  accounting : string list;  (** {!Server.check_accounting} violations *)
+}
+
+val self_test :
+  ?config:Server.config -> ?jobs:int -> ?threads:int -> seeds:int -> unit ->
+  report
+(** Boot an in-process server on a fresh temporary Unix socket, run
+    {!run_campaign}, probe it, drain it, and return the merged verdict.
+    Clean iff [outcome.violations = []] and [accounting = []]. *)
+
+val probe : Server.address -> (string, string) result
+(** Send one [health] request; [Ok body] on a well-formed [ok health]
+    response.  The CI SIGTERM test uses this to wait for liveness. *)

@@ -1,0 +1,225 @@
+let magic = "FTSB"
+let header_size = 8
+let default_max_frame = 8 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Typed errors                                                        *)
+
+type error =
+  | Bad_magic
+  | Frame_too_large of { declared : int; limit : int }
+  | Malformed of string
+  | Unsupported of string
+  | Overloaded of { queued : int; capacity : int }
+  | Deadline_infeasible of { needed : float; budget : float }
+  | Deadline_expired of { elapsed : float; budget : float }
+  | Draining
+  | Internal of string
+
+let error_code = function
+  | Bad_magic -> "bad-magic"
+  | Frame_too_large _ -> "too-large"
+  | Malformed _ -> "malformed"
+  | Unsupported _ -> "unsupported"
+  | Overloaded _ -> "overloaded"
+  | Deadline_infeasible _ -> "deadline-infeasible"
+  | Deadline_expired _ -> "deadline-expired"
+  | Draining -> "draining"
+  | Internal _ -> "internal"
+
+let error_detail = function
+  | Bad_magic -> Printf.sprintf "frame header does not start with %S" magic
+  | Frame_too_large { declared; limit } ->
+      Printf.sprintf "declared payload length %d exceeds the %d-byte cap"
+        declared limit
+  | Malformed msg -> msg
+  | Unsupported msg -> msg
+  | Overloaded { queued; capacity } ->
+      Printf.sprintf "work queue full (%d queued, capacity %d)" queued capacity
+  | Deadline_infeasible { needed; budget } ->
+      Printf.sprintf
+        "queue cannot meet the budget (estimated %.6gs, budget %.6gs)" needed
+        budget
+  | Deadline_expired { elapsed; budget } ->
+      Printf.sprintf "budget exhausted (%.6gs elapsed, budget %.6gs)" elapsed
+        budget
+  | Draining -> "server draining; request abandoned"
+  | Internal msg -> msg
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s: %s" (error_code e) (error_detail e)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let encode_u32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let decode_u32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let encode_frame payload =
+  if String.length payload > 0xFFFF_FFFF then
+    invalid_arg "Protocol.encode_frame: payload too large for u32 length";
+  magic ^ encode_u32 (String.length payload) ^ payload
+
+type reader = {
+  buf : Buffer.t;
+  max_frame : int;
+  mutable poisoned : bool;
+}
+
+let create_reader ?(max_frame = default_max_frame) () =
+  { buf = Buffer.create 1024; max_frame; poisoned = false }
+
+let reader_feed r bytes n = Buffer.add_subbytes r.buf bytes 0 n
+
+let reader_next r =
+  if r.poisoned then `More
+  else
+    let len = Buffer.length r.buf in
+    if len < header_size then `More
+    else begin
+      let header = Buffer.sub r.buf 0 header_size in
+      if String.sub header 0 4 <> magic then begin
+        r.poisoned <- true;
+        `Error Bad_magic
+      end
+      else
+        let declared = decode_u32 header 4 in
+        if declared > r.max_frame then begin
+          r.poisoned <- true;
+          `Error (Frame_too_large { declared; limit = r.max_frame })
+        end
+        else if len < header_size + declared then `More
+        else begin
+          let payload = Buffer.sub r.buf header_size declared in
+          let rest =
+            Buffer.sub r.buf (header_size + declared)
+              (len - header_size - declared)
+          in
+          Buffer.clear r.buf;
+          Buffer.add_string r.buf rest;
+          `Frame payload
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Schedule of { algo : string; eps : int; seed : int; body : string }
+  | Simulate of { crashes : int; seed : int; body : string }
+  | Stream of { seed : int; duration : float; m : int }
+  | Health
+  | Metrics
+
+let is_work = function
+  | Schedule _ | Simulate _ | Stream _ -> true
+  | Health | Metrics -> false
+
+let split_first_line s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let words l =
+  String.split_on_char ' ' l |> List.filter (fun w -> w <> "")
+
+let int_arg ~what w =
+  match int_of_string_opt w with
+  | Some v -> Ok v
+  | None -> Error (Malformed (Printf.sprintf "bad %s %S" what w))
+
+let nonneg_arg ~what w =
+  match int_arg ~what w with
+  | Ok v when v >= 0 -> Ok v
+  | Ok v -> Error (Malformed (Printf.sprintf "negative %s %d" what v))
+  | Error _ as e -> e
+
+let budget_arg w =
+  match float_of_string_opt w with
+  | Some b when b > 0. -> Ok b (* infinity allowed: no deadline *)
+  | Some b -> Error (Malformed (Printf.sprintf "budget %g must be positive" b))
+  | None -> Error (Malformed (Printf.sprintf "bad budget %S" w))
+
+let ( let* ) = Result.bind
+
+let parse_request payload =
+  let line, body = split_first_line payload in
+  match words line with
+  | [ "schedule"; algo; eps; seed; budget ] ->
+      let* eps = nonneg_arg ~what:"eps" eps in
+      let* seed = int_arg ~what:"seed" seed in
+      let* budget = budget_arg budget in
+      Ok (Schedule { algo; eps; seed; body }, budget)
+  | [ "simulate"; crashes; seed; budget ] ->
+      let* crashes = nonneg_arg ~what:"crash count" crashes in
+      let* seed = int_arg ~what:"seed" seed in
+      let* budget = budget_arg budget in
+      Ok (Simulate { crashes; seed; body }, budget)
+  | [ "stream"; seed; duration; m; budget ] ->
+      let* seed = int_arg ~what:"seed" seed in
+      let* duration =
+        match float_of_string_opt duration with
+        | Some d when d > 0. && d < infinity -> Ok d
+        | Some d ->
+            Error
+              (Malformed (Printf.sprintf "duration %g must be finite positive" d))
+        | None -> Error (Malformed (Printf.sprintf "bad duration %S" duration))
+      in
+      let* m =
+        match int_arg ~what:"m" m with
+        | Ok v when v > 0 -> Ok v
+        | Ok v -> Error (Malformed (Printf.sprintf "m %d must be positive" v))
+        | Error _ as e -> e
+      in
+      let* budget = budget_arg budget in
+      Ok (Stream { seed; duration; m }, budget)
+  | [ "health" ] -> Ok (Health, infinity)
+  | [ "metrics" ] -> Ok (Metrics, infinity)
+  | tag :: _
+    when List.mem tag [ "schedule"; "simulate"; "stream"; "health"; "metrics" ]
+    ->
+      Error (Malformed (Printf.sprintf "bad %s request line %S" tag line))
+  | tag :: _ -> Error (Unsupported (Printf.sprintf "unknown request %S" tag))
+  | [] -> Error (Malformed "empty request line")
+
+let fl = Printf.sprintf "%h"
+
+let request_line req ~budget =
+  match req with
+  | Schedule { algo; eps; seed; _ } ->
+      Printf.sprintf "schedule %s %d %d %s" algo eps seed (fl budget)
+  | Simulate { crashes; seed; _ } ->
+      Printf.sprintf "simulate %d %d %s" crashes seed (fl budget)
+  | Stream { seed; duration; m } ->
+      Printf.sprintf "stream %d %s %d %s" seed (fl duration) m (fl budget)
+  | Health -> "health"
+  | Metrics -> "metrics"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let ok_response ~kind body =
+  if body = "" then Printf.sprintf "ok %s" kind
+  else Printf.sprintf "ok %s\n%s" kind body
+
+let error_response e =
+  Printf.sprintf "error %s\n%s" (error_code e) (error_detail e)
+
+let classify_response payload =
+  let line, body = split_first_line payload in
+  match words line with
+  | "ok" :: rest -> `Ok (String.concat " " rest, body)
+  | [ "error"; code ] -> `Error (code, body)
+  | _ -> `Junk

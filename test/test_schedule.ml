@@ -519,12 +519,14 @@ let test_serialize_rejects_garbage () =
        ignore (Serialize.schedule_of_string "not a schedule\n");
        false
      with Failure _ -> true);
+  (* the hardened parser rejects the declared counts up front (typed
+     [Invalid_argument]) instead of running out of lines mid-parse *)
   check_bool "truncated" true
     (try
        ignore
          (Serialize.schedule_of_string "ftsched v1\ninstance 2 2 0\nlabel a\n");
        false
-     with Failure _ -> true)
+     with Failure _ | Invalid_argument _ -> true)
 
 (* ---- regression: unsorted timelines are an explicit error ----------
    The overlap scan only compares adjacent entries; on an unsorted

@@ -4,13 +4,16 @@
 
    Targets: fig1 fig2 fig3 fig4 table1 claims contention redundancy procs
    rftsa reliability recovery linkloss adversary micro kernel serve par
-   smoke all (default: all; "smoke" is a CI-sized sanity pass over the
-   hot simulation paths and is not part of "all"; "par" measures the
+   scale smoke all (default: all; "smoke" is a CI-sized sanity pass over
+   the hot simulation paths and is not part of "all"; "par" measures the
    Domain pool's wall-clock speedup and checks digest equality vs
    jobs=1, and additionally *asserts* speedup >= 1 when combined with
    "smoke"; "serve" — also outside "all" — measures daemon round-trip
    latency cold vs LRU-cached and writes BENCH_SERVE.json, path
-   overridable with FTSCHED_BENCH_SERVE_JSON).
+   overridable with FTSCHED_BENCH_SERVE_JSON; "scale" — also outside
+   "all" — runs FTSA on 10^4–10^5-task DAGs, writes BENCH_SCALE.json
+   (FTSCHED_BENCH_SCALE_JSON) and, with "smoke", asserts the v=10^4
+   layered case stays under 10 s and the parallel batch does not regress).
    By default the figure sweeps use the reduced "quick" workload (8 graphs
    per point) so the whole harness finishes in a couple of minutes; set
    FTSCHED_FULL=1 to run the paper-scale workload (60 graphs per point and
@@ -595,6 +598,213 @@ let run_par ~strict () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* "scale" target: the flat-array hot path on 10^4–10^5-task DAGs.
+   One FTSA run (m=50, eps=2) per (family, size) case measuring
+   wall-clock, throughput and allocation, plus a parallel batch of
+   mid-size instances scheduled at jobs=1 and at the configured worker
+   count with digest equality asserted.  Results go to BENCH_SCALE.json
+   (path overridable with FTSCHED_BENCH_SCALE_JSON).  With [strict]
+   (the CI "smoke scale" job) the v=10^4 layered case must finish
+   within 10 s sequentially and the batch speedup must be >= 1. *)
+
+type scale_row = {
+  family : string;
+  tasks : int;
+  edges : int;
+  build_ms : float;
+  schedule_ms : float;
+  tasks_per_s : float;
+  alloc_mwords : float;  (** words allocated during the run, in 1e6 *)
+  peak_mwords : float;  (** [Gc.top_heap_words] after the run, in 1e6 *)
+}
+
+let write_scale_json rows ~batch_name ~jobs1_ms ~jobsn_ms ~digests_equal =
+  let path =
+    Option.value ~default:"BENCH_SCALE.json"
+      (Sys.getenv_opt "FTSCHED_BENCH_SCALE_JSON")
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"jobs\": %d,\n  \"full\": %b,\n  \"m\": 50,\n  \"eps\": 2,\n\
+       \  \"cases\": [\n"
+       (Par.default_jobs ()) full);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"family\": %S, \"tasks\": %d, \"edges\": %d, \"build_ms\": \
+            %.1f, \"schedule_ms\": %.1f, \"tasks_per_s\": %.0f, \
+            \"alloc_mwords\": %.2f, \"peak_mwords\": %.2f}"
+           r.family r.tasks r.edges r.build_ms r.schedule_ms r.tasks_per_s
+           r.alloc_mwords r.peak_mwords))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n  ],\n  \"parallel_batch\": {\"name\": %S, \"jobs1_ms\": %.1f, \
+        \"jobs%d_ms\": %.1f, \"speedup\": %.3f, \"digests_equal\": %b}\n}\n"
+       batch_name jobs1_ms (Par.default_jobs ()) jobsn_ms
+       (if jobsn_ms > 0. then jobs1_ms /. jobsn_ms else 1.)
+       digests_equal);
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+let run_scale ~strict () =
+  let jobs = Par.default_jobs () in
+  section
+    (Printf.sprintf "Scale: FTSA on large DAGs (m=50, eps=2, jobs=%d)" jobs);
+  let module G = Ftsched_dag.Generators in
+  let layered v =
+    ("layered", v, fun rng -> G.layered rng ~n_tasks:v ())
+  in
+  let forkjoin v =
+    ( "fork-join",
+      v,
+      fun rng ->
+        let width = int_of_float (sqrt (float_of_int v)) in
+        G.fork_join rng ~stages:(Int.max 1 (v / (width + 2))) ~width () )
+  in
+  let pegasus v =
+    ("pegasus", v, fun rng -> G.pegasus rng ~n_tasks:v ())
+  in
+  let cases =
+    [ layered 2_000; layered 10_000; forkjoin 10_000; pegasus 10_000;
+      pegasus 100_000 ]
+    @ (if full then [ layered 20_000; forkjoin 50_000 ] else [])
+  in
+  let rows =
+    List.map
+      (fun (family, v, gen) ->
+        let rng = Ftsched_util.Rng.create ~seed:(2008 + v) in
+        let dag, build_ms = wall_clock (fun () -> gen rng) in
+        let platform =
+          Ftsched_platform.Platform.random rng ~m:50 ~delay_lo:0.5
+            ~delay_hi:1.0 ()
+        in
+        let inst =
+          Ftsched_model.Instance.random_exec rng ~dag ~platform ()
+        in
+        Gc.full_major ();
+        let g0 = Gc.quick_stat () in
+        let s, schedule_ms =
+          wall_clock (fun () ->
+              Sys.opaque_identity (Ftsched_core.Ftsa.schedule inst ~eps:2))
+        in
+        ignore s;
+        let g1 = Gc.quick_stat () in
+        let alloc_words =
+          g1.Gc.minor_words -. g0.Gc.minor_words
+          +. (g1.Gc.major_words -. g0.Gc.major_words)
+          -. (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+        in
+        let tasks = Ftsched_dag.Dag.n_tasks dag in
+        {
+          family;
+          tasks;
+          edges = Ftsched_dag.Dag.n_edges dag;
+          build_ms;
+          schedule_ms;
+          tasks_per_s = 1000. *. float_of_int tasks /. schedule_ms;
+          alloc_mwords = alloc_words /. 1e6;
+          peak_mwords = float_of_int g1.Gc.top_heap_words /. 1e6;
+        })
+      cases
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          "family"; "tasks"; "edges"; "build (ms)"; "schedule (ms)";
+          "tasks/s"; "alloc (MW)"; "peak heap (MW)";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.family; string_of_int r.tasks; string_of_int r.edges;
+          Printf.sprintf "%.1f" r.build_ms;
+          Printf.sprintf "%.1f" r.schedule_ms;
+          Printf.sprintf "%.0f" r.tasks_per_s;
+          Printf.sprintf "%.2f" r.alloc_mwords;
+          Printf.sprintf "%.2f" r.peak_mwords;
+        ])
+    rows;
+  show "scale" table;
+  (* parallel batch: independent mid-size instances over the pool *)
+  let batch = 8 in
+  let batch_name = Printf.sprintf "pegasus-v2000-x%d" batch in
+  let insts =
+    List.init batch (fun i ->
+        let rng = Ftsched_util.Rng.create ~seed:(2008 + (31 * i)) in
+        let dag = G.pegasus rng ~n_tasks:2000 () in
+        let platform =
+          Ftsched_platform.Platform.random rng ~m:20 ~delay_lo:0.5
+            ~delay_hi:1.0 ()
+        in
+        Ftsched_model.Instance.random_exec rng ~dag ~platform ())
+  in
+  let digest schedules =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "|"
+            (List.map Ftsched_schedule.Serialize.schedule_to_string schedules)))
+  in
+  let batch_run j () =
+    Par.parallel_map ~jobs:j
+      (fun inst -> Ftsched_core.Ftsa.schedule inst ~eps:2)
+      insts
+  in
+  let s1, batch_ms1 = wall_clock (batch_run 1) in
+  let sn, batch_msn = wall_clock (batch_run jobs) in
+  let d1 = digest s1 and dn = digest sn in
+  let btable =
+    Table.create
+      ~columns:
+        [
+          "batch"; "jobs=1 (ms)"; Printf.sprintf "jobs=%d (ms)" jobs;
+          "speedup"; "digests equal";
+        ]
+  in
+  Table.add_row btable
+    [
+      batch_name;
+      Printf.sprintf "%.1f" batch_ms1;
+      Printf.sprintf "%.1f" batch_msn;
+      Printf.sprintf "%.2f"
+        (if batch_msn > 0. then batch_ms1 /. batch_msn else 1.);
+      string_of_bool (d1 = dn);
+    ];
+  show "scale_batch" btable;
+  write_scale_json rows ~batch_name ~jobs1_ms:batch_ms1 ~jobsn_ms:batch_msn
+    ~digests_equal:(d1 = dn);
+  if d1 <> dn then
+    failwith
+      (Printf.sprintf
+         "bench scale: batch output differs between jobs=1 and jobs=%d" jobs);
+  if strict then begin
+    List.iter
+      (fun r ->
+        if r.family = "layered" && r.tasks = 10_000 && r.schedule_ms > 10_000.
+        then
+          failwith
+            (Printf.sprintf
+               "bench scale: layered v=10^4 took %.1f ms sequentially \
+                (budget 10 s)"
+               r.schedule_ms))
+      rows;
+    if jobs > 1 && batch_msn > batch_ms1 then
+      failwith
+        (Printf.sprintf
+           "bench scale: batch regressed under parallelism (jobs=%d %.1fms > \
+            jobs=1 %.1fms)"
+           jobs batch_msn batch_ms1)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* "serve" target: end-to-end latency and throughput of the framed
    scheduling daemon ([lib/serve]), measured in-process over a unix
    socket.  Three figures: cold requests (distinct payloads computed on
@@ -770,7 +980,8 @@ let () =
   in
   let want t =
     List.mem t args
-    || (List.mem "all" args && t <> "smoke" && t <> "par" && t <> "serve")
+    || List.mem "all" args
+       && t <> "smoke" && t <> "par" && t <> "serve" && t <> "scale"
   in
   if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
   if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
@@ -791,5 +1002,6 @@ let () =
   if want "kernel" then run_kernel ();
   if want "serve" then run_serve ();
   if want "par" then run_par ~strict:(List.mem "smoke" args) ();
+  if want "scale" then run_scale ~strict:(List.mem "smoke" args) ();
   write_bench_json ();
   Printf.printf "\nDone.\n"

@@ -103,10 +103,11 @@ let kind_arg =
     & opt (enum
              [ ("layered", `Layered); ("fft", `Fft); ("gauss", `Gauss);
                ("wavefront", `Wavefront); ("forkjoin", `Forkjoin);
-               ("diamond", `Diamond) ])
+               ("diamond", `Diamond); ("pegasus", `Pegasus) ])
         `Layered
     & info [ "kind" ] ~docv:"KIND"
-        ~doc:"Graph family: layered, fft, gauss, wavefront, forkjoin, diamond.")
+        ~doc:"Graph family: layered, fft, gauss, wavefront, forkjoin, \
+              diamond, pegasus.")
 
 let algo_arg =
   Arg.(
@@ -141,6 +142,7 @@ let make_dag kind rng n =
       let side = max 2 (int_of_float (sqrt (float_of_int n))) in
       Classic.wavefront ~rows:side ~cols:side ()
   | `Forkjoin -> Generators.fork_join rng ~stages:(max 1 (n / 12)) ~width:10 ()
+  | `Pegasus -> Generators.pegasus rng ~n_tasks:(max 1 n) ()
   | `Diamond -> Classic.diamond ~layers:(max 2 (int_of_float (sqrt (float_of_int n)))) ()
 
 let make_instance ~kind ~seed ~n ~m ~granularity =

@@ -48,7 +48,10 @@ let schedule ?(seed = 0) ?rng ?trace inst ~npf =
       in
       (urgency, chosen)
     in
-    let evaluated = List.map (fun t -> (t, best_of t)) free in
+    (* [free] arrives newest-first, the order the old list-based driver
+       exposed — evaluating in array order keeps the RNG tie-break pool
+       identical. *)
+    let evaluated = Array.to_list (Array.map (fun t -> (t, best_of t)) free) in
     let t, (u, chosen) =
       (* Most urgent pair: maximum pressure; ties broken randomly as in
          the original. *)

@@ -9,6 +9,21 @@ type t = {
   out_edges : edge list array;  (* per task, in insertion order *)
   in_edges : edge list array;
   topo : task array;
+  (* CSR mirrors of the adjacency, built once at [Builder.build] time so
+     the scheduling hot path can iterate predecessors/successors without
+     allocating: row [t] of the incoming adjacency is
+     [pred_csr.(pred_off.(t) .. pred_off.(t+1)-1)], and [pred_task]/
+     [pred_vol] are aligned with [pred_csr] (the source task and volume
+     of each incoming edge, pre-flattened).  Same layout outgoing. *)
+  pred_off : int array;  (* n+1 offsets *)
+  pred_csr : int array;  (* edge ids, in in_edges order *)
+  pred_task : int array;  (* edge_src.(pred_csr.(k)), pre-looked-up *)
+  pred_vol : float array;  (* edge_vol.(pred_csr.(k)) *)
+  succ_off : int array;
+  succ_csr : int array;
+  succ_task : int array;  (* edge_dst.(succ_csr.(k)) *)
+  entry_tasks : task array;  (* tasks without predecessors, increasing *)
+  exit_tasks : task array;  (* tasks without successors, increasing *)
 }
 
 let n_tasks t = Array.length t.labels
@@ -28,22 +43,23 @@ let succs t i =
 let preds t i =
   List.map (fun e -> (t.edge_src.(e), t.edge_vol.(e))) t.in_edges.(i)
 
-let out_degree t i = List.length t.out_edges.(i)
-let in_degree t i = List.length t.in_edges.(i)
+let out_degree t i = t.succ_off.(i + 1) - t.succ_off.(i)
+let in_degree t i = t.pred_off.(i + 1) - t.pred_off.(i)
 
-let entries t =
-  let acc = ref [] in
-  for i = n_tasks t - 1 downto 0 do
-    if t.in_edges.(i) = [] then acc := i :: !acc
-  done;
-  !acc
+let entries t = Array.to_list t.entry_tasks
+let exits t = Array.to_list t.exit_tasks
 
-let exits t =
-  let acc = ref [] in
-  for i = n_tasks t - 1 downto 0 do
-    if t.out_edges.(i) = [] then acc := i :: !acc
-  done;
-  !acc
+module Csr = struct
+  let pred_offsets t = t.pred_off
+  let pred_edges t = t.pred_csr
+  let pred_tasks t = t.pred_task
+  let pred_volumes t = t.pred_vol
+  let succ_offsets t = t.succ_off
+  let succ_edges t = t.succ_csr
+  let succ_tasks t = t.succ_task
+  let entries t = t.entry_tasks
+  let exits t = t.exit_tasks
+end
 
 let find_edge t ~src ~dst =
   List.find_opt (fun e -> t.edge_dst.(e) = dst) t.out_edges.(src)
@@ -157,5 +173,50 @@ module Builder = struct
     match kahn_topo ~n ~out_edges ~edge_dst ~in_degree with
     | None -> invalid_arg "Dag.Builder.build: graph has a cycle"
     | Some topo ->
-        { labels; edge_src; edge_dst; edge_vol; out_edges; in_edges; topo }
+        (* Flatten the adjacency lists into CSR rows, preserving the
+           per-task insertion order the list API exposes. *)
+        let flatten rows lookup =
+          let off = Array.make (n + 1) 0 in
+          for i = 0 to n - 1 do
+            off.(i + 1) <- off.(i) + List.length rows.(i)
+          done;
+          let csr = Array.make m 0 in
+          let tasks = Array.make m 0 in
+          let k = ref 0 in
+          Array.iter
+            (fun row ->
+              List.iter
+                (fun e ->
+                  csr.(!k) <- e;
+                  tasks.(!k) <- lookup.(e);
+                  incr k)
+                row)
+            rows;
+          (off, csr, tasks)
+        in
+        let pred_off, pred_csr, pred_task = flatten in_edges edge_src in
+        let succ_off, succ_csr, succ_task = flatten out_edges edge_dst in
+        let pred_vol = Array.map (fun e -> edge_vol.(e)) pred_csr in
+        let degree_zero off =
+          let count = ref 0 in
+          for i = 0 to n - 1 do
+            if off.(i + 1) = off.(i) then incr count
+          done;
+          let arr = Array.make !count 0 in
+          let j = ref 0 in
+          for i = 0 to n - 1 do
+            if off.(i + 1) = off.(i) then begin
+              arr.(!j) <- i;
+              incr j
+            end
+          done;
+          arr
+        in
+        {
+          labels; edge_src; edge_dst; edge_vol; out_edges; in_edges; topo;
+          pred_off; pred_csr; pred_task; pred_vol;
+          succ_off; succ_csr; succ_task;
+          entry_tasks = degree_zero pred_off;
+          exit_tasks = degree_zero succ_off;
+        }
 end

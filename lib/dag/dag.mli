@@ -78,5 +78,46 @@ val topological_order : t -> task array
 (** A fixed topological order computed at build time (Kahn's algorithm with
     a FIFO tie-break, hence deterministic). *)
 
+(** {1 Flat adjacency (CSR)}
+
+    The scheduling hot path iterates predecessor/successor rows for every
+    task of every instance; the list accessors above allocate a fresh
+    list per call.  [Csr] exposes the same adjacency as flat
+    compressed-sparse-row arrays built once at {!Builder.build} time:
+    row [t] of the incoming adjacency is the index range
+    [pred_offsets.(t) .. pred_offsets.(t+1) - 1] into the aligned
+    [pred_edges] (edge id), [pred_tasks] (source task) and
+    [pred_volumes] (edge volume) arrays, in the same per-task insertion
+    order as {!in_edges}/{!preds}; symmetrically outgoing.  The arrays
+    are physically shared with the graph — {b treat them as read-only}
+    (mutating them corrupts the DAG). *)
+module Csr : sig
+  val pred_offsets : t -> int array
+  (** [n_tasks + 1] row offsets into the incoming-edge arrays. *)
+
+  val pred_edges : t -> int array
+  (** Edge id of each incoming edge, rows concatenated. *)
+
+  val pred_tasks : t -> int array
+  (** Source task of each incoming edge (pre-flattened
+      [edge_endpoints]). *)
+
+  val pred_volumes : t -> float array
+  (** Volume of each incoming edge. *)
+
+  val succ_offsets : t -> int array
+  val succ_edges : t -> int array
+
+  val succ_tasks : t -> int array
+  (** Destination task of each outgoing edge. *)
+
+  val entries : t -> task array
+  (** Tasks without predecessors, increasing; same contents as
+      {!Dag.entries}. *)
+
+  val exits : t -> task array
+  (** Tasks without successors, increasing. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Compact human-readable summary (sizes, entries, exits). *)

@@ -192,6 +192,72 @@ let random_out_tree rng ~n_tasks ~max_children ?(volume = default_volume) () =
   done;
   Dag.Builder.build b
 
+(* Montage-style Pegasus workflow: a wide fan-out of projection tasks,
+   pairwise overlap fits between neighbours, a gather (concat), a
+   broadcast (background model), a per-input correction level, a second
+   gather and a short output chain.  Degrees are bounded except at the
+   two gather hubs and the broadcast, like the real Montage DAGs that
+   Pegasus publishes; edge count stays ~2x the task count, so the shape
+   scales to 10^5 tasks. *)
+let pegasus rng ~n_tasks ?(volume = default_volume) () =
+  assert (n_tasks > 0);
+  let vol () = draw_volume rng volume in
+  if n_tasks < 8 then (
+    (* Too small for the montage shape: degenerate to a chain. *)
+    let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+    let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
+    for i = 0 to n_tasks - 2 do
+      Dag.Builder.add_edge b ~src:ids.(i) ~dst:ids.(i + 1) ~volume:(vol ())
+    done;
+    Dag.Builder.build b)
+  else begin
+    (* project(w) + difffit(w-1) + concat + bgmodel + background(w)
+       + imgtbl = 3w + 2 tasks; the remaining >= 2 become the output
+       chain (mAdd, mShrink, mJPEG, ...). *)
+    let w = max 2 ((n_tasks - 4) / 3) in
+    let b = Dag.Builder.create ~expected_tasks:n_tasks () in
+    let project =
+      Array.init w (fun i ->
+          Dag.Builder.add_task ~label:(Printf.sprintf "project%d" i) b)
+    in
+    let difffit =
+      Array.init (w - 1) (fun i ->
+          Dag.Builder.add_task ~label:(Printf.sprintf "difffit%d" i) b)
+    in
+    Array.iteri
+      (fun i d ->
+        Dag.Builder.add_edge b ~src:project.(i) ~dst:d ~volume:(vol ());
+        Dag.Builder.add_edge b ~src:project.(i + 1) ~dst:d ~volume:(vol ()))
+      difffit;
+    let concat = Dag.Builder.add_task ~label:"concatfit" b in
+    Array.iter
+      (fun d -> Dag.Builder.add_edge b ~src:d ~dst:concat ~volume:(vol ()))
+      difffit;
+    let bgmodel = Dag.Builder.add_task ~label:"bgmodel" b in
+    Dag.Builder.add_edge b ~src:concat ~dst:bgmodel ~volume:(vol ());
+    let background =
+      Array.init w (fun i ->
+          Dag.Builder.add_task ~label:(Printf.sprintf "background%d" i) b)
+    in
+    Array.iteri
+      (fun i bg ->
+        Dag.Builder.add_edge b ~src:project.(i) ~dst:bg ~volume:(vol ());
+        Dag.Builder.add_edge b ~src:bgmodel ~dst:bg ~volume:(vol ()))
+      background;
+    let imgtbl = Dag.Builder.add_task ~label:"imgtbl" b in
+    Array.iter
+      (fun bg -> Dag.Builder.add_edge b ~src:bg ~dst:imgtbl ~volume:(vol ()))
+      background;
+    let tail = n_tasks - ((3 * w) + 2) in
+    let prev = ref imgtbl in
+    for i = 0 to tail - 1 do
+      let t = Dag.Builder.add_task ~label:(Printf.sprintf "out%d" i) b in
+      Dag.Builder.add_edge b ~src:!prev ~dst:t ~volume:(vol ());
+      prev := t
+    done;
+    Dag.Builder.build b
+  end
+
 let chain rng ~n_tasks ?(volume = default_volume) () =
   assert (n_tasks > 0);
   let b = Dag.Builder.create ~expected_tasks:n_tasks () in

@@ -68,6 +68,20 @@ val random_out_tree :
   Dag.t
 (** Random rooted out-tree (every non-root has exactly one predecessor). *)
 
+val pegasus :
+  Ftsched_util.Rng.t ->
+  n_tasks:int ->
+  ?volume:volume_spec ->
+  unit ->
+  Dag.t
+(** Montage-style Pegasus workflow with exactly [n_tasks] tasks: a wide
+    projection fan-out, pairwise overlap fits, a gather, a broadcast, a
+    per-input correction level, a second gather and an output chain.
+    Edge count stays ~2x the task count (degrees are bounded except at
+    the gather/broadcast hubs), so the shape scales to 10^5 tasks —
+    the production-workflow counterpart to {!layered}'s literature
+    graphs.  Graphs with fewer than 8 tasks degenerate to a chain. *)
+
 val chain :
   Ftsched_util.Rng.t -> n_tasks:int -> ?volume:volume_spec -> unit -> Dag.t
 (** A simple linear chain — the degenerate fully sequential workload. *)

@@ -121,7 +121,7 @@ let verify ?(spec = Workload.quick) ?(master_seed = 2008) () =
     (Printf.sprintf "mean crash2/crash0 = %.3f" (c2 /. c0));
   (* --- Table 1 ------------------------------------------------------- *)
   let time algo n =
-    (* best of 3: CPU-time ratios get noisy when the test battery runs
+    (* best of 5: CPU-time ratios get noisy when the test battery runs
        in parallel with domain-heavy suites *)
     let once () =
       let rng = Ftsched_util.Rng.create ~seed:(master_seed + n) in
@@ -131,16 +131,26 @@ let verify ?(spec = Workload.quick) ?(master_seed = 2008) () =
           ~delay_hi:1.0 ()
       in
       let inst = Instance.random_exec rng ~dag ~platform () in
+      (* quiesce the GC so the short runs don't pay major-heap slices
+         for garbage the sweeps above left behind *)
+      Gc.full_major ();
       let t0 = Sys.time () in
       (match algo with
       | `Ftsa -> ignore (Sys.opaque_identity (Ftsa.schedule inst ~eps:2))
       | `Ftbar -> ignore (Sys.opaque_identity (Ftbar.schedule inst ~npf:2)));
       Sys.time () -. t0
     in
-    Float.min (once ()) (Float.min (once ()) (once ()))
+    let best = ref (once ()) in
+    for _ = 1 to 4 do
+      best := Float.min !best (once ())
+    done;
+    !best
   in
-  let f_small = time `Ftsa 100 and f_big = time `Ftsa 800 in
-  let b_small = time `Ftbar 100 and b_big = time `Ftbar 800 in
+  (* sizes large enough that the asymptotic free-set factor dominates
+     the flat-array engine's small constants — at n=100 the whole run
+     sits near the timer's noise floor *)
+  let f_small = time `Ftsa 200 and f_big = time `Ftsa 1600 in
+  let b_small = time `Ftbar 200 and b_big = time `Ftbar 1600 in
   let ftsa_growth = f_big /. Float.max f_small 1e-6 in
   let ftbar_growth = b_big /. Float.max b_small 1e-6 in
   check "table1.ftbar-scales-worse"

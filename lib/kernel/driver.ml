@@ -27,6 +27,14 @@ type state = {
   in_pess : float array;
   tmp_opt : float array;
   tmp_pess : float array;
+  (* CSR adjacency of the instance's DAG (Dag.Csr), cached here so the
+     per-task hot loops index flat arrays instead of walking freshly
+     allocated predecessor/successor lists. *)
+  pred_off : int array;
+  pred_task : int array;
+  pred_vol : float array;
+  succ_off : int array;
+  succ_task : int array;
 }
 
 type tie_break = Rng_tie | Lifo_tie
@@ -34,7 +42,7 @@ type tie_break = Rng_tie | Lifo_tie
 type discipline =
   | Priority of { key : state -> int -> float; tie : tie_break }
   | Fixed_order of (state -> int array)
-  | Urgency of (state -> free:int list -> int * float * eval array)
+  | Urgency of (state -> free:int array -> int * float * eval array)
 
 type policy = {
   name : string;
@@ -58,33 +66,36 @@ let replicas_of st t =
 
 (* Equations (1)/(3), input side, hoisted: one pass over the predecessors
    fills per-target-processor arrival bounds, instead of re-reducing every
-   predecessor's replica row for every candidate processor. *)
+   predecessor's replica row for every candidate processor.  The
+   predecessor walk indexes the pre-flattened CSR arrays and hoists the
+   delay-matrix row per replica, so the inner reduction allocates
+   nothing. *)
 let prepare_inputs st t =
-  let g = Instance.dag st.inst in
   let pl = Instance.platform st.inst in
   let m = st.n_procs in
   Array.fill st.in_opt 0 m 0.;
   Array.fill st.in_pess 0 m 0.;
-  List.iter
-    (fun (t', vol) ->
-      let rs = replicas_of st t' in
-      let ao = st.tmp_opt and ap = st.tmp_pess in
-      Array.fill ao 0 m infinity;
-      Array.fill ap 0 m 0.;
-      Array.iter
-        (fun (c : committed) ->
-          for p = 0 to m - 1 do
-            let w = vol *. Platform.delay pl c.proc p in
-            let o = c.finish_opt +. w and q = c.finish_pess +. w in
-            if o < ao.(p) then ao.(p) <- o;
-            if q > ap.(p) then ap.(p) <- q
-          done)
-        rs;
-      for p = 0 to m - 1 do
-        if ao.(p) > st.in_opt.(p) then st.in_opt.(p) <- ao.(p);
-        if ap.(p) > st.in_pess.(p) then st.in_pess.(p) <- ap.(p)
-      done)
-    (Dag.preds g t)
+  for k = st.pred_off.(t) to st.pred_off.(t + 1) - 1 do
+    let t' = st.pred_task.(k) and vol = st.pred_vol.(k) in
+    let rs = replicas_of st t' in
+    let ao = st.tmp_opt and ap = st.tmp_pess in
+    Array.fill ao 0 m infinity;
+    Array.fill ap 0 m 0.;
+    Array.iter
+      (fun (c : committed) ->
+        let row = Platform.delay_row pl c.proc in
+        for p = 0 to m - 1 do
+          let w = vol *. row.(p) in
+          let o = c.finish_opt +. w and q = c.finish_pess +. w in
+          if o < ao.(p) then ao.(p) <- o;
+          if q > ap.(p) then ap.(p) <- q
+        done)
+      rs;
+    for p = 0 to m - 1 do
+      if ao.(p) > st.in_opt.(p) then st.in_opt.(p) <- ao.(p);
+      if ap.(p) > st.in_pess.(p) then st.in_pess.(p) <- ap.(p)
+    done
+  done
 
 let eval_inputs st t p =
   let e = Instance.exec st.inst t p in
@@ -96,19 +107,20 @@ let eval_inputs st t p =
   }
 
 let top_level st t =
-  let g = Instance.dag st.inst in
   let pl = Instance.platform st.inst in
-  List.fold_left
-    (fun acc (t', vol) ->
-      let rs = replicas_of st t' in
-      let earliest =
-        Array.fold_left
-          (fun m (c : committed) ->
-            Float.min m (c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc)))
-          infinity rs
-      in
-      Float.max acc earliest)
-    0. (Dag.preds g t)
+  let acc = ref 0. in
+  for k = st.pred_off.(t) to st.pred_off.(t + 1) - 1 do
+    let vol = st.pred_vol.(k) in
+    let rs = replicas_of st st.pred_task.(k) in
+    let earliest = ref infinity in
+    Array.iter
+      (fun (c : committed) ->
+        let a = c.finish_opt +. (vol *. Platform.max_delay_from pl c.proc) in
+        if a < !earliest then earliest := a)
+      rs;
+    if !earliest > !acc then acc := !earliest
+  done;
+  !acc
 
 let best_by_finish evals ~k =
   let cand = Array.copy evals in
@@ -166,18 +178,11 @@ let commit_insertion st t chosen =
       })
     chosen
 
-(* Priority list α: an AVL keyed by (priority, random tie, task id); the
-   head H(α) is the maximum binding. *)
-module Prio_key = struct
-  type t = { prio : float; tie : float; task : int }
-
-  let compare a b =
-    match compare a.prio b.prio with
-    | 0 -> ( match compare a.tie b.tie with 0 -> compare a.task b.task | c -> c)
-    | c -> c
-end
-
-module Alpha = Ftsched_ds.Avl.Make (Prio_key)
+(* Priority list α: a binary max-heap keyed by (priority, tie, task id);
+   the head H(α) is the maximum binding.  Task ids are unique, so the
+   key order is total and the pop sequence is identical to the AVL list
+   this replaces — the pinned schedule digests prove it. *)
+module Alpha = Ftsched_ds.Bin_heap
 
 let now () = Sys.time ()
 
@@ -208,6 +213,11 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
       in_pess = Array.make m 0.;
       tmp_opt = Array.make m 0.;
       tmp_pess = Array.make m 0.;
+      pred_off = Dag.Csr.pred_offsets g;
+      pred_task = Dag.Csr.pred_tasks g;
+      pred_vol = Dag.Csr.pred_volumes g;
+      succ_off = Dag.Csr.succ_offsets g;
+      succ_task = Dag.Csr.succ_tasks g;
     }
   in
   (* Residual timelines: pre-commit each processor's foreign busy tail as
@@ -312,9 +322,13 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
     end
     else false
   in
+  let entry_tasks = Dag.Csr.entries g in
+  (* Incremental ready counts: a task enters the free set exactly when
+     its pending-predecessor counter hits zero. *)
+  let remaining = Array.init v (fun t -> st.pred_off.(t + 1) - st.pred_off.(t)) in
   (match policy.discipline with
   | Priority { key; tie } ->
-      let alpha = ref Alpha.empty in
+      let alpha = Alpha.create ~capacity:(max 1 v) () in
       let seq = ref 0 in
       let push_free t =
         let prio = key st t in
@@ -327,29 +341,30 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
               incr seq;
               float_of_int !seq
         in
-        alpha := Alpha.add { Prio_key.prio; tie; task = t } () !alpha
+        Alpha.push alpha ~prio ~tie ~task:t
       in
       (match tie with
-      | Rng_tie -> List.iter push_free (Dag.entries g)
+      | Rng_tie -> Array.iter push_free entry_tasks
       | Lifo_tie ->
           (* reversed so the first entry task gets the largest sequence
              number: ties among entries resolve in entry order *)
-          List.iter push_free (List.rev (Dag.entries g)));
-      let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+          for i = Array.length entry_tasks - 1 downto 0 do
+            push_free entry_tasks.(i)
+          done);
       let continue_run = ref true in
       while !continue_run do
-        match Alpha.pop_max !alpha with
-        | None -> continue_run := false
-        | Some (k, (), rest) ->
-            alpha := rest;
-            let t = k.Prio_key.task in
-            if not (do_task ~prio:k.Prio_key.prio t) then continue_run := false
-            else
-              List.iter
-                (fun (t', _) ->
-                  remaining.(t') <- remaining.(t') - 1;
-                  if remaining.(t') = 0 then push_free t')
-                (Dag.succs g t)
+        if Alpha.is_empty alpha then continue_run := false
+        else begin
+          let t = Alpha.max_task alpha and prio = Alpha.max_prio alpha in
+          Alpha.drop_max alpha;
+          if not (do_task ~prio t) then continue_run := false
+          else
+            for k = st.succ_off.(t) to st.succ_off.(t + 1) - 1 do
+              let t' = st.succ_task.(k) in
+              remaining.(t') <- remaining.(t') - 1;
+              if remaining.(t') = 0 then push_free t'
+            done
+        end
       done
   | Fixed_order order ->
       let order = order st in
@@ -359,27 +374,61 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
            order
        with Exit -> ())
   | Urgency urgency ->
-      let free = ref (Dag.entries g) in
-      let remaining = Array.init v (fun t -> Dag.in_degree g t) in
+      (* The free set as an intrusive doubly-linked list over int arrays,
+         newest first: O(1) insertion and removal where the list-based
+         loop paid an O(n) [List.filter] per scheduled task.  [snapshot]
+         materializes the membership for the policy callback, newest
+         first — the order the old list exposed. *)
+      let next = Array.make v (-1) and prev = Array.make v (-1) in
+      let head = ref (-1) in
+      let count = ref 0 in
+      let push_front t =
+        next.(t) <- !head;
+        prev.(t) <- -1;
+        if !head >= 0 then prev.(!head) <- t;
+        head := t;
+        incr count
+      in
+      let remove t =
+        if prev.(t) >= 0 then next.(prev.(t)) <- next.(t) else head := next.(t);
+        if next.(t) >= 0 then prev.(next.(t)) <- prev.(t);
+        decr count
+      in
+      (* backwards, so the first entry task ends up at the head — the
+         order [Dag.entries] used to seed the list with *)
+      for i = Array.length entry_tasks - 1 downto 0 do
+        push_front entry_tasks.(i)
+      done;
+      let snapshot () =
+        let a = Array.make !count 0 in
+        let i = ref 0 and t = ref !head in
+        while !t >= 0 do
+          a.(!i) <- !t;
+          incr i;
+          t := next.(!t)
+        done;
+        a
+      in
       let continue_run = ref true in
-      while !continue_run && !free <> [] do
+      while !continue_run && !count > 0 do
+        let free = snapshot () in
         let t, prio, chosen =
           match trace with
-          | None -> urgency st ~free:!free
+          | None -> urgency st ~free
           | Some tr ->
               let t0 = now () in
-              let r = urgency st ~free:!free in
+              let r = urgency st ~free in
               Trace.add_phase tr `Evaluate (now () -. t0);
               r
         in
         if not (do_task ~pre_chosen:chosen ~prio t) then continue_run := false
         else begin
-          free := List.filter (fun t' -> t' <> t) !free;
-          List.iter
-            (fun (t', _) ->
-              remaining.(t') <- remaining.(t') - 1;
-              if remaining.(t') = 0 then free := t' :: !free)
-            (Dag.succs g t)
+          remove t;
+          for k = st.succ_off.(t) to st.succ_off.(t + 1) - 1 do
+            let t' = st.succ_task.(k) in
+            remaining.(t') <- remaining.(t') - 1;
+            if remaining.(t') = 0 then push_front t'
+          done
         end
       done);
   (match trace with

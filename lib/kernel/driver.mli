@@ -8,10 +8,18 @@
     and free the successors.  This module owns that loop; a {!policy}
     value supplies the four varying ingredients (task order, candidate
     evaluation, replica selection, commit rule) and the driver supplies
-    everything invariant: free-task bookkeeping, the AVL priority list
-    [α] with its RNG tie-breaking, deadline checking (§4.3), timeline
-    updates, trace emission and final {!Ftsched_schedule.Schedule.t}
-    assembly.
+    everything invariant: free-task bookkeeping, the binary-heap priority
+    list [α] with its RNG tie-breaking, deadline checking (§4.3),
+    timeline updates, trace emission and final
+    {!Ftsched_schedule.Schedule.t} assembly.
+
+    The loop runs on flat int-indexed arrays: the DAG's CSR adjacency
+    ({!Ftsched_dag.Dag.Csr}) is cached in {!state}, the ready set is
+    either the heap or an intrusive doubly-linked array list (O(1)
+    removal), and the eq-(1)/(3) reductions iterate pre-flattened
+    predecessor arrays — no per-event list allocation.  The pinned
+    schedule digests in the regression suite prove the rewrite is
+    bit-for-bit identical to the list-based engine it replaced.
 
     Equation (1)/(3) evaluation is provided here ({!prepare_inputs} /
     {!input_opt} / {!input_pess}) with the per-predecessor
@@ -50,6 +58,14 @@ type state = {
   in_pess : float array;  (** pessimistic counterpart *)
   tmp_opt : float array;  (** per-predecessor scratch *)
   tmp_pess : float array;
+  pred_off : int array;
+      (** CSR offsets of the DAG's predecessor adjacency
+          ({!Ftsched_dag.Dag.Csr.pred_offsets}), cached for the hot
+          loops; read-only *)
+  pred_task : int array;  (** CSR predecessor task ids *)
+  pred_vol : float array;  (** CSR predecessor edge volumes *)
+  succ_off : int array;  (** CSR successor offsets *)
+  succ_task : int array;  (** CSR successor task ids *)
 }
 (** The driver's mutable run state, exposed so policies can read the
     partial schedule and write selected edges.  Policies must not touch
@@ -66,16 +82,17 @@ type tie_break =
 
 type discipline =
   | Priority of { key : state -> int -> float; tie : tie_break }
-      (** Pop the maximum [(key, tie, task)] from the AVL list [α]; the
-          key is computed when the task becomes free. *)
+      (** Pop the maximum [(key, tie, task)] from the binary-heap list
+          [α]; the key is computed when the task becomes free. *)
   | Fixed_order of (state -> int array)
       (** Schedule in a precomputed (topological) order — HEFT's static
           upward-rank order. *)
-  | Urgency of (state -> free:int list -> int * float * eval array)
+  | Urgency of (state -> free:int array -> int * float * eval array)
       (** Re-evaluate every free task each step and return the chosen
           task, its urgency and its already-selected placements —
           FTBAR's schedule-pressure rule.  [free] lists free tasks,
-          most recently freed first. *)
+          most recently freed first; the array is a fresh snapshot the
+          callback may keep. *)
 
 type policy = {
   name : string;

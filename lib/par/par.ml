@@ -6,6 +6,13 @@
    changes *who* executes it.  Results land in their index slot, which
    makes the output bit-identical for any worker count, including 1.
 
+   Worker domains are spawned once and reused: a fan-out used to pay
+   [jobs - 1] Domain.spawn/join pairs (~milliseconds of runtime set-up
+   each), which dominated the short per-point campaigns and produced
+   parallel *slowdowns*.  Submissions hand the persistent workers a
+   closure under a mutex/condition handshake; an [at_exit] hook shuts the
+   pool down so the process still terminates cleanly.
+
    [jobs:1] (and every call made from inside a worker domain) takes the
    exact sequential [List.map] / [List.init] code route, so the
    zero-risk fallback is trivially auditable. *)
@@ -38,53 +45,181 @@ let set_default_jobs n =
 
 (* Workers flag their domain so nested fan-outs (a parallel point calling
    a parallel run_point) degrade to the sequential route instead of
-   over-subscribing the machine. *)
+   over-subscribing the machine.  The caller participating in its own
+   submission sets the flag too — a nested call would otherwise deadlock
+   on the submission lock. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
 type failure = { index : int; exn : exn; bt : Printexc.raw_backtrace }
 
-(* Run [f i] once for every [i] in [0, n): a chunked shared counter keeps
-   workers busy without a per-item atomic.  On exception, workers drain
-   and the failure with the *smallest index* is re-raised, matching what
-   the sequential route would have raised. *)
-let run_items ~jobs n f =
-  let jobs = Int.min jobs n in
-  let next = Atomic.make 0 in
+(* Guided self-scheduling: each claim takes a fixed fraction of the
+   *remaining* items, so early chunks are large (few atomic operations)
+   and late chunks shrink to 1 (no straggler holds the tail).  The fixed
+   [n / (jobs * 8)] rule this replaces degenerated both ways: chunk 1 for
+   any [n < 8 jobs] (per-item atomic traffic) and an eighth of the input
+   per claim at large [n] (one slow chunk serializes the finish). *)
+let chunk_size ~jobs ~remaining = Int.max 1 (remaining / (jobs * 2))
+
+let chunk_plan ~n ~jobs =
+  if n < 0 then invalid_arg "Par.chunk_plan: negative length";
+  if jobs < 1 then invalid_arg "Par.chunk_plan: jobs must be >= 1";
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else
+      let c = Int.min (chunk_size ~jobs ~remaining:(n - start)) (n - start) in
+      go (start + c) ((start, c) :: acc)
+  in
+  go 0 []
+
+(* --- the persistent pool --------------------------------------------- *)
+
+(* One submission at a time ([submit_lock]); the submitting caller always
+   participates, so [jobs = 1] needs no workers at all.  Workers park on
+   [work_ready] and race to join the current generation — at most
+   [max_workers] succeed, the rest go back to sleep.  The caller returns
+   once the item counter is drained *and* every joined worker has left
+   ([running = 0] under the pool lock, which also publishes the workers'
+   result writes to the caller). *)
+
+type job = { run : unit -> unit; max_workers : int }
+
+let pool_lock = Mutex.create ()
+let work_ready = Condition.create ()
+let work_done = Condition.create ()
+let current : job option ref = ref None
+let generation = ref 0
+let joined = ref 0 (* workers admitted to the current generation *)
+let running = ref 0 (* workers currently inside [run] *)
+let shutting_down = ref false
+let handles : unit Domain.t list ref = ref []
+let pool_size = ref 0
+let submit_lock = Mutex.create ()
+
+(* OCaml caps live domains (including the main one) at 128; leave slack
+   for domains the application spawns itself. *)
+let max_pool_size = 96
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  let my_gen = ref 0 in
+  Mutex.lock pool_lock;
+  let rec loop () =
+    if !shutting_down then Mutex.unlock pool_lock
+    else if !generation = !my_gen then begin
+      Condition.wait work_ready pool_lock;
+      loop ()
+    end
+    else begin
+      my_gen := !generation;
+      match !current with
+      | Some j when !joined < j.max_workers ->
+          incr joined;
+          incr running;
+          Mutex.unlock pool_lock;
+          j.run ();
+          Mutex.lock pool_lock;
+          decr running;
+          if !running = 0 then Condition.broadcast work_done;
+          loop ()
+      | _ -> loop () (* generation already drained or fully staffed *)
+    end
+  in
+  loop ()
+
+(* Under [submit_lock]. *)
+let ensure_workers needed =
+  let needed = Int.min needed max_pool_size in
+  while !pool_size < needed do
+    handles := Domain.spawn worker_loop :: !handles;
+    incr pool_size
+  done
+
+let shutdown () =
+  Mutex.lock submit_lock;
+  Mutex.lock pool_lock;
+  shutting_down := true;
+  incr generation;
+  Condition.broadcast work_ready;
+  Mutex.unlock pool_lock;
+  List.iter Domain.join !handles;
+  handles := [];
+  pool_size := 0;
+  (* allow reuse after a shutdown (tests exercise this) *)
+  shutting_down := false;
+  generation := 0;
+  Mutex.unlock submit_lock
+
+let () = at_exit shutdown
+
+(* Run [f i] once for every [i] in [start, n) across the caller plus up
+   to [jobs - 1] pool workers.  On exception, claimants drain and the
+   failure with the *smallest index* is re-raised, matching what the
+   sequential route would have raised. *)
+let run_items ~jobs ~start n f =
+  let items = n - start in
+  let jobs = Int.max 1 (Int.min jobs items) in
+  let next = Atomic.make start in
   let failed : failure option Atomic.t = Atomic.make None in
-  let chunk = Int.max 1 (n / (jobs * 8)) in
   let record index exn bt =
     let rec loop () =
       let cur = Atomic.get failed in
-      let better =
-        match cur with None -> true | Some c -> index < c.index
-      in
-      if better && not (Atomic.compare_and_set failed cur (Some { index; exn; bt }))
+      let better = match cur with None -> true | Some c -> index < c.index in
+      if
+        better
+        && not (Atomic.compare_and_set failed cur (Some { index; exn; bt }))
       then loop ()
     in
     loop ()
   in
-  let worker () =
-    let was = Domain.DLS.get in_worker in
-    Domain.DLS.set in_worker true;
+  let run () =
     let continue = ref true in
     while !continue do
-      let start = Atomic.fetch_and_add next chunk in
-      if start >= n || Atomic.get failed <> None then continue := false
-      else
-        let stop = Int.min n (start + chunk) in
-        let i = ref start in
-        (try
-           while !i < stop do
-             f !i;
-             incr i
-           done
-         with exn -> record !i exn (Printexc.get_raw_backtrace ()))
-    done;
-    Domain.DLS.set in_worker was
+      let seen = Atomic.get next in
+      if seen >= n || Atomic.get failed <> None then continue := false
+      else begin
+        (* the fetched window may differ from [seen]'s if another claim
+           lands in between — the chunk size is a heuristic, the counter
+           is the truth *)
+        let chunk = chunk_size ~jobs ~remaining:(n - seen) in
+        let claimed = Atomic.fetch_and_add next chunk in
+        if claimed >= n then continue := false
+        else
+          let stop = Int.min n (claimed + chunk) in
+          let i = ref claimed in
+          (try
+             while !i < stop do
+               f !i;
+               incr i
+             done
+           with exn -> record !i exn (Printexc.get_raw_backtrace ()))
+      end
+    done
   in
-  let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
-  Array.iter Domain.join domains;
+  if jobs <= 1 then begin
+    let was = Domain.DLS.get in_worker in
+    Domain.DLS.set in_worker true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker was) run
+  end
+  else begin
+    Mutex.lock submit_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock submit_lock) @@ fun () ->
+    ensure_workers (jobs - 1);
+    Mutex.lock pool_lock;
+    current := Some { run; max_workers = jobs - 1 };
+    incr generation;
+    joined := 0;
+    Condition.broadcast work_ready;
+    Mutex.unlock pool_lock;
+    let was = Domain.DLS.get in_worker in
+    Domain.DLS.set in_worker true;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker was) run;
+    Mutex.lock pool_lock;
+    while !running > 0 do
+      Condition.wait work_done pool_lock
+    done;
+    current := None;
+    Mutex.unlock pool_lock
+  end;
   match Atomic.get failed with
   | Some { exn; bt; _ } -> Printexc.raise_with_backtrace exn bt
   | None -> ()
@@ -94,26 +229,31 @@ let resolve_jobs = function
   | Some j -> j
   | None -> default_jobs ()
 
+(* Index 0 is computed on the caller and seeds the result array, so
+   worker writes are plain unboxed slot stores — no ['a option] per
+   unit.  Index 0 is also the smallest, so an exception from the seed
+   honours the smallest-index contract trivially. *)
+
 let parallel_init ?jobs n f =
   if n < 0 then invalid_arg "Par.parallel_init: negative length";
   let jobs = resolve_jobs jobs in
   let jobs = if Domain.DLS.get in_worker then 1 else jobs in
   if jobs <= 1 || n <= 1 then List.init n f
   else begin
-    let results = Array.make n None in
-    run_items ~jobs n (fun i -> results.(i) <- Some (f i));
-    List.init n (fun i -> Option.get results.(i))
+    let results = Array.make n (f 0) in
+    run_items ~jobs ~start:1 n (fun i -> results.(i) <- f i);
+    Array.to_list results
   end
 
 let parallel_map ?jobs f xs =
   let jobs = resolve_jobs jobs in
   let jobs = if Domain.DLS.get in_worker then 1 else jobs in
   match xs with
-  | ([] | [ _ ]) -> List.map f xs
+  | [] | [ _ ] -> List.map f xs
   | _ when jobs <= 1 -> List.map f xs
-  | _ ->
+  | x0 :: _ ->
       let arr = Array.of_list xs in
       let n = Array.length arr in
-      let results = Array.make n None in
-      run_items ~jobs n (fun i -> results.(i) <- Some (f arr.(i)));
-      List.init n (fun i -> Option.get results.(i))
+      let results = Array.make n (f x0) in
+      run_items ~jobs ~start:1 n (fun i -> results.(i) <- f arr.(i));
+      Array.to_list results

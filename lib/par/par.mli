@@ -18,7 +18,16 @@
 
     [jobs:1] takes the exact sequential [List.map]/[List.init] code
     route; nested calls made from inside a worker domain do too, so an
-    outer parallel sweep never over-subscribes the machine. *)
+    outer parallel sweep never over-subscribes the machine.
+
+    Worker domains are {e persistent}: spawned on first use, parked on a
+    condition variable between fan-outs, reused by every later call and
+    joined by an [at_exit] hook.  Chunks are claimed by guided
+    self-scheduling (a fraction of the {e remaining} items per claim, see
+    {!chunk_plan}), and the caller participates in its own submission, so
+    a [jobs:k] call uses [k] domains total.  Concurrent submissions from
+    different threads are serialized — the pool runs one fan-out at a
+    time. *)
 
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map ~jobs f xs] is [List.map f xs], computed by [jobs]
@@ -44,3 +53,14 @@ val default_jobs : unit -> int
 val set_default_jobs : int -> unit
 (** Pin the default worker count for the process ([-j N]).  Raises
     [Invalid_argument] if [n < 1]. *)
+
+val chunk_plan : n:int -> jobs:int -> (int * int) list
+(** [chunk_plan ~n ~jobs] is the [(start, length)] sequence a single
+    claimant would drain [n] items in: guided self-scheduling, each
+    chunk [max 1 (remaining / (2 * jobs))] of the items still
+    unclaimed.  Chunks partition [0, n) in order; early chunks are
+    large, the tail shrinks to single items so no straggler serializes
+    the finish.  Exposed for tests and for sizing intuition — the
+    concurrent drain interleaves claims from several domains but draws
+    chunk sizes from the same rule.  Raises [Invalid_argument] on
+    negative [n] or [jobs < 1]. *)

@@ -45,6 +45,7 @@ let create ~delay =
 
 let n_procs t = t.m
 let delay t k h = t.delay.(k).(h)
+let delay_row t k = t.delay.(k)
 let avg_delay t = t.avg_delay
 let max_delay_from t k = t.max_delay_from.(k)
 

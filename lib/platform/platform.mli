@@ -20,6 +20,12 @@ val n_procs : t -> int
 val delay : t -> proc -> proc -> float
 (** Unit-data delay [d(Pk, Ph)]; 0 when [k = h]. *)
 
+val delay_row : t -> proc -> float array
+(** [delay_row t k] is the row [d(Pk, ·)], physically shared with the
+    platform — {b treat it as read-only}.  Exposed so the scheduling hot
+    path can hoist the row lookup out of its per-target-processor inner
+    loop. *)
+
 val avg_delay : t -> float
 (** Mean of [d] over the [m(m-1)] ordered pairs of distinct processors —
     the paper's average unit delay [d̄] used by average communication

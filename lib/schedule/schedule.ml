@@ -67,13 +67,28 @@ let mapping_matrix t =
     t.replicas;
   x
 
+let timeline_order a b = compare (a.start, a.task) (b.start, b.task)
+
 let proc_timeline t proc =
   let acc = ref [] in
   Array.iter
     (fun row ->
       Array.iter (fun r -> if r.proc = proc then acc := r :: !acc) row)
     t.replicas;
-  List.sort (fun a b -> compare (a.start, a.task) (b.start, b.task)) !acc
+  List.sort timeline_order !acc
+
+(* One pass over the replica table instead of the m passes that calling
+   {!proc_timeline} per processor costs — replicas of one task sit on
+   distinct processors, so each bucket's (start, task) keys are unique
+   and the per-bucket sort order is the same as [proc_timeline]'s. *)
+let proc_timelines t =
+  let m = Instance.n_procs t.instance in
+  let buckets = Array.make m [] in
+  Array.iter
+    (fun row ->
+      Array.iter (fun r -> buckets.(r.proc) <- r :: buckets.(r.proc)) row)
+    t.replicas;
+  Array.map (List.sort timeline_order) buckets
 
 let fold_exits t ~init ~f =
   List.fold_left (fun acc e -> f acc t.replicas.(e)) init

@@ -63,6 +63,11 @@ val mapping_matrix : t -> bool array array
 val proc_timeline : t -> Ftsched_platform.Platform.proc -> replica list
 (** Replicas hosted on a processor, sorted by optimistic start time. *)
 
+val proc_timelines : t -> replica list array
+(** All [m] timelines in one pass over the replica table — entry [p]
+    equals [proc_timeline t p].  Use this when sweeping every processor
+    (validation, statistics): one traversal instead of [m]. *)
+
 val latency_lower_bound : t -> float
 (** [M*] (eq. 2): [max over exits of (min over replicas of finish)]. *)
 

@@ -277,6 +277,18 @@ let prop_out_tree =
            (fun t -> Dag.out_degree g t <= 3)
            (List.init n (fun i -> i)))
 
+let prop_pegasus_shape =
+  QCheck.Test.make
+    ~name:"pegasus: exact size, connected, edges stay ~2x tasks" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 2 4000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let g = Generators.pegasus rng ~n_tasks:n () in
+      Dag.n_tasks g = n
+      && Properties.is_connected_undirected g
+      && Dag.n_edges g <= 3 * n
+      && List.for_all (fun t -> Dag.in_degree g t = 0) (Dag.entries g))
+
 let test_chain_gen () =
   let rng = Rng.create ~seed:3 in
   let g = Generators.chain rng ~n_tasks:7 () in
@@ -295,6 +307,65 @@ let prop_volume_in_range =
       in
       Dag.fold_edges g ~init:true ~f:(fun acc _ ~src:_ ~dst:_ ~volume ->
           acc && volume >= 50. && volume < 150.))
+
+(* ------------------------------------------------------------------ *)
+(* CSR adjacency: the flat arrays the kernel hot path iterates must
+   agree with the list API on every family the fuzzer draws from.      *)
+
+(* the five fuzz families (lib/fuzz gen_case), at property-test sizes *)
+let family_dag seed =
+  let rng = Rng.create ~seed in
+  let n = 2 + Rng.int rng 100 in
+  match Rng.int rng 5 with
+  | 0 -> Generators.layered rng ~n_tasks:n ()
+  | 1 -> Generators.erdos_renyi rng ~n_tasks:n ~edge_prob:0.3 ()
+  | 2 ->
+      Generators.fork_join rng ~stages:(1 + (n / 6)) ~width:(2 + Rng.int rng 3)
+        ()
+  | 3 -> Generators.random_out_tree rng ~n_tasks:n ~max_children:3 ()
+  | _ -> Generators.chain rng ~n_tasks:n ()
+
+let prop_csr_matches_lists =
+  QCheck.Test.make
+    ~name:"Csr predecessor/successor rows equal in_edges/out_edges" ~count:200
+    seed_arb
+    (fun seed ->
+      let g = family_dag seed in
+      let module Csr = Dag.Csr in
+      let p_off = Csr.pred_offsets g and s_off = Csr.succ_offsets g in
+      let p_edges = Csr.pred_edges g and s_edges = Csr.succ_edges g in
+      let p_tasks = Csr.pred_tasks g and s_tasks = Csr.succ_tasks g in
+      let p_vols = Csr.pred_volumes g in
+      let ok = ref (Array.length p_off = Dag.n_tasks g + 1) in
+      for t = 0 to Dag.n_tasks g - 1 do
+        (* row [t] of the predecessor CSR is in_edges/preds in order *)
+        let row = List.init (p_off.(t + 1) - p_off.(t)) (fun i -> p_off.(t) + i) in
+        if List.map (fun k -> p_edges.(k)) row <> Dag.in_edges g t then
+          ok := false;
+        if
+          List.map (fun k -> (p_tasks.(k), p_vols.(k))) row <> Dag.preds g t
+        then ok := false;
+        (* successor CSR likewise *)
+        let srow = List.init (s_off.(t + 1) - s_off.(t)) (fun i -> s_off.(t) + i) in
+        if List.map (fun k -> s_edges.(k)) srow <> Dag.out_edges g t then
+          ok := false;
+        if
+          List.map (fun k -> s_tasks.(k)) srow
+          <> List.map fst (Dag.succs g t)
+        then ok := false;
+        (* O(1) degrees agree with the offsets *)
+        if Dag.in_degree g t <> p_off.(t + 1) - p_off.(t) then ok := false;
+        if Dag.out_degree g t <> s_off.(t + 1) - s_off.(t) then ok := false
+      done;
+      !ok)
+
+let prop_csr_entries_exits =
+  QCheck.Test.make ~name:"Csr entries/exits equal Dag.entries/exits"
+    ~count:200 seed_arb
+    (fun seed ->
+      let g = family_dag seed in
+      Array.to_list (Dag.Csr.entries g) = Dag.entries g
+      && Array.to_list (Dag.Csr.exits g) = Dag.exits g)
 
 (* ------------------------------------------------------------------ *)
 (* Classic graphs                                                      *)
@@ -461,9 +532,12 @@ let () =
           Alcotest.test_case "erdos extremes" `Quick test_erdos_extremes;
           Alcotest.test_case "fork-join shape" `Quick test_fork_join_shape;
           quick prop_out_tree;
+          quick prop_pegasus_shape;
           Alcotest.test_case "chain" `Quick test_chain_gen;
           quick prop_volume_in_range;
         ] );
+      ( "csr",
+        [ quick prop_csr_matches_lists; quick prop_csr_entries_exits ] );
       ( "classic",
         [
           Alcotest.test_case "gauss" `Quick test_gauss_structure;

@@ -156,6 +156,115 @@ let test_heap_duplicates () =
     (Int_heap.to_sorted_list h)
 
 (* ------------------------------------------------------------------ *)
+(* Binary max-heap                                                     *)
+
+module Bh = Ftsched_ds.Bin_heap
+
+(* Model: a heap holding distinct (prio, tie, task) keys pops them in
+   decreasing lexicographic order.  Distinct tasks guarantee distinct
+   keys even when prio/tie collide — exactly the driver's situation. *)
+let keys_arb =
+  QCheck.make
+    ~print:(fun keys ->
+      String.concat ";"
+        (List.map
+           (fun (p, t, task) -> Printf.sprintf "(%g,%g,#%d)" p t task)
+           keys))
+    QCheck.Gen.(
+      list_size (int_range 0 150)
+        (pair (int_bound 5) (int_bound 5))
+      >|= List.mapi (fun task (p, t) ->
+              (float_of_int p, float_of_int t, task)))
+
+let drain h =
+  let acc = ref [] in
+  while not (Bh.is_empty h) do
+    acc := (Bh.max_prio h, Bh.max_task h) :: !acc;
+    Bh.drop_max h
+  done;
+  List.rev !acc
+
+let prop_bin_heap_drains_sorted =
+  QCheck.Test.make ~name:"Bin_heap pops decreasing (prio, tie, task)"
+    ~count:300 keys_arb
+    (fun keys ->
+      let h = Bh.create ~capacity:1 () in
+      List.iter (fun (p, t, task) -> Bh.push h ~prio:p ~tie:t ~task) keys;
+      let expect =
+        List.sort (fun a b -> compare b a) keys
+        |> List.map (fun (p, _, task) -> (p, task))
+      in
+      drain h = expect)
+
+let prop_bin_heap_interleaved =
+  QCheck.Test.make
+    ~name:"Bin_heap interleaved push/pop matches sorted-list model"
+    ~count:300
+    QCheck.(list (pair (int_bound 8) (int_bound 8)))
+    (fun ops ->
+      (* model: the same keys in a list kept sorted decreasing; pop every
+         third op so pushes and pops interleave like the driver loop *)
+      let h = Bh.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i (p, t) ->
+          let key = (float_of_int p, float_of_int t, i) in
+          let p, t, task = key in
+          Bh.push h ~prio:p ~tie:t ~task;
+          model := List.sort (fun a b -> compare b a) (key :: !model);
+          if i mod 3 = 2 then begin
+            (match !model with
+            | (mp, _, mtask) :: rest ->
+                if Bh.max_task h <> mtask || Bh.max_prio h <> mp then
+                  ok := false;
+                Bh.drop_max h;
+                model := rest
+            | [] -> ok := false);
+            if Bh.length h <> List.length !model then ok := false
+          end)
+        ops;
+      !ok)
+
+let test_bin_heap_empty_raises () =
+  let h = Bh.create () in
+  check_bool "is_empty" true (Bh.is_empty h);
+  check_int "length" 0 (Bh.length h);
+  let raises f =
+    try
+      f ();
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "max_task raises" true (raises (fun () -> ignore (Bh.max_task h)));
+  check_bool "max_prio raises" true (raises (fun () -> ignore (Bh.max_prio h)));
+  check_bool "drop_max raises" true (raises (fun () -> Bh.drop_max h))
+
+let test_bin_heap_clear_reuses () =
+  let h = Bh.create ~capacity:2 () in
+  for task = 0 to 99 do
+    Bh.push h ~prio:(float_of_int (task mod 7)) ~tie:0. ~task
+  done;
+  check_int "length before clear" 100 (Bh.length h);
+  Bh.clear h;
+  check_bool "empty after clear" true (Bh.is_empty h);
+  Bh.push h ~prio:3. ~tie:1. ~task:42;
+  check_int "usable after clear" 42 (Bh.max_task h);
+  check_bool "max_prio" true (Bh.max_prio h = 3.)
+
+let test_bin_heap_tie_breaks () =
+  (* equal prio: larger tie wins; equal (prio, tie): larger task wins *)
+  let h = Bh.create () in
+  Bh.push h ~prio:1. ~tie:0.5 ~task:3;
+  Bh.push h ~prio:1. ~tie:0.9 ~task:1;
+  Bh.push h ~prio:1. ~tie:0.9 ~task:2;
+  check_int "tie then task" 2 (Bh.max_task h);
+  Bh.drop_max h;
+  check_int "next" 1 (Bh.max_task h);
+  Bh.drop_max h;
+  check_int "last" 3 (Bh.max_task h)
+
+(* ------------------------------------------------------------------ *)
 (* Hopcroft–Karp                                                       *)
 
 (* Reference: maximum bipartite matching by Kuhn's augmenting paths. *)
@@ -275,6 +384,14 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "find_min" `Quick test_heap_find_min;
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      ( "bin-heap",
+        [
+          quick prop_bin_heap_drains_sorted;
+          quick prop_bin_heap_interleaved;
+          Alcotest.test_case "empty raises" `Quick test_bin_heap_empty_raises;
+          Alcotest.test_case "clear and grow" `Quick test_bin_heap_clear_reuses;
+          Alcotest.test_case "tie-breaking" `Quick test_bin_heap_tie_breaks;
         ] );
       ( "hopcroft-karp",
         [

@@ -89,6 +89,66 @@ let test_nested_calls_agree () =
   in
   check_bool "nested result identical" true (outer = expect)
 
+(* ---------------- guided chunking ---------------- *)
+
+let prop_chunk_plan_partitions =
+  QCheck.Test.make
+    ~name:"chunk_plan partitions [0,n) in order, every chunk >= 1" ~count:200
+    QCheck.(pair (int_range 0 5000) (int_range 1 64))
+    (fun (n, jobs) ->
+      let plan = Par.chunk_plan ~n ~jobs in
+      let rec covered at = function
+        | [] -> at = n
+        | (start, len) :: rest -> start = at && len >= 1 && covered (at + len) rest
+      in
+      covered 0 plan)
+
+let test_chunk_plan_small_n_large_jobs () =
+  (* the old fixed [n / (jobs * 8)] rule collapsed to chunk 1 for any
+     n < 8*jobs — per-item atomic traffic.  Guided chunks stay >= 1 by
+     construction; the point here is the plan stays short (no more
+     chunks than items) and still covers everything. *)
+  List.iter
+    (fun (n, jobs) ->
+      let plan = Par.chunk_plan ~n ~jobs in
+      check_bool
+        (Printf.sprintf "n=%d jobs=%d: at most n chunks" n jobs)
+        true
+        (List.length plan <= Int.max 1 n);
+      check_int
+        (Printf.sprintf "n=%d jobs=%d: covers n items" n jobs)
+        n
+        (List.fold_left (fun acc (_, len) -> acc + len) 0 plan))
+    [ (0, 8); (1, 64); (7, 64); (10, 8); (100, 64) ]
+
+let test_chunk_plan_guided_shape () =
+  (* large n: the first chunk takes remaining/(2*jobs) and sizes never
+     grow as the drain progresses — early chunks amortize the atomic,
+     the tail shrinks to single items so no straggler serializes it *)
+  let n = 10_000 and jobs = 4 in
+  let plan = Par.chunk_plan ~n ~jobs in
+  (match plan with
+  | (start, first) :: _ ->
+      check_int "first chunk starts at 0" 0 start;
+      check_int "first chunk n/(2*jobs)" (n / (2 * jobs)) first
+  | [] -> Alcotest.fail "empty plan");
+  let rec non_increasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && non_increasing rest
+    | _ -> true
+  in
+  check_bool "chunk sizes non-increasing" true (non_increasing plan);
+  check_int "tail chunk is a single item" 1 (snd (List.hd (List.rev plan)));
+  check_bool "invalid n rejected" true
+    (try
+       ignore (Par.chunk_plan ~n:(-1) ~jobs:2);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "invalid jobs rejected" true
+    (try
+       ignore (Par.chunk_plan ~n:4 ~jobs:0);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------------- drivers bit-identical under fan-out ---------------- *)
 
 let tiny_spec = Workload.with_graphs_per_point Workload.quick 2
@@ -135,6 +195,11 @@ let () =
             test_invalid_arguments_rejected;
           Alcotest.test_case "set_default_jobs" `Quick test_set_default_jobs;
           Alcotest.test_case "nested calls" `Quick test_nested_calls_agree;
+          quick prop_chunk_plan_partitions;
+          Alcotest.test_case "chunking: small n, many jobs" `Quick
+            test_chunk_plan_small_n_large_jobs;
+          Alcotest.test_case "chunking: guided shape" `Quick
+            test_chunk_plan_guided_shape;
         ] );
       ( "regression",
         [

@@ -145,13 +145,13 @@ let policy ~instance ~eps ~mode =
     selected_comm;
   }
 
-let run ~rng ~instance ~eps ~mode ?release ?deadlines ?trace () =
+let run ~rng ~instance ~eps ~mode ?release ?deadlines ?trace ?workspace () =
   let m = Instance.n_procs instance in
   if eps < 0 || eps >= m then
     invalid_arg "Engine.run: need 0 <= eps < number of processors";
   match
     Driver.run ~rng ~instance ~policy:(policy ~instance ~eps ~mode) ?release
-      ?deadlines ?trace ()
+      ?deadlines ?trace ?workspace ()
   with
   | Ok s -> Ok s
   | Error { Driver.task; deadline; finish } -> Error { task; deadline; finish }

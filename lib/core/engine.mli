@@ -38,6 +38,7 @@ val run :
   ?release:float array ->
   ?deadlines:float array ->
   ?trace:Ftsched_kernel.Trace.t ->
+  ?workspace:Ftsched_kernel.Driver.workspace ->
   unit ->
   (Ftsched_schedule.Schedule.t, deadline_failure) result
 (** [run ~rng ~instance ~eps ~mode ()] schedules the whole DAG.
@@ -47,5 +48,7 @@ val run :
     [?release] pre-occupies each processor until the given instant
     (residual timelines — see {!Ftsched_kernel.Driver.run}).
     [?trace] records every scheduling decision (see
-    {!Ftsched_kernel.Trace}).  Raises [Invalid_argument] on malformed
-    parameters. *)
+    {!Ftsched_kernel.Trace}).  [?workspace] reuses a
+    {!Ftsched_kernel.Driver.workspace} across calls (bit-for-bit
+    identical results, no per-call allocation).  Raises
+    [Invalid_argument] on malformed parameters. *)

@@ -3,11 +3,11 @@ module Rng = Ftsched_util.Rng
 let make_rng ?(seed = 0) ?rng () =
   match rng with Some r -> r | None -> Rng.create ~seed
 
-let schedule ?seed ?rng ?release ?trace inst ~eps =
+let schedule ?seed ?rng ?release ?trace ?workspace inst ~eps =
   let rng = make_rng ?seed ?rng () in
   match
     Engine.run ~rng ~instance:inst ~eps ~mode:Engine.All_to_all_comm ?release
-      ?trace ()
+      ?trace ?workspace ()
   with
   | Ok s -> s
   | Error _ -> assert false (* no deadlines supplied: cannot fail *)

@@ -13,6 +13,7 @@ val schedule :
   ?rng:Ftsched_util.Rng.t ->
   ?release:float array ->
   ?trace:Ftsched_kernel.Trace.t ->
+  ?workspace:Ftsched_kernel.Driver.workspace ->
   Ftsched_model.Instance.t ->
   eps:int ->
   Ftsched_schedule.Schedule.t
@@ -23,7 +24,10 @@ val schedule :
     timelines: processor [p] carries foreign work until [release.(p)] and
     equation (1) starts its ready queue there — the online admission path
     of {!Ftsched_stream}.  [?trace] records every scheduling decision.
-    Raises [Invalid_argument] unless [0 ≤ eps < m]. *)
+    [?workspace] reuses a {!Ftsched_kernel.Driver.workspace} across calls
+    (bit-for-bit identical results, no per-call allocation) — the
+    warm-start path of repeated replanning.  Raises [Invalid_argument]
+    unless [0 ≤ eps < m]. *)
 
 val fault_free : ?seed:int -> Ftsched_model.Instance.t -> Ftsched_schedule.Schedule.t
 (** [fault_free inst] is [schedule inst ~eps:0]. *)

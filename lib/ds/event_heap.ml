@@ -1,0 +1,121 @@
+(* Array-based binary min-heap specialized to the event simulator: keys
+   are (at, seq) pairs with a one-word payload, stored in three parallel
+   unboxed arrays (doubling growth), so pushes and pops allocate nothing
+   once the arrays reach the working size.  Sequence numbers are unique
+   within a heap, so keys are distinct, the minimum is unique, and the
+   pop sequence matches any other faithful implementation of the same
+   total order bit for bit — this is what lets the heap replace the
+   pairing heap under the pinned simulation digests. *)
+
+type t = {
+  mutable at : float array;
+  mutable seq : int array;
+  mutable payload : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max 1 capacity in
+  {
+    at = Array.make capacity 0.;
+    seq = Array.make capacity 0;
+    payload = Array.make capacity 0;
+    len = 0;
+  }
+
+let length h = h.len
+let is_empty h = h.len = 0
+let clear h = h.len <- 0
+
+(* Key comparisons are written out inline in [push] and [drop_min]:
+   event times are never NaN, so [at1 < at2 || (at1 = at2 && seq1 < seq2)]
+   reproduces the (Float.compare, seq) lexicographic order with plain
+   float compares — no helper call, no boxing under the non-flambda
+   compiler. *)
+
+let grow h =
+  let cap = Array.length h.seq in
+  if h.len = cap then begin
+    let ncap = 2 * cap in
+    let nat = Array.make ncap 0. in
+    let nseq = Array.make ncap 0 in
+    let npayload = Array.make ncap 0 in
+    Array.blit h.at 0 nat 0 h.len;
+    Array.blit h.seq 0 nseq 0 h.len;
+    Array.blit h.payload 0 npayload 0 h.len;
+    h.at <- nat;
+    h.seq <- nseq;
+    h.payload <- npayload
+  end
+
+(* Both sifts move a hole instead of swapping: each displaced element is
+   written once, and the carried element lands in its final slot at the
+   end — same heap order, roughly a third of the memory traffic. *)
+let push h ~at ~seq ~payload =
+  grow h;
+  let i = ref h.len in
+  h.len <- h.len + 1;
+  let sifting = ref true in
+  while !sifting && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pat = h.at.(parent) in
+    if at < pat || (at = pat && seq < h.seq.(parent)) then begin
+      h.at.(!i) <- pat;
+      h.seq.(!i) <- h.seq.(parent);
+      h.payload.(!i) <- h.payload.(parent);
+      i := parent
+    end
+    else sifting := false
+  done;
+  h.at.(!i) <- at;
+  h.seq.(!i) <- seq;
+  h.payload.(!i) <- payload
+
+let min_at h =
+  if h.len = 0 then invalid_arg "Event_heap.min_at: empty";
+  h.at.(0)
+
+let min_seq h =
+  if h.len = 0 then invalid_arg "Event_heap.min_seq: empty";
+  h.seq.(0)
+
+let min_payload h =
+  if h.len = 0 then invalid_arg "Event_heap.min_payload: empty";
+  h.payload.(0)
+
+let drop_min h =
+  if h.len = 0 then invalid_arg "Event_heap.drop_min: empty";
+  h.len <- h.len - 1;
+  let n = h.len in
+  if n > 0 then begin
+    let at = h.at.(n) and seq = h.seq.(n) in
+    let payload = h.payload.(n) in
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= n then sifting := false
+      else begin
+        let r = l + 1 in
+        let lat = h.at.(l) in
+        let child =
+          if
+            r < n
+            && (h.at.(r) < lat || (h.at.(r) = lat && h.seq.(r) < h.seq.(l)))
+          then r
+          else l
+        in
+        let cat = h.at.(child) in
+        if cat < at || (cat = at && h.seq.(child) < seq) then begin
+          h.at.(!i) <- cat;
+          h.seq.(!i) <- h.seq.(child);
+          h.payload.(!i) <- h.payload.(child);
+          i := child
+        end
+        else sifting := false
+      end
+    done;
+    h.at.(!i) <- at;
+    h.seq.(!i) <- seq;
+    h.payload.(!i) <- payload
+  end

@@ -1,0 +1,48 @@
+(** Allocation-free binary min-heap over [(at, seq)] keys with a
+    one-word payload.
+
+    The event simulator pops the minimum [(at, seq)] binding once per
+    simulated event.  The pairing heap it used allocates a node per
+    insertion; this heap keeps the key components and the payload in
+    three parallel unboxed arrays (doubling growth), so pushes and pops
+    allocate nothing once the arrays reach the working size — and every
+    sift level touches three cells, not a record graph.  Callers with a
+    multi-field payload pack it into the single [payload] word (the
+    simulator packs [task, replica, position] at 21 bits each).
+
+    Keys are ordered lexicographically with [Float.compare] on the
+    timestamp.  Sequence numbers are unique within a heap, so keys are
+    distinct, the minimum is unique, and the pop sequence matches any
+    other faithful implementation of the same total order bit for bit —
+    the digest-pinned simulations prove it against the pairing-heap
+    baseline. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty heap; [capacity] (default 64) pre-sizes the arrays. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Forget all keys, keeping the arrays. *)
+
+val push : t -> at:float -> seq:int -> payload:int -> unit
+(** Insert a key with its payload.  The caller must keep [seq] values
+    distinct (keys must stay distinct). *)
+
+val min_at : t -> float
+(** Timestamp of the minimum key.  Raises [Invalid_argument] when
+    empty. *)
+
+val min_seq : t -> int
+(** Sequence number of the minimum key.  Raises [Invalid_argument] when
+    empty. *)
+
+val min_payload : t -> int
+(** Payload of the minimum key.  Raises [Invalid_argument] when
+    empty. *)
+
+val drop_min : t -> unit
+(** Remove the minimum key.  Raises [Invalid_argument] when empty. *)

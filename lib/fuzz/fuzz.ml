@@ -11,6 +11,7 @@ module Edge_select = Ftsched_core.Edge_select
 module Scenario = Ftsched_sim.Scenario
 module Crash_exec = Ftsched_sim.Crash_exec
 module Event_sim = Ftsched_sim.Event_sim
+module Event_sim_ref = Ftsched_sim.Event_sim_ref
 module Par = Ftsched_par.Par
 module Stream = Ftsched_stream.Stream
 
@@ -32,11 +33,22 @@ let domains_for ~m ~eps =
   let d = min m (eps + 2) in
   Array.init m (fun p -> p mod d)
 
+(* Campaign seeds fan out over domains (Par.parallel_init), so the
+   warm-start workspace is per-domain: each domain reuses its arrays
+   across every seed it processes, and the bit-for-bit guarantee of
+   Driver.workspace keeps the campaign's digests unchanged. *)
+let fuzz_workspace : Ftsched_kernel.Driver.workspace Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ftsched_kernel.Driver.workspace ())
+
 let schedulers =
   [
     {
       name = "ftsa";
-      run = (fun ~seed inst ~eps -> Ftsched_core.Ftsa.schedule ~seed inst ~eps);
+      run =
+        (fun ~seed inst ~eps ->
+          Ftsched_core.Ftsa.schedule ~seed
+            ~workspace:(Domain.DLS.get fuzz_workspace)
+            inst ~eps);
     };
     {
       name = "mc-greedy";
@@ -277,14 +289,21 @@ let check sched case =
                 (Crash_exec.run ~policy:Crash_exec.Strict s sc)
                   .Crash_exec.latency
               in
-              let b = (Event_sim.run_crash s sc).Event_sim.latency in
-              match (a, b) with
+              let r = Event_sim.run_crash s sc in
+              let b = r.Event_sim.latency in
+              (match (a, b) with
               | None, None -> ()
               | Some x, Some y when close x y -> ()
               | _ ->
                   add Executor_agreement
                     "scenario %a: crash_exec=%a event_sim=%a" Scenario.pp sc
-                    pp_opt_latency a pp_opt_latency b)
+                    pp_opt_latency a pp_opt_latency b);
+              (* the flat-array engine must match the frozen pairing-heap
+                 reference bit for bit, not just up to tolerance *)
+              if r <> Event_sim_ref.run_crash s sc then
+                add Executor_agreement
+                  "scenario %a: flat engine differs from reference engine"
+                  Scenario.pp sc)
             scenarios;
           (* dynamic re-timing only ever starts replicas earlier, so the
              fault-free replay cannot exceed the planned lower bound *)

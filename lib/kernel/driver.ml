@@ -184,9 +184,79 @@ let commit_insertion st t chosen =
    this replaces — the pinned schedule digests prove it. *)
 module Alpha = Ftsched_ds.Bin_heap
 
+(* A reusable allocation arena for [run]: every per-call array (timeline
+   state, placement rows, per-processor scratch, priority heap, free-set
+   links) lives here and is resized only when the instance shape grows.
+   One workspace serves one caller at a time — sharing it between
+   concurrent runs corrupts both. *)
+type workspace = {
+  mutable w_m : int;
+  mutable w_v : int;
+  mutable w_ne : int;
+  mutable w_insertion : bool;
+  mutable w_timeline : Proc_state.t;
+  mutable w_placed : committed array option array;
+  mutable w_selected : (int * int) list array;
+  mutable w_in_opt : float array;
+  mutable w_in_pess : float array;
+  mutable w_tmp_opt : float array;
+  mutable w_tmp_pess : float array;
+  mutable w_remaining : int array;
+  w_alpha : Alpha.t;
+  mutable w_next : int array;
+  mutable w_prev : int array;
+}
+
+let workspace () =
+  {
+    w_m = 1;
+    w_v = 0;
+    w_ne = 0;
+    w_insertion = false;
+    w_timeline = Proc_state.create ~m:1 ~insertion:false;
+    w_placed = [||];
+    w_selected = [||];
+    w_in_opt = [||];
+    w_in_pess = [||];
+    w_tmp_opt = [||];
+    w_tmp_pess = [||];
+    w_remaining = [||];
+    w_alpha = Alpha.create ~capacity:64 ();
+    w_next = [||];
+    w_prev = [||];
+  }
+
+(* Bring a workspace to the exact state fresh allocation would produce
+   for this call shape, growing (never shrinking) what mismatches. *)
+let ready_workspace w ~v ~m ~ne ~insertion =
+  if w.w_m <> m || w.w_insertion <> insertion then begin
+    w.w_timeline <- Proc_state.create ~m ~insertion;
+    w.w_m <- m;
+    w.w_insertion <- insertion
+  end
+  else Proc_state.reset w.w_timeline;
+  if Array.length w.w_placed < v then w.w_placed <- Array.make v None
+  else Array.fill w.w_placed 0 v None;
+  if Array.length w.w_selected < ne then w.w_selected <- Array.make ne []
+  else Array.fill w.w_selected 0 ne [];
+  if Array.length w.w_in_opt < m then begin
+    w.w_in_opt <- Array.make m 0.;
+    w.w_in_pess <- Array.make m 0.;
+    w.w_tmp_opt <- Array.make m 0.;
+    w.w_tmp_pess <- Array.make m 0.
+  end;
+  if Array.length w.w_remaining < v then begin
+    w.w_remaining <- Array.make v 0;
+    w.w_next <- Array.make v (-1);
+    w.w_prev <- Array.make v (-1)
+  end;
+  w.w_v <- v;
+  w.w_ne <- ne;
+  Alpha.clear w.w_alpha
+
 let now () = Sys.time ()
 
-let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
+let run ~rng ~instance ~policy ?release ?deadlines ?trace ?workspace () =
   let g = Instance.dag instance in
   let v = Dag.n_tasks g in
   let m = Instance.n_procs instance in
@@ -200,19 +270,36 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
   (match deadlines with
   | Some d when Array.length d <> v -> invalid_arg "Driver.run: deadlines size"
   | _ -> ());
+  let ne = Dag.n_edges g in
+  (match workspace with
+  | Some w -> ready_workspace w ~v ~m ~ne ~insertion:policy.insertion
+  | None -> ());
   let st =
     {
       inst = instance;
       rng;
       n_tasks = v;
       n_procs = m;
-      timeline = Proc_state.create ~m ~insertion:policy.insertion;
-      placed = Array.make v None;
-      selected = Array.make (Dag.n_edges g) [];
-      in_opt = Array.make m 0.;
-      in_pess = Array.make m 0.;
-      tmp_opt = Array.make m 0.;
-      tmp_pess = Array.make m 0.;
+      timeline =
+        (match workspace with
+        | Some w -> w.w_timeline
+        | None -> Proc_state.create ~m ~insertion:policy.insertion);
+      placed =
+        (match workspace with
+        | Some w -> w.w_placed
+        | None -> Array.make v None);
+      selected =
+        (match workspace with
+        | Some w -> w.w_selected
+        | None -> Array.make ne []);
+      in_opt =
+        (match workspace with Some w -> w.w_in_opt | None -> Array.make m 0.);
+      in_pess =
+        (match workspace with Some w -> w.w_in_pess | None -> Array.make m 0.);
+      tmp_opt =
+        (match workspace with Some w -> w.w_tmp_opt | None -> Array.make m 0.);
+      tmp_pess =
+        (match workspace with Some w -> w.w_tmp_pess | None -> Array.make m 0.);
       pred_off = Dag.Csr.pred_offsets g;
       pred_task = Dag.Csr.pred_tasks g;
       pred_vol = Dag.Csr.pred_volumes g;
@@ -325,10 +412,21 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
   let entry_tasks = Dag.Csr.entries g in
   (* Incremental ready counts: a task enters the free set exactly when
      its pending-predecessor counter hits zero. *)
-  let remaining = Array.init v (fun t -> st.pred_off.(t + 1) - st.pred_off.(t)) in
+  let remaining =
+    match workspace with
+    | Some w -> w.w_remaining
+    | None -> Array.make v 0
+  in
+  for t = 0 to v - 1 do
+    remaining.(t) <- st.pred_off.(t + 1) - st.pred_off.(t)
+  done;
   (match policy.discipline with
   | Priority { key; tie } ->
-      let alpha = Alpha.create ~capacity:(max 1 v) () in
+      let alpha =
+        match workspace with
+        | Some w -> w.w_alpha
+        | None -> Alpha.create ~capacity:(max 1 v) ()
+      in
       let seq = ref 0 in
       let push_free t =
         let prio = key st t in
@@ -379,7 +477,11 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
          loop paid an O(n) [List.filter] per scheduled task.  [snapshot]
          materializes the membership for the policy callback, newest
          first — the order the old list exposed. *)
-      let next = Array.make v (-1) and prev = Array.make v (-1) in
+      let next, prev =
+        match workspace with
+        | Some w -> (w.w_next, w.w_prev)
+        | None -> (Array.make v (-1), Array.make v (-1))
+      in
       let head = ref (-1) in
       let count = ref 0 in
       let push_front t =
@@ -460,11 +562,13 @@ let run ~rng ~instance ~policy ?release ?deadlines ?trace () =
       in
       let comm =
         if policy.selected_comm then
+          (* one row per edge, by index: a pooled [selected] array may be
+             longer than this instance's edge count *)
           Comm_plan.Selected
-            (Array.map
-               (List.map (fun (l, r) ->
-                    { Comm_plan.src_replica = l; dst_replica = r }))
-               st.selected)
+            (Array.init ne (fun e ->
+                 List.map
+                   (fun (l, r) -> { Comm_plan.src_replica = l; dst_replica = r })
+                   st.selected.(e)))
         else Comm_plan.All_to_all
       in
       Ok (Schedule.create ~instance ~eps:(policy.replicas - 1) ~replicas ~comm)

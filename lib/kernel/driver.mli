@@ -122,6 +122,21 @@ type policy = {
 type deadline_failure = { task : int; deadline : float; finish : float }
 (** Witness that the dual-fixed bicriteria test of §4.3 failed. *)
 
+type workspace
+(** A reusable allocation arena for {!run}: the per-call arrays (timeline
+    state, placement rows, per-processor scratch, priority heap, free-set
+    links) live here and are resized only when the instance shape grows.
+    Passing the same workspace to successive calls removes the per-call
+    allocation cost entirely — the warm-start path of the streaming
+    admission controller, which schedules the same-shaped instance once
+    per ε-relaxation step.  Results are bit-for-bit identical with and
+    without a workspace.  A workspace serves one caller at a time:
+    sharing it between concurrent runs corrupts both (give each domain
+    its own). *)
+
+val workspace : unit -> workspace
+(** A fresh, empty workspace, usable with any instance shape. *)
+
 val run :
   rng:Ftsched_util.Rng.t ->
   instance:Ftsched_model.Instance.t ->
@@ -129,6 +144,7 @@ val run :
   ?release:float array ->
   ?deadlines:float array ->
   ?trace:Trace.t ->
+  ?workspace:workspace ->
   unit ->
   (Ftsched_schedule.Schedule.t, deadline_failure) result
 (** Run the loop to completion.  With [?deadlines] (one per task) the

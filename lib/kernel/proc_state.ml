@@ -38,6 +38,13 @@ let create ~m ~insertion =
     scanned = 0;
   }
 
+let reset t =
+  Array.iter (fun line -> line.len <- 0) t.lines;
+  Array.fill t.r_opt 0 (Array.length t.r_opt) 0.;
+  Array.fill t.r_pess 0 (Array.length t.r_pess) 0.;
+  t.searches <- 0;
+  t.scanned <- 0
+
 let n_procs t = Array.length t.lines
 let ready_opt t p = t.r_opt.(p)
 let ready_pess t p = t.r_pess.(p)

@@ -26,6 +26,12 @@ val create : m:int -> insertion:bool -> t
     FTSA family appends at the end of the ready queue and never looks
     back) and {!earliest_gap} must not be called. *)
 
+val reset : t -> unit
+(** Return to the freshly-created state — empty timelines, zero ready
+    times, zero gap counters — keeping every array at its grown
+    capacity.  This is what lets a {!Ftsched_kernel.Driver.workspace} be
+    reused across scheduling calls without re-allocating. *)
+
 val n_procs : t -> int
 
 val ready_opt : t -> int -> float

@@ -16,7 +16,21 @@ type outcome = {
   detected_failures : int;
 }
 
-let run ?network ?faults ?release ?(delta = 0.) ?rounds s ~fail_times =
+(* Warm-start cache for repeated runs over the same schedule: the
+   engine's fail-time-independent template (CSR tables, pristine queues)
+   and the DAG-derived tables the sweeps walk.  Keyed by physical
+   equality on the schedule/DAG — the shadow-plan loop of the streaming
+   runtime calls [run] once per candidate crash with the same plan, and
+   pays the table derivation once instead of [m] times. *)
+type workspace = {
+  mutable w_tmpl : (Schedule.t * float array option * Engine.template) option;
+  mutable w_dag : (Dag.t * int array array * int array) option;
+}
+
+let workspace () = { w_tmpl = None; w_dag = None }
+
+let run ?network ?faults ?release ?(delta = 0.) ?rounds ?workspace s ~fail_times
+    =
   let inst = Schedule.instance s in
   let g = Instance.dag inst in
   let pl = Instance.platform inst in
@@ -32,8 +46,35 @@ let run ?network ?faults ?release ?(delta = 0.) ?rounds s ~fail_times =
     | None -> m
   in
   let det = Detector.create ~fail_times ~delta in
-  let eng = Engine.create ?network ?faults ?release s ~fail_times in
-  let in_edges = Array.init v (fun t -> Array.of_list (Dag.in_edges g t)) in
+  let eng =
+    match workspace with
+    | None -> Engine.create ?network ?faults ?release s ~fail_times
+    | Some w ->
+        let tmpl =
+          match w.w_tmpl with
+          | Some (cs, crel, t) when cs == s && crel = release -> t
+          | _ ->
+              let t = Engine.template ?release s in
+              w.w_tmpl <- Some (s, release, t);
+              t
+        in
+        Engine.of_template ?network ?faults tmpl ~fail_times
+  in
+  let in_edges, topo =
+    let build () =
+      ( Array.init v (fun t -> Array.of_list (Dag.in_edges g t)),
+        Dag.topological_order g )
+    in
+    match workspace with
+    | None -> build ()
+    | Some w -> (
+        match w.w_dag with
+        | Some (cg, ie, tp) when cg == g -> (ie, tp)
+        | _ ->
+            let ie, tp = build () in
+            w.w_dag <- Some (g, ie, tp);
+            (ie, tp))
+  in
   let detected = Array.make m false in
   (* Per-replica potential input sources, as (src_task, src_rep) lists per
      in-edge position: the communication plan for static replicas, our
@@ -64,7 +105,6 @@ let run ?network ?faults ?release ?(delta = 0.) ?rounds s ~fail_times =
   in
   let injections_per_task = Array.make v 0 in
   let total_injections = ref 0 and total_kills = ref 0 in
-  let topo = Dag.topological_order g in
 
   (* One recovery sweep, at detection instant [now].  [force] is the
      post-drain repair mode: the engine has quiesced with work missing
@@ -279,7 +319,7 @@ let run ?network ?faults ?release ?(delta = 0.) ?rounds s ~fail_times =
     detected_failures = Detector.n_failures det;
   }
 
-let run_timed ?network ?faults ?release ?delta ?rounds s timed =
+let run_timed ?network ?faults ?release ?delta ?rounds ?workspace s timed =
   let m = Instance.n_procs (Schedule.instance s) in
   let fail_times = Array.make m infinity in
   List.iter
@@ -287,4 +327,4 @@ let run_timed ?network ?faults ?release ?delta ?rounds s timed =
       if proc < 0 || proc >= m then invalid_arg "Recovery.run_timed";
       fail_times.(proc) <- Float.min fail_times.(proc) at)
     timed;
-  run ?network ?faults ?release ?delta ?rounds s ~fail_times
+  run ?network ?faults ?release ?delta ?rounds ?workspace s ~fail_times

@@ -168,10 +168,20 @@ let accounting_line m =
 
 type exec_outcome = [ `Served | `Malformed | `Unsupported | `Internal ]
 
+(* Handlers run on the Domain pool; each domain warm-starts its FTSA
+   calls from its own scheduling arena (a workspace is single-owner, and
+   results are bit-for-bit identical with or without one). *)
+let domain_workspace : Ftsched_kernel.Driver.workspace Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Ftsched_kernel.Driver.workspace ())
+
 let schedulers :
     (string * (seed:int -> Instance.t -> eps:int -> Schedule.t)) list =
   [
-    ("ftsa", fun ~seed inst ~eps -> Ftsched_core.Ftsa.schedule ~seed inst ~eps);
+    ( "ftsa",
+      fun ~seed inst ~eps ->
+        Ftsched_core.Ftsa.schedule ~seed
+          ~workspace:(Domain.DLS.get domain_workspace)
+          inst ~eps );
     ( "mc-ftsa",
       fun ~seed inst ~eps -> Ftsched_core.Mc_ftsa.schedule ~seed inst ~eps );
     ( "mc-bottleneck",

@@ -125,6 +125,31 @@ module Engine : sig
       [[0, 1]], negative retries, or an outage naming a processor the
       platform does not have. *)
 
+  type template
+  (** The fail-time-independent part of an engine for one
+      [(schedule, release)] pair: input/emission tables unrolled from the
+      DAG and the communication plan, pristine pending-sender counts and
+      planned per-processor queues.  Immutable and shareable — building
+      one costs the full analysis, forking engines from it only copies
+      the mutable state. *)
+
+  val template :
+    ?release:float array -> Ftsched_schedule.Schedule.t -> template
+  (** Prepare the shared tables.  Raises [Invalid_argument] on a
+      malformed [release] (same checks as {!create}). *)
+
+  val of_template :
+    ?network:network_model ->
+    ?faults:Scenario.comm_faults ->
+    template ->
+    fail_times:float array ->
+    t
+  (** Fork a fresh engine from the shared tables.
+      [of_template (template ?release s) ~fail_times] is equivalent to
+      [create ?release s ~fail_times] — bit for bit.  The stream
+      runtime's shadow-plan loop forks one template once per candidate
+      crash instead of re-deriving the tables [m] times. *)
+
   val advance_until : t -> float -> unit
   (** Process every pending event with timestamp [<= horizon]; virtual
       time ends at [max horizon (last event processed)] (an infinite

@@ -55,15 +55,16 @@ let occupy c ~proc ~until =
    tail under up to [eps] in-plan crashes). *)
 let plan_tails m s =
   let tails = Array.make m 0. in
-  for p = 0 to m - 1 do
-    List.iter
-      (fun (r : Schedule.replica) ->
-        tails.(p) <- Float.max tails.(p) r.Schedule.pess_finish)
-      (Schedule.proc_timeline s p)
-  done;
+  Array.iteri
+    (fun p timeline ->
+      List.iter
+        (fun (r : Schedule.replica) ->
+          tails.(p) <- Float.max tails.(p) r.Schedule.pess_finish)
+        timeline)
+    (Schedule.proc_timelines s);
   tails
 
-let try_admit c ~now ~deadline ~eps ~seed inst =
+let try_admit ?workspace c ~now ~deadline ~eps ~seed inst =
   if Instance.n_procs inst <> c.m then
     invalid_arg "Admission.try_admit: instance platform size";
   if eps < 0 || eps >= c.m then invalid_arg "Admission.try_admit: eps";
@@ -76,7 +77,7 @@ let try_admit c ~now ~deadline ~eps ~seed inst =
     (* Graceful degradation: largest replication level that still meets
        the deadline on the residual timelines, down to none. *)
     let rec attempt e =
-      let s = Ftsa.schedule ~seed ~release inst ~eps:e in
+      let s = Ftsa.schedule ~seed ~release ?workspace inst ~eps:e in
       let rel_finish = Schedule.latency_upper_bound s in
       if now +. rel_finish <= deadline then
         Ok

@@ -74,6 +74,7 @@ val occupy : t -> proc:int -> until:float -> unit
     non-finite instant. *)
 
 val try_admit :
+  ?workspace:Ftsched_kernel.Driver.workspace ->
   t ->
   now:float ->
   deadline:float ->
@@ -82,6 +83,9 @@ val try_admit :
   Ftsched_model.Instance.t ->
   (plan, reject_reason) result
 (** Place the job on the residual timelines and, on success, commit its
-    reservation.  [Error] leaves the controller state untouched.  The
-    instance must live on the controller's platform size; raises
-    [Invalid_argument] otherwise, or on [eps < 0] or [eps >= m]. *)
+    reservation.  [Error] leaves the controller state untouched.
+    [?workspace] warm-starts every FTSA call of the ε-degradation ladder
+    from one reusable arena (identical results, no per-attempt
+    allocation).  The instance must live on the controller's platform
+    size; raises [Invalid_argument] otherwise, or on [eps < 0] or
+    [eps >= m]. *)

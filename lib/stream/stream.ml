@@ -6,6 +6,7 @@ module Platform = Ftsched_platform.Platform
 module Instance = Ftsched_model.Instance
 module Schedule = Ftsched_schedule.Schedule
 module Metrics = Ftsched_schedule.Metrics
+module Driver = Ftsched_kernel.Driver
 module Ftsa = Ftsched_core.Ftsa
 module Event_sim = Ftsched_sim.Event_sim
 module Scenario = Ftsched_sim.Scenario
@@ -272,55 +273,52 @@ let classify ~arrival ~deadline ~(plan : Admission.plan) ~latency
                total_tasks = degraded.Metrics.total_tasks;
              })
 
+(* One pass over the job list accumulates every counter; the response
+   sum folds in job order, so the mean is the bit-for-bit float the old
+   per-fate [List.filter] scans produced. *)
 let totals_of_jobs jobs ~duration ~crash_events ~outage_events =
-  let count f = List.length (List.filter f jobs) in
-  let submitted = List.length jobs in
-  let rejected =
-    count (fun j -> match j.fate with Rejected _ -> true | _ -> false)
-  in
-  let completed =
-    count (fun j -> match j.fate with Completed _ -> true | _ -> false)
-  in
-  let degraded =
-    count (fun j -> match j.fate with Degraded _ -> true | _ -> false)
-  in
-  let aborted =
-    count (fun j -> match j.fate with Aborted _ -> true | _ -> false)
-  in
-  let deadline_misses =
-    count (fun j ->
-        match j.fate with
-        | Degraded (Late _ | Partial _) | Aborted _ -> true
-        | _ -> false)
-  in
-  let on_time =
-    List.filter_map
-      (fun j ->
-        match j.fate with
-        | Completed { finish } | Degraded (Without_tolerance { finish; _ }) ->
-            Some (finish -. j.arrival)
-        | _ -> None)
-      jobs
-  in
+  let submitted = ref 0 and rejected = ref 0 and completed = ref 0 in
+  let degraded = ref 0 and aborted = ref 0 and deadline_misses = ref 0 in
+  let shadow_hits = ref 0 and shadow_stale = ref 0 in
+  let on_time = ref 0 and response_sum = ref 0. in
+  List.iter
+    (fun j ->
+      incr submitted;
+      (match j.fate with
+      | Rejected _ -> incr rejected
+      | Completed _ -> incr completed
+      | Degraded _ -> incr degraded
+      | Aborted _ -> incr aborted);
+      (match j.fate with
+      | Degraded (Late _ | Partial _) | Aborted _ -> incr deadline_misses
+      | _ -> ());
+      (match j.fate with
+      | Completed { finish } | Degraded (Without_tolerance { finish; _ }) ->
+          incr on_time;
+          response_sum := !response_sum +. (finish -. j.arrival)
+      | _ -> ());
+      (match j.shadow with
+      | Shadow_hit -> incr shadow_hits
+      | Shadow_stale -> incr shadow_stale
+      | _ -> ()))
+    jobs;
   let mean_response =
-    match on_time with
-    | [] -> 0.
-    | rs -> List.fold_left ( +. ) 0. rs /. float_of_int (List.length rs)
+    if !on_time = 0 then 0. else !response_sum /. float_of_int !on_time
   in
   {
-    submitted;
-    admitted = submitted - rejected;
-    rejected;
-    completed;
-    degraded;
-    aborted;
-    deadline_misses;
-    shadow_hits = count (fun j -> j.shadow = Shadow_hit);
-    shadow_stale = count (fun j -> j.shadow = Shadow_stale);
+    submitted = !submitted;
+    admitted = !submitted - !rejected;
+    rejected = !rejected;
+    completed = !completed;
+    degraded = !degraded;
+    aborted = !aborted;
+    deadline_misses = !deadline_misses;
+    shadow_hits = !shadow_hits;
+    shadow_stale = !shadow_stale;
     crash_events;
     outage_events;
     mean_response;
-    throughput = float_of_int (List.length on_time) /. duration;
+    throughput = float_of_int !on_time /. duration;
   }
 
 let run_trace ?(config = default_config) ~seed () =
@@ -338,13 +336,20 @@ let run_trace ?(config = default_config) ~seed () =
   let outages = gen_outages chaos_rng ~m:c.m ~chaos:c.chaos ~horizon in
   let arrivals = poisson_times arrivals_rng ~rate:c.rate ~horizon:c.duration in
   let ctrl = Admission.create ~m:c.m ~capacity:c.capacity in
+  (* Warm-start arenas, owned by this trace: jobs run sequentially within
+     a trace (campaign parallelism is across traces), so one scheduling
+     workspace serves the isolated-makespan probe and the whole admission
+     ladder, and one recovery workspace carries the engine template from
+     the shadow-plan loop to the final execution of each admitted job. *)
+  let sched_ws = Driver.workspace () in
+  let rec_ws = Recovery.workspace () in
   let run_job idx arrival =
     let job_seed = base + 100 + (13 * idx) in
     let job_rng = Rng.create ~seed:job_seed in
     let inst = gen_instance job_rng ~platform ~tasks:c.tasks in
     let n_tasks = Instance.n_tasks inst in
     (* Deadline: slack times the job's isolated guaranteed makespan. *)
-    let iso = Ftsa.schedule ~seed:job_seed inst ~eps:c.eps in
+    let iso = Ftsa.schedule ~seed:job_seed ~workspace:sched_ws inst ~eps:c.eps in
     let m_iso = Schedule.latency_upper_bound iso in
     let slo, shi = c.slack in
     let deadline = arrival +. (Rng.float_in job_rng slo shi *. m_iso) in
@@ -395,8 +400,8 @@ let run_trace ?(config = default_config) ~seed () =
           ~seed:(job_seed + 7) ()
     in
     match
-      Admission.try_admit ctrl ~now:arrival ~deadline ~eps:c.eps ~seed:job_seed
-        inst
+      Admission.try_admit ~workspace:sched_ws ctrl ~now:arrival ~deadline
+        ~eps:c.eps ~seed:job_seed inst
     with
     | Error reason ->
         {
@@ -424,7 +429,10 @@ let run_trace ?(config = default_config) ~seed () =
               (fun p ->
                 let ft = Array.make c.m infinity in
                 ft.(p) <- 0.;
-                let o = Recovery.run ~release ~delta:0. s ~fail_times:ft in
+                let o =
+                  Recovery.run ~release ~delta:0. ~workspace:rec_ws s
+                    ~fail_times:ft
+                in
                 o.Recovery.degraded.Metrics.complete)
               used
         in
@@ -455,7 +463,10 @@ let run_trace ?(config = default_config) ~seed () =
             let delta =
               match status with Shadow_stale -> c.delta | _ -> 0.
             in
-            let o = Recovery.run ~faults ~release ~delta s ~fail_times in
+            let o =
+              Recovery.run ~faults ~release ~delta ~workspace:rec_ws s
+                ~fail_times
+            in
             (status, o.Recovery.result.Event_sim.latency, o.Recovery.degraded)
           end
         in

@@ -762,6 +762,23 @@ let test_deadline_mode_impossible () =
         (task >= 0 && task < Instance.n_tasks inst);
       check_bool "finish exceeds deadline" true (finish > deadline)
 
+(* ------------------------------------------------------------------ *)
+(* Warm-start workspace: reusing one Driver.workspace across calls must
+   be invisible — bit-identical schedules versus the cold path, for
+   varying instance sizes and eps so the pooled arrays shrink and grow. *)
+
+let test_workspace_schedules_identical () =
+  let ws = Ftsched_kernel.Driver.workspace () in
+  List.iter
+    (fun (n_tasks, m, eps, seed) ->
+      let inst = random_instance ~n_tasks ~m ~seed () in
+      let cold = Ftsa.schedule ~seed inst ~eps in
+      let warm = Ftsa.schedule ~seed ~workspace:ws inst ~eps in
+      check_bool
+        (Printf.sprintf "v=%d m=%d eps=%d warm = cold" n_tasks m eps)
+        true (warm = cold))
+    [ (40, 6, 2, 1); (12, 3, 0, 2); (60, 8, 3, 3); (25, 4, 1, 4) ]
+
 let () =
   Alcotest.run "core"
     [
@@ -792,6 +809,8 @@ let () =
           quick prop_ftsa_survives_exhaustive;
           quick prop_ftsa_bounds_ordered;
           quick prop_ftsa_matches_reference_oracle;
+          Alcotest.test_case "workspace reuse bit-identical" `Quick
+            test_workspace_schedules_identical;
         ] );
       ( "mc-ftsa",
         [

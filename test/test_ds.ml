@@ -156,6 +156,101 @@ let test_heap_duplicates () =
     (Int_heap.to_sorted_list h)
 
 (* ------------------------------------------------------------------ *)
+(* Event min-heap                                                      *)
+
+module Eh = Ftsched_ds.Event_heap
+
+(* Model: pushing (at, seq) keys with seq = push index pops them in
+   increasing lexicographic (at, seq) order, payload attached.  A small
+   timestamp alphabet forces plenty of equal-[at] collisions, which is
+   exactly where the seq ordering carries the determinism argument. *)
+let events_arb =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun at -> Printf.sprintf "%.1f" at) l))
+    QCheck.Gen.(
+      list_size (int_range 0 200)
+        (map (fun i -> float_of_int i /. 2.) (int_bound 10)))
+
+let drain_events h =
+  let acc = ref [] in
+  while not (Eh.is_empty h) do
+    acc := (Eh.min_at h, Eh.min_seq h, Eh.min_payload h) :: !acc;
+    Eh.drop_min h
+  done;
+  List.rev !acc
+
+let prop_event_heap_drains_sorted =
+  QCheck.Test.make ~name:"Event_heap pops increasing (at, seq) with payload"
+    ~count:300 events_arb
+    (fun ats ->
+      let h = Eh.create ~capacity:1 () in
+      let keys = List.mapi (fun seq at -> (at, seq, (seq * 3) + 1)) ats in
+      List.iter (fun (at, seq, payload) -> Eh.push h ~at ~seq ~payload) keys;
+      let expect =
+        List.sort
+          (fun (at1, s1, _) (at2, s2, _) ->
+            match Float.compare at1 at2 with 0 -> compare s1 s2 | c -> c)
+          keys
+      in
+      drain_events h = expect)
+
+let prop_event_heap_interleaved =
+  QCheck.Test.make
+    ~name:"Event_heap interleaved push/pop matches sorted-list model"
+    ~count:300
+    QCheck.(list (int_bound 8))
+    (fun ops ->
+      let h = Eh.create ~capacity:1 () in
+      let model = ref [] (* sorted increasing (at, seq) *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun at ->
+          if at = 0 && !model <> [] then begin
+            (match !model with
+            | (mat, mseq) :: rest ->
+                if Eh.min_at h <> mat || Eh.min_seq h <> mseq then ok := false;
+                Eh.drop_min h;
+                model := rest
+            | [] -> assert false)
+          end
+          else begin
+            incr seq;
+            let at = float_of_int at in
+            Eh.push h ~at ~seq:!seq ~payload:0;
+            model :=
+              List.sort
+                (fun (a1, s1) (a2, s2) ->
+                  match Float.compare a1 a2 with 0 -> compare s1 s2 | c -> c)
+                ((at, !seq) :: !model)
+          end)
+        ops;
+      !ok)
+
+let test_event_heap_empty_raises () =
+  let h = Eh.create () in
+  check_bool "is_empty" true (Eh.is_empty h);
+  check_int "length" 0 (Eh.length h);
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "min_at raises" true (raises (fun () -> Eh.min_at h));
+  check_bool "min_seq raises" true (raises (fun () -> Eh.min_seq h));
+  check_bool "min_payload raises" true (raises (fun () -> Eh.min_payload h));
+  check_bool "drop_min raises" true (raises (fun () -> Eh.drop_min h))
+
+let test_event_heap_clear_reuses () =
+  let h = Eh.create ~capacity:2 () in
+  for seq = 0 to 99 do
+    Eh.push h ~at:(float_of_int (seq mod 7)) ~seq ~payload:seq
+  done;
+  check_int "grown" 100 (Eh.length h);
+  Eh.clear h;
+  check_bool "cleared" true (Eh.is_empty h);
+  Eh.push h ~at:3. ~seq:42 ~payload:7;
+  check_int "usable after clear" 42 (Eh.min_seq h);
+  check_int "payload" 7 (Eh.min_payload h)
+
+(* ------------------------------------------------------------------ *)
 (* Binary max-heap                                                     *)
 
 module Bh = Ftsched_ds.Bin_heap
@@ -384,6 +479,14 @@ let () =
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "find_min" `Quick test_heap_find_min;
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+        ] );
+      ( "event-heap",
+        [
+          quick prop_event_heap_drains_sorted;
+          quick prop_event_heap_interleaved;
+          Alcotest.test_case "empty raises" `Quick test_event_heap_empty_raises;
+          Alcotest.test_case "clear and grow" `Quick
+            test_event_heap_clear_reuses;
         ] );
       ( "bin-heap",
         [

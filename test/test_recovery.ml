@@ -322,6 +322,27 @@ let test_exponential_scenario () =
     timed;
   check_int "one entry per failing proc" 3 (List.length timed)
 
+(* Warm-start workspace: the template/DAG caches must be invisible —
+   identical outcomes versus the cold path while the workspace is reused
+   across fail patterns of one schedule and then across schedules. *)
+let test_recovery_workspace_identical () =
+  let ws = Recovery.workspace () in
+  List.iter
+    (fun seed ->
+      let inst = random_instance ~n_tasks:25 ~m:5 ~seed () in
+      let s = Ftsa.schedule ~seed inst ~eps:1 in
+      List.iter
+        (fun fail_times ->
+          let cold = Recovery.run ~delta:0.3 s ~fail_times in
+          let warm = Recovery.run ~delta:0.3 ~workspace:ws s ~fail_times in
+          check_bool "warm outcome = cold outcome" true (warm = cold))
+        [
+          [| infinity; infinity; infinity; infinity; infinity |];
+          [| 2.; infinity; infinity; 40.; infinity |];
+          [| 1.; 5.; infinity; infinity; 9. |];
+        ])
+    [ 11; 12 ]
+
 let () =
   Alcotest.run "recovery"
     [
@@ -357,6 +378,8 @@ let () =
           Alcotest.test_case "deterministic replay" `Quick
             test_recovery_deterministic;
           quick prop_recovery_never_loses_with_survivor;
+          Alcotest.test_case "workspace reuse bit-identical" `Quick
+            test_recovery_workspace_identical;
         ] );
       ( "scenario-exponential",
         [ Alcotest.test_case "exponential generator" `Quick test_exponential_scenario ] );

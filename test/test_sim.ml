@@ -655,9 +655,120 @@ let prop_redundant_messaging_survives_loss_better =
       in
       defeats s_ftsa <= defeats s_mc)
 
+(* ------------------------------------------------------------------ *)
+(* Flat-array engine vs the frozen pairing-heap reference              *)
+
+module Event_sim_ref = Ftsched_sim.Event_sim_ref
+
+(* One instance per DAG family: the five fuzz families, small enough to
+   run hundreds of differential cases. *)
+let family_instance ~family ~seed ~m =
+  let rng = Rng.create ~seed in
+  let dag =
+    match family with
+    | 0 -> Generators.layered rng ~n_tasks:24 ()
+    | 1 -> Generators.erdos_renyi rng ~n_tasks:20 ~edge_prob:0.2 ()
+    | 2 -> Generators.fork_join rng ~stages:3 ~width:4 ()
+    | 3 -> Generators.random_out_tree rng ~n_tasks:22 ~max_children:3 ()
+    | _ -> Generators.chain rng ~n_tasks:12 ()
+  in
+  let platform = Platform.random rng ~m ~delay_lo:0.5 ~delay_hi:1.0 () in
+  Instance.random_exec rng ~dag ~platform ()
+
+(* The flat-array engine must agree with the frozen reference engine
+   bit for bit — identical latency, per-replica outcomes, event count
+   and message accounting — across timed crashes, message loss, outages,
+   port models and residual release timelines. *)
+let prop_flat_engine_equals_reference =
+  QCheck.Test.make ~name:"flat engine = pairing-heap reference, bit for bit"
+    ~count:100
+    QCheck.(pair (int_range 0 4) (int_range 0 10_000))
+    (fun (family, seed) ->
+      let m = 5 in
+      let inst = family_instance ~family ~seed ~m in
+      let eps = seed mod 3 in
+      let s = Ftsa.schedule ~seed inst ~eps in
+      let rng = Rng.create ~seed:(seed + 17) in
+      let fail_times =
+        Array.init m (fun _ ->
+            if Rng.float_in rng 0. 1. < 0.4 then Rng.float_in rng 0. 20.
+            else infinity)
+      in
+      let release = Array.init m (fun _ -> Rng.float_in rng 0. 3.) in
+      let outages =
+        [ Scenario.outage ~src:0 ~dst:(m - 1) ~from_t:1. ~until_t:4. ]
+      in
+      let faults =
+        Scenario.lossy ~loss:0.15 ~outages ~retries:2 ~seed:(seed + 3) ()
+      in
+      let timed = Scenario.random_timed rng ~m ~count:2 ~horizon:15. in
+      let crash = Scenario.of_list [ seed mod m ] in
+      Event_sim.run s ~fail_times = Event_sim_ref.run s ~fail_times
+      && Event_sim.run ~faults ~release s ~fail_times
+         = Event_sim_ref.run ~faults ~release s ~fail_times
+      && Event_sim.run ~network:(Event_sim.Sender_ports 1) s ~fail_times
+         = Event_sim_ref.run ~network:(Event_sim.Sender_ports 1) s ~fail_times
+      && Event_sim.run ~network:(Event_sim.Duplex_ports 2) ~faults s ~fail_times
+         = Event_sim_ref.run ~network:(Event_sim.Duplex_ports 2) ~faults s
+             ~fail_times
+      && Event_sim.run_timed ~faults s timed
+         = Event_sim_ref.run_timed ~faults s timed
+      && Event_sim.run_crash s crash = Event_sim_ref.run_crash s crash)
+
+(* Pinned regression for the queue-cursor rewrite: replicas injected on
+   one processor execute in injection (FIFO) order, back to back — the
+   list engine appended with [@ [x]], the flat engine moves a tail
+   cursor, and the order must not change. *)
+let test_injection_fifo_order () =
+  let b = Dag.Builder.create () in
+  let t0 = Dag.Builder.add_task b in
+  let t1 = Dag.Builder.add_task b in
+  let t2 = Dag.Builder.add_task b in
+  ignore t0;
+  ignore t1;
+  ignore t2;
+  let dag = Dag.Builder.build b in
+  let platform = Platform.homogeneous ~m:2 ~unit_delay:0.5 in
+  let exec = [| [| 1.; 1. |]; [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let inst = Instance.create ~dag ~platform ~exec in
+  let s = Ftsa.schedule ~seed:0 inst ~eps:0 in
+  let eng = Event_sim.Engine.create s ~fail_times:[| infinity; infinity |] in
+  Event_sim.Engine.drain eng;
+  let t_end = Event_sim.Engine.now eng in
+  let reps =
+    List.map
+      (fun task ->
+        (task, Event_sim.Engine.inject eng ~task ~proc:1 ~inputs:[||]))
+      [ 0; 1; 2 ]
+  in
+  Event_sim.Engine.drain eng;
+  let starts =
+    List.map
+      (fun (task, rep) ->
+        match Event_sim.Engine.replica_state eng ~task ~rep with
+        | Event_sim.Done { start; finish } ->
+            check_float "unit exec" 1. (finish -. start);
+            start
+        | _ -> Alcotest.fail "injected replica did not complete")
+      reps
+  in
+  match starts with
+  | [ s0; s1; s2 ] ->
+      check_bool "first injection starts at the decision instant" true
+        (s0 >= t_end -. 1e-9);
+      check_float "second runs right after the first" (s0 +. 1.) s1;
+      check_float "third runs right after the second" (s1 +. 1.) s2
+  | _ -> assert false
+
 let () =
   Alcotest.run "sim"
     [
+      ( "engine-differential",
+        [
+          quick prop_flat_engine_equals_reference;
+          Alcotest.test_case "injection FIFO order" `Quick
+            test_injection_fifo_order;
+        ] );
       ( "scenario",
         [
           Alcotest.test_case "of_list" `Quick test_scenario_of_list;

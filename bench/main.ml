@@ -1234,6 +1234,46 @@ let run_sim ~strict () =
                w.warm_name w.warm_ms w.cold_ms))
       warms
 
+(* ------------------------------------------------------------------ *)
+(* Tournament smoke: a short instance-space annealing campaign, the
+   digest compared between -j1 and -jN (bit-identical is a hard
+   invariant, not a perf gate), and every witness replayed back to its
+   stored ratio. *)
+
+let run_tournament ~strict () =
+  section "Tournament smoke (instance-space adversarial annealer)";
+  let module Tournament = Ftsched_tournament.Tournament in
+  let pairs = 6 and iters = 60 and seed = 2008 in
+  let campaign ~jobs () = Tournament.campaign ~jobs ~pairs ~iters ~seed () in
+  let r1, ms1 = wall_clock (fun () -> campaign ~jobs:1 ()) in
+  let jobs = Par.default_jobs () in
+  let rn, msn = wall_clock (fun () -> campaign ~jobs ()) in
+  let d1 = Tournament.report_digest r1 in
+  let dn = Tournament.report_digest rn in
+  Printf.printf "digest -j1 %s, -j%d %s\n" d1 jobs dn;
+  if d1 <> dn then failwith "bench tournament: digest differs across -j";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "ftsched-bench-tournament"
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  let witnesses = Tournament.save_witnesses ~dir rn in
+  let bad =
+    List.filter
+      (fun (_, path) -> Result.is_error (Tournament.replay path))
+      witnesses
+  in
+  Printf.printf "witnesses: %d saved, %d replay failure(s)\n"
+    (List.length witnesses) (List.length bad);
+  if strict && witnesses = [] then
+    failwith "bench tournament: campaign produced no witnesses";
+  if strict && bad <> [] then
+    failwith "bench tournament: witness replay failed";
+  show "tournament" (Tournament.matrix_table rn);
+  record_entry ~jobs1_ms:ms1 "tournament:campaign" msn
+
 let () =
   let rec parse_jobs acc = function
     | [] -> List.rev acc
@@ -1254,7 +1294,7 @@ let () =
     List.mem t args
     || List.mem "all" args
        && t <> "smoke" && t <> "par" && t <> "serve" && t <> "scale"
-       && t <> "sim"
+       && t <> "sim" && t <> "tournament"
   in
   if want "fig1" then run_figure ~id:"1" ~eps:1 ~crash_counts:[ 0; 1 ];
   if want "fig2" then run_figure ~id:"2" ~eps:2 ~crash_counts:[ 0; 1; 2 ];
@@ -1277,5 +1317,6 @@ let () =
   if want "par" then run_par ~strict:(List.mem "smoke" args) ();
   if want "scale" then run_scale ~strict:(List.mem "smoke" args) ();
   if want "sim" then run_sim ~strict:(List.mem "smoke" args) ();
+  if want "tournament" then run_tournament ~strict:(List.mem "smoke" args) ();
   write_bench_json ();
   Printf.printf "\nDone.\n"

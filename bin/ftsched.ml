@@ -12,7 +12,9 @@
      stream      online multi-DAG streaming under chaos (admission, shadow
                  plans, never-lost oracle)
      serve       crash-only scheduling-as-a-service daemon (typed overload
-                 control, LRU response cache, self-chaos harness) *)
+                 control, LRU response cache, self-chaos harness)
+     tournament  instance-space adversarial tournament: anneal mutated
+                 instances to maximize per-pair makespan ratios (A8) *)
 
 open Cmdliner
 
@@ -686,13 +688,14 @@ let experiment_cmd =
                          ("reliability", `Reliability);
                          ("recovery", `Recov);
                          ("linkloss", `Linkloss);
-                         ("stream", `Stream7) ])
+                         ("stream", `Stream7);
+                         ("tournament", `Tournament8) ])
         `F1
       & info [] ~docv:"WHAT"
           ~doc:
             "fig1 | fig2 | fig3 | fig4 | table1 | contention | redundancy | \
              claims | procs | rftsa | reliability | recovery | linkloss | \
-             stream")
+             stream | tournament")
   in
   let full =
     Arg.(
@@ -763,6 +766,10 @@ let experiment_cmd =
         in
         Table.print
           (Figures.stream_ablation ~master_seed:seed ~seeds_per_point ())
+    | `Tournament8 ->
+        let pairs = if full then 30 else 12 in
+        let iters = if full then 400 else 120 in
+        Table.print (Figures.tournament_matrix ~master_seed:seed ~pairs ~iters ())
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate the paper's figures/tables")
     Term.(const run $ what $ full $ graphs $ seed_arg $ jobs_arg)
@@ -1250,6 +1257,223 @@ let fuzz_cmd =
       const run $ seeds_arg $ budget_arg $ dir_arg $ no_save_arg $ replay_arg
       $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* tournament                                                          *)
+
+let tournament_cmd =
+  let module Fuzz = Ftsched_fuzz.Fuzz in
+  let module Tournament = Ftsched_tournament.Tournament in
+  let pairs_arg =
+    Arg.(
+      value & opt (some pos_int_conv) None
+      & info [ "pairs" ] ~docv:"N"
+          ~doc:
+            "Search only the first $(docv) ordered policy pairs (default: \
+             all pairs of the selected policies).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt pos_int_conv 200
+      & info [ "iters" ] ~docv:"N"
+          ~doc:"Annealing proposals per policy pair.")
+  in
+  let temp_arg =
+    Arg.(
+      value & opt nonneg_float_conv 0.25
+      & info [ "temp" ] ~docv:"T"
+          ~doc:
+            "Initial annealing temperature; cools geometrically to 2% of \
+             $(docv).")
+  in
+  let metric_conv =
+    let parse s =
+      match Tournament.metric_of_name s with
+      | Some m -> Ok m
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown metric %S (guaranteed | crash-worst)" s))
+    in
+    Arg.conv (parse, fun ppf m -> Fmt.string ppf (Tournament.metric_name m))
+  in
+  let metric_arg =
+    Arg.(
+      value & opt metric_conv Tournament.Guaranteed
+      & info [ "metric" ] ~docv:"METRIC"
+          ~doc:
+            "Makespan metric: $(b,guaranteed) scores the planned bound M*, \
+             $(b,crash-worst) the worst strict-policy crash execution over \
+             every exactly-eps failure subset (defeats score +inf).")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "baseline" ] ~docv:"N"
+          ~doc:
+            "Also score $(docv) plain random instances per pair (independent \
+             RNG stream) and report the best ratio they reach — the \
+             yardstick the annealer must beat.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt string "_tournament"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Directory for witness files.")
+  in
+  let no_save_arg =
+    Arg.(
+      value & flag & info [ "no-save" ] ~doc:"Do not write witness files.")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the dominance report as JSON to $(docv).")
+  in
+  let policies_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "policies" ] ~docv:"A,B,..."
+          ~doc:
+            "Comma-separated policy names to restrict the tournament to \
+             (default: the full eleven-policy registry).")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"PATH"
+          ~doc:
+            "Re-score a saved witness (or every $(b,.case) file in a \
+             directory) instead of searching; exits non-zero unless the \
+             stored ratio is reproduced bit-for-bit.")
+  in
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let write_json ~path report ~digest witnesses =
+    let module T = Tournament in
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf
+      "{\n  \"metric\": \"%s\",\n  \"seed\": %d,\n  \"iters\": %d,\n  \
+       \"digest\": \"%s\",\n  \"pairs\": [\n"
+      (T.metric_name report.T.metric)
+      report.T.seed report.T.iters digest;
+    let n = List.length report.T.pair_reports in
+    List.iteri
+      (fun i p ->
+        let witness =
+          match List.assq_opt p witnesses with
+          | Some path -> Printf.sprintf "\"%s\"" (json_escape path)
+          | None -> "null"
+        in
+        let baseline =
+          match p.T.baseline_ratio with
+          | Some b -> Printf.sprintf "\"%h\"" b
+          | None -> "null"
+        in
+        Printf.bprintf buf
+          "    {\"a\": \"%s\", \"b\": \"%s\", \"ratio\": \"%h\", \
+           \"baseline\": %s, \"evaluated\": %d, \"accepted\": %d, \
+           \"witness\": %s}%s\n"
+          (json_escape p.T.policy_a) (json_escape p.T.policy_b) p.T.best_ratio
+          baseline p.T.evaluated p.T.accepted witness
+          (if i = n - 1 then "" else ","))
+      report.T.pair_reports;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc buf)
+  in
+  let replay_one path =
+    match Tournament.replay path with
+    | Ok r ->
+        Printf.printf "%s: ratio %h reproduced\n" path r;
+        true
+    | Error msg ->
+        Printf.printf "%s: REPLAY FAILED: %s\n" path msg;
+        false
+  in
+  let run pairs iters temp metric baseline dir no_save json policies replay
+      seed jobs =
+    apply_jobs jobs;
+    match replay with
+    | Some path when Sys.file_exists path && Sys.is_directory path ->
+        let cases =
+          Sys.readdir path |> Array.to_list |> List.sort compare
+          |> List.filter (fun f -> Filename.check_suffix f ".case")
+          |> List.map (Filename.concat path)
+        in
+        if cases = [] then begin
+          Printf.printf "%s: no .case files to replay\n" path;
+          exit 0
+        end;
+        let ok = List.fold_left (fun acc p -> replay_one p && acc) true cases in
+        if not ok then exit 1
+    | Some path -> if not (replay_one path) then exit 1
+    | None ->
+        let policies =
+          match policies with
+          | None -> Fuzz.schedulers
+          | Some names ->
+              String.split_on_char ',' names
+              |> List.map String.trim
+              |> List.filter (fun s -> s <> "")
+              |> List.map (fun name ->
+                     match
+                       List.find_opt
+                         (fun s -> s.Fuzz.name = name)
+                         Fuzz.schedulers
+                     with
+                     | Some s -> s
+                     | None ->
+                         Printf.eprintf "unknown policy %S\n" name;
+                         exit 2)
+        in
+        let report =
+          Tournament.campaign ?jobs ~policies ?pairs ~iters ~temp ~metric
+            ~baseline ~seed ()
+        in
+        List.iter
+          (fun p -> Format.printf "@[%a@]@." Tournament.pp_pair_report p)
+          report.Tournament.pair_reports;
+        Table.print (Tournament.matrix_table report);
+        let digest = Tournament.report_digest report in
+        Printf.printf "digest: %s\n" digest;
+        let witnesses =
+          if no_save then []
+          else Tournament.save_witnesses ~dir report
+        in
+        List.iter
+          (fun (_, path) ->
+            Printf.printf "witness: %s\n  replay:  %s\n" path
+              (Tournament.replay_command ~path))
+          witnesses;
+        Option.iter
+          (fun path -> write_json ~path report ~digest witnesses)
+          json
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:
+         "Instance-space adversarial tournament: per ordered policy pair, a \
+          simulated annealer mutates DAG shape, costs, platform and eps to \
+          maximize the makespan ratio M_A/M_B; incumbents are saved as \
+          replayable witnesses and summarized as a pairwise-dominance \
+          matrix (A8)")
+    Term.(
+      const run $ pairs_arg $ iters_arg $ temp_arg $ metric_arg $ baseline_arg
+      $ dir_arg $ no_save_arg $ json_arg $ policies_arg $ replay_arg
+      $ seed_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "ftsched" ~version:"1.0.0"
@@ -1263,5 +1487,5 @@ let () =
           [
             gen_cmd; schedule_cmd; simulate_cmd; bicriteria_cmd;
             reliability_cmd; inspect_cmd; experiment_cmd; fuzz_cmd;
-            stream_cmd; serve_cmd;
+            stream_cmd; serve_cmd; tournament_cmd;
           ]))

@@ -4,7 +4,36 @@ type volume_spec =
   | Constant_volume of float
   | Uniform_volume of float * float
 
-let draw_volume rng = function
+(* Typed validation instead of [assert]: asserts are compiled out under
+   -noassert, and a bad volume spec would otherwise silently feed
+   negative or NaN volumes into eq-(1) downstream.  Every generator
+   entry point calls these before touching the rng. *)
+let check_volume_spec ~who = function
+  | Constant_volume v ->
+      if not (Float.is_finite v) || v < 0. then
+        invalid_arg
+          (Printf.sprintf "%s: constant volume %g must be finite and >= 0" who
+             v)
+  | Uniform_volume (lo, hi) ->
+      if not (Float.is_finite lo && Float.is_finite hi) then
+        invalid_arg
+          (Printf.sprintf "%s: volume bounds (%g, %g) must be finite" who lo
+             hi);
+      if lo < 0. then
+        invalid_arg
+          (Printf.sprintf "%s: volume lower bound %g must be >= 0" who lo);
+      if lo > hi then
+        invalid_arg
+          (Printf.sprintf "%s: volume bounds (%g, %g) must satisfy lo <= hi"
+             who lo hi)
+
+let check_pos ~who ~what n =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "%s: %s %d must be positive" who what n)
+
+let draw_volume rng spec =
+  check_volume_spec ~who:"Generators.draw_volume" spec;
+  match spec with
   | Constant_volume v -> v
   | Uniform_volume (lo, hi) -> Rng.float_in rng lo hi
 
@@ -12,7 +41,12 @@ let default_volume = Uniform_volume (50., 150.)
 
 let layered rng ~n_tasks ?(fatness = 0.5) ?(density = 0.35)
     ?(volume = default_volume) () =
-  assert (n_tasks > 0);
+  check_pos ~who:"Generators.layered" ~what:"n_tasks" n_tasks;
+  if not (Float.is_finite fatness) || fatness <= 0. then
+    invalid_arg "Generators.layered: fatness must be positive and finite";
+  if not (Float.is_finite density) || density < 0. || density > 1. then
+    invalid_arg "Generators.layered: density must be a probability";
+  check_volume_spec ~who:"Generators.layered" volume;
   let b = Dag.Builder.create ~expected_tasks:n_tasks () in
   (* Partition tasks into levels whose sizes fluctuate around
      [fatness * 2 * sqrt n]. *)
@@ -129,7 +163,10 @@ let layered rng ~n_tasks ?(fatness = 0.5) ?(density = 0.35)
   end
 
 let erdos_renyi rng ~n_tasks ~edge_prob ?(volume = default_volume) () =
-  assert (n_tasks > 0 && edge_prob >= 0. && edge_prob <= 1.);
+  check_pos ~who:"Generators.erdos_renyi" ~what:"n_tasks" n_tasks;
+  if not (Float.is_finite edge_prob) || edge_prob < 0. || edge_prob > 1. then
+    invalid_arg "Generators.erdos_renyi: edge_prob must be a probability";
+  check_volume_spec ~who:"Generators.erdos_renyi" volume;
   let b = Dag.Builder.create ~expected_tasks:n_tasks () in
   let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
   let order = Array.copy ids in
@@ -144,7 +181,9 @@ let erdos_renyi rng ~n_tasks ~edge_prob ?(volume = default_volume) () =
   Dag.Builder.build b
 
 let fork_join rng ~stages ~width ?(volume = default_volume) () =
-  assert (stages > 0 && width > 0);
+  check_pos ~who:"Generators.fork_join" ~what:"stages" stages;
+  check_pos ~who:"Generators.fork_join" ~what:"width" width;
+  check_volume_spec ~who:"Generators.fork_join" volume;
   let b = Dag.Builder.create () in
   let vol () = draw_volume rng volume in
   let first_fork = Dag.Builder.add_task ~label:"fork0" b in
@@ -171,7 +210,9 @@ let fork_join rng ~stages ~width ?(volume = default_volume) () =
   Dag.Builder.build b
 
 let random_out_tree rng ~n_tasks ~max_children ?(volume = default_volume) () =
-  assert (n_tasks > 0 && max_children > 0);
+  check_pos ~who:"Generators.random_out_tree" ~what:"n_tasks" n_tasks;
+  check_pos ~who:"Generators.random_out_tree" ~what:"max_children" max_children;
+  check_volume_spec ~who:"Generators.random_out_tree" volume;
   let b = Dag.Builder.create ~expected_tasks:n_tasks () in
   let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
   let child_count = Array.make n_tasks 0 in
@@ -200,7 +241,8 @@ let random_out_tree rng ~n_tasks ~max_children ?(volume = default_volume) () =
    Pegasus publishes; edge count stays ~2x the task count, so the shape
    scales to 10^5 tasks. *)
 let pegasus rng ~n_tasks ?(volume = default_volume) () =
-  assert (n_tasks > 0);
+  check_pos ~who:"Generators.pegasus" ~what:"n_tasks" n_tasks;
+  check_volume_spec ~who:"Generators.pegasus" volume;
   let vol () = draw_volume rng volume in
   if n_tasks < 8 then (
     (* Too small for the montage shape: degenerate to a chain. *)
@@ -259,7 +301,8 @@ let pegasus rng ~n_tasks ?(volume = default_volume) () =
   end
 
 let chain rng ~n_tasks ?(volume = default_volume) () =
-  assert (n_tasks > 0);
+  check_pos ~who:"Generators.chain" ~what:"n_tasks" n_tasks;
+  check_volume_spec ~who:"Generators.chain" volume;
   let b = Dag.Builder.create ~expected_tasks:n_tasks () in
   let ids = Array.init n_tasks (fun _ -> Dag.Builder.add_task b) in
   for i = 0 to n_tasks - 2 do

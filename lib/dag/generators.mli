@@ -8,7 +8,15 @@
     with controllable parallelism and guaranteed entry/exit structure.
 
     All generators draw exclusively from the supplied {!Ftsched_util.Rng.t},
-    so a seed pins the whole workload. *)
+    so a seed pins the whole workload.
+
+    Every entry point validates its parameters with typed
+    [Invalid_argument] exceptions (never [assert], which -noassert
+    compiles out): task/stage/width counts must be positive, probability
+    knobs must be finite probabilities, and volume specs must be finite
+    and non-negative with [lo <= hi] — a bad range would otherwise
+    silently produce negative or NaN volumes that poison the eq-(1)
+    placements downstream. *)
 
 type volume_spec =
   | Constant_volume of float
@@ -16,6 +24,8 @@ type volume_spec =
       (** inclusive-exclusive uniform range, e.g. the paper's [50, 150). *)
 
 val draw_volume : Ftsched_util.Rng.t -> volume_spec -> float
+(** Raises [Invalid_argument] unless the spec is finite, non-negative
+    and (for {!Uniform_volume}) ordered [lo <= hi]. *)
 
 val layered :
   Ftsched_util.Rng.t ->

@@ -761,3 +761,9 @@ let stream_ablation ?(master_seed = 2008) ?(seeds_per_point = 10)
         crash_rates)
     rates;
   table
+
+let tournament_matrix ?(master_seed = 2008) ?(pairs = 12) ?(iters = 120)
+    ?jobs () =
+  let module T = Ftsched_tournament.Tournament in
+  let r = T.campaign ?jobs ~pairs ~iters ~seed:master_seed () in
+  T.matrix_table r

@@ -208,3 +208,19 @@ val stream_ablation :
     shadow column shows strictly fewer deadline misses than the static
     column, because mid-stream re-injection converts aborts and partial
     completions back into (possibly late) completions. *)
+
+val tournament_matrix :
+  ?master_seed:int ->
+  ?pairs:int ->
+  ?iters:int ->
+  ?jobs:int ->
+  unit ->
+  Ftsched_util.Table.t
+(** Beyond the paper (A8): pairwise-dominance matrix from the
+    instance-space adversarial tournament
+    ({!Ftsched_tournament.Tournament}).  Cell (A, B) is the best
+    makespan ratio [M_A(I) / M_B(I)] the annealer found over mutated
+    instances — large off-diagonal values are the instances the random
+    campaigns average away.  The first [pairs] ordered policy pairs are
+    searched for [iters] proposals each, in parallel; bit-identical for
+    any [jobs]. *)

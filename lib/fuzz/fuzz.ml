@@ -803,6 +803,92 @@ let read_parser_case ~path =
   read_seed_case ~path ~magic:parser_magic (read_body path)
 
 (* ------------------------------------------------------------------ *)
+(* Tournament witnesses.  The instance-space tournament
+   (lib/tournament) serializes every accepted incumbent in this format;
+   owning it here lets [ftsched fuzz --replay] ingest those witnesses —
+   a found adversarial instance immediately becomes a fuzz seed run
+   through the full oracle battery of both policies it separates. *)
+
+let tournament_magic = "ftsched-tournament v1"
+
+type tournament_witness = {
+  policy_a : string;
+  policy_b : string;
+  metric : string;
+  ratio : float;
+  case : case;
+}
+
+let write_tournament_case ~path w =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (tournament_magic ^ "\n");
+  Printf.bprintf buf "policy-a %s\n" w.policy_a;
+  Printf.bprintf buf "policy-b %s\n" w.policy_b;
+  Printf.bprintf buf "metric %s\n" w.metric;
+  (* %h keeps the ratio bit-exact across the round trip, like every
+     float in the instance document below. *)
+  Printf.bprintf buf "ratio %h\n" w.ratio;
+  Printf.bprintf buf "eps %d\n" w.case.eps;
+  Printf.bprintf buf "sched-seed %d\n" w.case.sched_seed;
+  Buffer.add_string buf (Serialize.instance_to_string w.case.instance);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+let read_tournament_case ~path =
+  let body = read_body path in
+  let lines = String.split_on_char '\n' body in
+  (match lines with
+  | magic :: _ when String.trim magic = tournament_magic -> ()
+  | _ -> failwith (path ^ ": bad magic (expected \"" ^ tournament_magic ^ "\")"));
+  let header, rest =
+    let rec split acc = function
+      | [] -> failwith (path ^ ": missing instance document")
+      | l :: tl when String.trim l = "ftsched v1" -> (List.rev acc, l :: tl)
+      | l :: tl -> split (l :: acc) tl
+    in
+    split [] (List.tl lines)
+  in
+  let find key =
+    List.find_map
+      (fun l ->
+        match String.split_on_char ' ' (String.trim l) with
+        | k :: rest when k = key -> Some (String.concat " " rest)
+        | _ -> None)
+      header
+  in
+  let req key =
+    match find key with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: missing %S header" path key)
+  in
+  let int_of key v =
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "%s: bad %s %S" path key v)
+  in
+  let ratio =
+    let v = req "ratio" in
+    match float_of_string_opt v with
+    | Some r -> r
+    | None -> failwith (Printf.sprintf "%s: bad ratio %S" path v)
+  in
+  let instance = Serialize.instance_of_string (String.concat "\n" rest) in
+  {
+    policy_a = req "policy-a";
+    policy_b = req "policy-b";
+    metric = req "metric";
+    ratio;
+    case =
+      {
+        instance;
+        eps = int_of "eps" (req "eps");
+        sched_seed = int_of "sched-seed" (req "sched-seed");
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
 
 let file_magic path =
   let ic = open_in path in
@@ -821,6 +907,24 @@ let replay ?(schedulers = schedulers) path =
       match read_parser_case ~path with
       | exception e -> Error (Printexc.to_string e)
       | seed -> Ok (Printf.sprintf "parser seed %d" seed, check_parser ~seed))
+  | magic when magic = tournament_magic -> (
+      match read_tournament_case ~path with
+      | exception e -> Error (Printexc.to_string e)
+      | w -> (
+          let find name = List.find_opt (fun s -> s.name = name) schedulers in
+          match (find w.policy_a, find w.policy_b) with
+          | None, _ -> Error (Printf.sprintf "unknown scheduler %S" w.policy_a)
+          | _, None -> Error (Printf.sprintf "unknown scheduler %S" w.policy_b)
+          | Some a, Some b ->
+              let tag p vs =
+                List.map
+                  (fun v -> { v with detail = p ^ ": " ^ v.detail })
+                  vs
+              in
+              Ok
+                ( Printf.sprintf "%s-vs-%s" w.policy_a w.policy_b,
+                  tag w.policy_a (check a w.case)
+                  @ tag w.policy_b (check b w.case) )))
   | _ -> (
       match read_case ~path with
       | exception e -> Error (Printexc.to_string e)

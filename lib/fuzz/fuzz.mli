@@ -190,6 +190,26 @@ val read_case : path:string -> string * oracle option * case
 (** [(scheduler_name, oracle, case)].  Raises [Failure] on a malformed
     file. *)
 
+type tournament_witness = {
+  policy_a : string;
+  policy_b : string;
+  metric : string;  (** tournament metric name, e.g. ["guaranteed"] *)
+  ratio : float;  (** the makespan ratio the tournament reported *)
+  case : case;
+}
+(** An adversarial instance found by the instance-space tournament
+    ({!Ftsched_tournament}): the ordered policy pair it separates, the
+    metric and ratio it was scored under, and the instance itself as a
+    regular fuzz {!case}. *)
+
+val write_tournament_case : path:string -> tournament_witness -> unit
+(** ["ftsched-tournament v1"] magic, headers (policies, metric, ratio
+    in [%h] hex-float so the round trip is bit-exact, eps, scheduler
+    seed), then the {!Ftsched_schedule.Serialize} instance document. *)
+
+val read_tournament_case : path:string -> tournament_witness
+(** Raises [Failure] on a malformed file. *)
+
 val replay :
   ?schedulers:scheduler list ->
   string ->
@@ -201,7 +221,11 @@ val replay :
     witnesses replay the saved instance through the saved scheduler;
     ["ftsched-stream v1"] witnesses re-run the saved trace seed through
     the stream oracle; ["ftsched-parser v1"] witnesses re-run the saved
-    seed through the parser-safety oracle. *)
+    seed through the parser-safety oracle; ["ftsched-tournament v1"]
+    witnesses run the saved instance through the {e full oracle
+    battery} of {e both} saved policies (violation details prefixed
+    with the policy name) — a found adversarial instance doubles as a
+    fuzz seed. *)
 
 val replay_corpus :
   ?schedulers:scheduler list ->

@@ -1,0 +1,66 @@
+(** Mutation kernel for the instance-space tournament.
+
+    A {!genome} is a full problem instance — DAG, platform, execution
+    costs — plus the replication budget [ε] the schedulers will be asked
+    to survive.  The operators below perturb every axis the annealer
+    searches: DAG shape (add/remove edge, split/merge task), numeric
+    labels (task/edge volumes), platform heterogeneity (per-processor
+    speeds, per-link delays) and [ε] itself.
+
+    {b Closure contract}: applied to a genome satisfying {!valid}, every
+    operator either returns [None] (inapplicable after bounded retries)
+    or a genome that again satisfies {!valid} — acyclic, weakly
+    connected whenever the input was, positive finite execution costs,
+    finite non-negative volumes and delays, [ε <= m-1], within the
+    {!Ftsched_schedule.Serialize} hardening caps, and serializing to a
+    bit-identical round-trip.  The QCheck suite pins this property per
+    operator.
+
+    All randomness flows through the supplied {!Ftsched_util.Rng.t}, so
+    (seed, genome) pairs are deterministic. *)
+
+type genome = { instance : Ftsched_model.Instance.t; eps : int }
+
+val max_tasks : int
+val max_edges : int
+val max_procs : int
+(** Soft caps — strictly below the {!Ftsched_schedule.Serialize} caps so
+    no mutation chain can grow an instance into something the witness
+    serializer rejects. *)
+
+val max_eps : int
+(** Upper bound on the replication degree the search may request
+    (evaluation cost grows with [C(m, eps)]). *)
+
+type op =
+  | Add_edge
+  | Remove_edge
+  | Split_task
+  | Merge_tasks
+  | Rescale_task
+  | Rescale_edge
+  | Perturb_speed
+  | Perturb_link
+  | Bump_eps
+
+val all_ops : op list
+val op_name : op -> string
+
+val apply : Ftsched_util.Rng.t -> op -> genome -> genome option
+(** One attempt at the given operator: [None] when inapplicable (e.g.
+    removing an edge from an edgeless DAG, or every bounded retry drew
+    an invalid candidate). *)
+
+val mutate : Ftsched_util.Rng.t -> genome -> genome option
+(** Random operator, retried over fresh operator draws until one
+    applies (bounded; [None] is possible but rare). *)
+
+val valid : genome -> (unit, string) result
+(** The validity predicate the closure contract is stated against. *)
+
+val random :
+  ?n_lo:int -> ?n_hi:int -> ?m_lo:int -> ?m_hi:int ->
+  Ftsched_util.Rng.t -> genome
+(** Seed genome: a random DAG from four generator families on a random
+    heterogeneous platform, [ε] in [1 .. min 2 (m-1)].  Defaults: 8–16
+    tasks, 3–5 processors. *)

@@ -308,6 +308,77 @@ let prop_volume_in_range =
       Dag.fold_edges g ~init:true ~f:(fun acc _ ~src:_ ~dst:_ ~volume ->
           acc && volume >= 50. && volume < 150.))
 
+(* Every generator entry point must reject bad parameters with a typed
+   Invalid_argument naming the offending generator — never a bare
+   assert, which -noassert compiles out (the PR-10 bugfix).  A silent
+   pass would let lo > hi or NaN bounds poison volumes downstream. *)
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  | exception Invalid_argument msg ->
+      if not (String.length msg >= 11 && String.sub msg 0 11 = "Generators.")
+      then
+        Alcotest.failf "%s: message %S does not name the generator" what msg
+
+let test_generators_reject_bad_counts () =
+  let rng = Rng.create ~seed:0 in
+  expect_invalid "layered n=0" (fun () ->
+      Generators.layered rng ~n_tasks:0 ());
+  expect_invalid "layered n<0" (fun () ->
+      Generators.layered rng ~n_tasks:(-3) ());
+  expect_invalid "layered fatness" (fun () ->
+      Generators.layered rng ~n_tasks:10 ~fatness:(-1.) ());
+  expect_invalid "layered density nan" (fun () ->
+      Generators.layered rng ~n_tasks:10 ~density:Float.nan ());
+  expect_invalid "layered density > 1" (fun () ->
+      Generators.layered rng ~n_tasks:10 ~density:1.5 ());
+  expect_invalid "erdos n=0" (fun () ->
+      Generators.erdos_renyi rng ~n_tasks:0 ~edge_prob:0.5 ());
+  expect_invalid "erdos p<0" (fun () ->
+      Generators.erdos_renyi rng ~n_tasks:5 ~edge_prob:(-0.1) ());
+  expect_invalid "erdos p nan" (fun () ->
+      Generators.erdos_renyi rng ~n_tasks:5 ~edge_prob:Float.nan ());
+  expect_invalid "fork_join stages=0" (fun () ->
+      Generators.fork_join rng ~stages:0 ~width:3 ());
+  expect_invalid "fork_join width=0" (fun () ->
+      Generators.fork_join rng ~stages:2 ~width:0 ());
+  expect_invalid "out_tree n=0" (fun () ->
+      Generators.random_out_tree rng ~n_tasks:0 ~max_children:2 ());
+  expect_invalid "out_tree max_children=0" (fun () ->
+      Generators.random_out_tree rng ~n_tasks:5 ~max_children:0 ());
+  expect_invalid "pegasus n=0" (fun () -> Generators.pegasus rng ~n_tasks:0 ());
+  expect_invalid "chain n=0" (fun () -> Generators.chain rng ~n_tasks:0 ())
+
+let test_generators_reject_bad_volumes () =
+  let rng = Rng.create ~seed:0 in
+  let bad_specs =
+    [
+      ("lo > hi", Generators.Uniform_volume (150., 50.));
+      ("negative lo", Generators.Uniform_volume (-1., 10.));
+      ("nan bound", Generators.Uniform_volume (Float.nan, 10.));
+      ("inf bound", Generators.Uniform_volume (0., Float.infinity));
+      ("negative constant", Generators.Constant_volume (-5.));
+      ("nan constant", Generators.Constant_volume Float.nan);
+    ]
+  in
+  List.iter
+    (fun (what, volume) ->
+      expect_invalid ("draw_volume " ^ what) (fun () ->
+          Generators.draw_volume rng volume);
+      expect_invalid ("layered " ^ what) (fun () ->
+          Generators.layered rng ~n_tasks:10 ~volume ());
+      expect_invalid ("chain " ^ what) (fun () ->
+          Generators.chain rng ~n_tasks:10 ~volume ()))
+    bad_specs;
+  (* lo = hi is a degenerate but legal range *)
+  let g =
+    Generators.chain rng ~n_tasks:3
+      ~volume:(Generators.Uniform_volume (7., 7.))
+      ()
+  in
+  Dag.iter_edges g (fun _ ~src:_ ~dst:_ ~volume ->
+      check_float "degenerate range" 7. volume)
+
 (* ------------------------------------------------------------------ *)
 (* CSR adjacency: the flat arrays the kernel hot path iterates must
    agree with the list API on every family the fuzzer draws from.      *)
@@ -535,6 +606,10 @@ let () =
           quick prop_pegasus_shape;
           Alcotest.test_case "chain" `Quick test_chain_gen;
           quick prop_volume_in_range;
+          Alcotest.test_case "reject bad counts" `Quick
+            test_generators_reject_bad_counts;
+          Alcotest.test_case "reject bad volumes" `Quick
+            test_generators_reject_bad_volumes;
         ] );
       ( "csr",
         [ quick prop_csr_matches_lists; quick prop_csr_entries_exits ] );
